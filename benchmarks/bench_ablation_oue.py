@@ -1,0 +1,19 @@
+"""Ablation — vanilla vs Wang-optimised unary-encoding probabilities."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_oue(run_once):
+    config = ablations.OUEAblationConfig(population=2**13, repetitions=2)
+    result = run_once(ablations.run_oue_ablation, config)
+    print()
+    print(ablations.render_oue_ablation(result))
+
+    # The paper's observation: the optimised probabilities "make little
+    # difference" — the two variants should be within ~50% of each other,
+    # with the optimised variant not substantially worse.
+    for protocol in ("InpRR", "MargRR"):
+        difference = result.relative_difference(protocol)
+        assert difference > -0.5

@@ -1,0 +1,17 @@
+"""Ablation — simplex projection as post-processing of released marginals."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_projection(run_once):
+    config = ablations.ProjectionAblationConfig(population=2**13, repetitions=2)
+    result = run_once(ablations.run_projection_ablation, config)
+    print()
+    print(ablations.render_projection_ablation(result))
+
+    # Post-processing cannot make the tables invalid and should not hurt
+    # accuracy; typically it helps slightly by removing negative cells.
+    for protocol in config.protocols:
+        assert result.improvement(protocol) > -0.05

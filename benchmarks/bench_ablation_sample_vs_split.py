@@ -1,0 +1,18 @@
+"""Ablation — sample one item at full eps vs split eps across all items."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_sample_vs_split(run_once):
+    result = run_once(ablations.run_sample_vs_split)
+    print()
+    print(ablations.render_sample_vs_split(result))
+
+    # Section 3.1's claim: sampling wins, and its advantage grows with the
+    # number of items m.
+    advantages = [result.advantage(m) for m in sorted(result.config.num_items)]
+    assert all(a >= 1.0 for a in advantages)
+    assert advantages == sorted(advantages)
+    assert advantages[-1] > 10

@@ -1,0 +1,26 @@
+"""Figure 10 — frequency-oracle baselines (OLH, HCMS) vs InpHT."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_freq_oracles
+
+
+def test_fig10_freq_oracles(run_once):
+    config = fig10_freq_oracles.default_config(quick=True)
+    result = run_once(fig10_freq_oracles.run, config)
+    print()
+    print(fig10_freq_oracles.render(result))
+
+    population = config.population_sizes[0]
+    for dimension in config.dimensions:
+        errors = {
+            name: result.filter(
+                protocol=name, dimension=dimension, population=population
+            )[0].mean_error
+            for name in config.protocols
+        }
+        # The paper's shape: InpHT and InpOLH are comparable at small d while
+        # the heavy-hitter-tuned sketch is noticeably less accurate.
+        assert errors["InpHT"] <= errors["InpHTCMS"]
+        assert errors["InpOLH"] <= errors["InpHTCMS"] * 1.5
+        assert errors["InpHT"] <= errors["InpOLH"] * 2.0

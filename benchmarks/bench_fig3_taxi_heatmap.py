@@ -1,0 +1,21 @@
+"""Figure 3 — Pearson correlation heat map of the (synthetic) taxi data."""
+
+from __future__ import annotations
+
+from repro.datasets.taxi import DEPENDENT_PAIRS, INDEPENDENT_PAIRS
+from repro.experiments import fig3_taxi_heatmap
+
+
+def test_fig3_taxi_heatmap(run_once):
+    result = run_once(
+        fig3_taxi_heatmap.run, fig3_taxi_heatmap.default_config(quick=True)
+    )
+    print()
+    print(fig3_taxi_heatmap.render(result))
+
+    # The documented strong pairs must be strong and the weak pairs weak,
+    # which is what the association-testing experiment (Figure 7) relies on.
+    for pair in DEPENDENT_PAIRS:
+        assert result.correlation(*pair) > 0.3
+    for pair in INDEPENDENT_PAIRS:
+        assert abs(result.correlation(*pair)) < 0.1

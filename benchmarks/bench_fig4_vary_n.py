@@ -1,0 +1,30 @@
+"""Figure 4 — mean TV distance of k-way marginals as N varies (movielens)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_vary_n
+
+
+def test_fig4_vary_n(run_once):
+    config = fig4_vary_n.default_config(quick=True)
+    result = run_once(fig4_vary_n.run, config)
+    print()
+    print(fig4_vary_n.render(result))
+
+    # Shape check 1: error decreases with N for the Hadamard method.
+    for dimension in config.dimensions:
+        series = result.series(
+            "InpHT", "population", dimension=dimension, width=2
+        )
+        assert series[-1][1] <= series[0][1] * 1.25
+
+    # Shape check 2: at the larger dimension InpHT beats the naive
+    # input-perturbation methods (the paper's headline ordering).
+    d = max(config.dimensions)
+    n = max(config.population_sizes)
+    errors = {
+        name: result.filter(protocol=name, dimension=d, width=2, population=n)[0].mean_error
+        for name in config.protocols
+    }
+    assert errors["InpHT"] < errors["InpPS"]
+    assert errors["InpHT"] <= min(errors.values()) * 1.5

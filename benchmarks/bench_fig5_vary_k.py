@@ -1,0 +1,31 @@
+"""Figure 5 — effect of the marginal width k (taxi data, d = 8)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_vary_k
+
+
+def test_fig5_vary_k(run_once):
+    config = fig5_vary_k.default_config(quick=True)
+    result = run_once(fig5_vary_k.run, config)
+    print()
+    print(fig5_vary_k.render(result))
+
+    population = config.population_sizes[0]
+
+    # Shape check 1: InpHT error grows with k.
+    inp_ht = result.series("InpHT", "width", population=population, dimension=8)
+    assert inp_ht[-1][1] >= inp_ht[0][1]
+
+    # Shape check 2: for k <= d/2 InpHT is the best (or within noise of best)
+    # method, the paper's "method of choice" claim.
+    for width in config.widths:
+        if width > 4:
+            continue
+        errors = {
+            name: result.filter(
+                protocol=name, width=width, population=population
+            )[0].mean_error
+            for name in config.protocols
+        }
+        assert errors["InpHT"] <= min(errors.values()) * 1.6

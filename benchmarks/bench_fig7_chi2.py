@@ -1,0 +1,26 @@
+"""Figure 7 — chi-squared association tests from private marginals (taxi)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_chi2
+
+
+def test_fig7_chi2(run_once):
+    config = fig7_chi2.default_config(quick=True)
+    result = run_once(fig7_chi2.run, config)
+    print()
+    print(fig7_chi2.render(result))
+
+    for protocol, comparisons in result.comparisons.items():
+        dependent_pairs = comparisons[:3]
+        # The strongly associated pairs must be detected privately, and the
+        # private statistic should be within an order of magnitude of the
+        # exact one (the paper notes the log-scale closeness).
+        for entry in dependent_pairs:
+            assert entry.private.dependent
+            ratio = entry.private.statistic / max(entry.exact.statistic, 1e-9)
+            assert 0.1 < ratio < 10
+
+    # InpHT should agree with the exact decisions at least as often as MargPS
+    # (the paper highlights MargPS's occasional errors near the critical value).
+    assert result.agreement_rate("InpHT") >= result.agreement_rate("MargPS") - 0.2

@@ -1,0 +1,30 @@
+"""Figure 8 — total mutual information of privately fitted Chow–Liu trees."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_chow_liu
+
+
+def test_fig8_chow_liu(run_once):
+    config = fig8_chow_liu.default_config(quick=True)
+    result = run_once(fig8_chow_liu.run, config)
+    print()
+    print(fig8_chow_liu.render(result))
+
+    largest_eps = max(config.epsilons)
+    smallest_eps = min(config.epsilons)
+
+    # Shape check 1: InpHT trees capture most of the optimal MI at eps ~ 1.1.
+    assert result.relative_quality("InpHT", largest_eps) > 0.7
+
+    # Shape check 2: quality does not degrade as eps increases.
+    for protocol in config.protocols:
+        assert (
+            result.relative_quality(protocol, largest_eps)
+            >= result.relative_quality(protocol, smallest_eps) - 0.1
+        )
+
+    # Shape check 3: the private tree never exceeds the optimal total MI by
+    # more than numerical noise (it is scored on the true weights).
+    for (protocol, epsilon), (mean, _) in result.private_total_mi.items():
+        assert mean <= result.exact_total_mi * 1.01 + 1e-9

@@ -1,0 +1,35 @@
+"""Figure 9 — effect of the privacy parameter epsilon (movielens)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_vary_eps
+
+
+def test_fig9_vary_eps(run_once):
+    config = fig9_vary_eps.default_config(quick=True)
+    result = run_once(fig9_vary_eps.run, config)
+    print()
+    print(fig9_vary_eps.render(result))
+
+    population = config.population_sizes[0]
+    dimension = config.dimensions[0]
+
+    # Shape check 1: the Hadamard method's error falls as eps grows.
+    series = result.series(
+        "InpHT", "epsilon", population=population, dimension=dimension, width=2
+    )
+    assert series[-1][1] <= series[0][1]
+
+    # Shape check 2: InpHT is the best (or near-best) method at every eps.
+    for epsilon in config.epsilons:
+        errors = {
+            name: result.filter(
+                protocol=name,
+                epsilon=epsilon,
+                population=population,
+                dimension=dimension,
+                width=2,
+            )[0].mean_error
+            for name in config.protocols
+        }
+        assert errors["InpHT"] <= min(errors.values()) * 1.5

@@ -1,0 +1,25 @@
+"""Table 1 / Figure 2 — the taxi schema and its example Manhattan marginal."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_taxi_heatmap
+
+
+def test_table1_fig2_taxi_marginal(run_once):
+    result = run_once(
+        fig3_taxi_heatmap.run, fig3_taxi_heatmap.default_config(quick=True)
+    )
+    print()
+    print(fig3_taxi_heatmap.render(result))
+    # Figure 2's headline cell: most trips stay within Manhattan.
+    manhattan_both = float(result.manhattan_marginal[3])
+    assert manhattan_both > 0.5
+    # Table 1's schema: all eight attributes present.
+    assert len(result.attributes) == 8
+
+
+def test_fig2_marginal_mass_is_a_distribution(run_once):
+    result = run_once(
+        fig3_taxi_heatmap.run, fig3_taxi_heatmap.HeatmapConfig(population=2**14)
+    )
+    assert abs(result.manhattan_marginal.sum() - 1.0) < 1e-9

@@ -1,0 +1,26 @@
+"""Table 2 — communication/error bounds, checked against one measured run."""
+
+from __future__ import annotations
+
+from repro.experiments import table2_bounds
+from repro.theory.bounds import error_exponent_factor
+
+
+def test_table2_bounds(run_once):
+    result = run_once(table2_bounds.run, table2_bounds.default_config(quick=True))
+    print()
+    print(table2_bounds.render(result))
+
+    # Analytic and implemented communication costs must agree exactly.
+    for row in result.rows:
+        assert row["comm_bits_analytic"] == row["comm_bits_protocol"]
+
+    # The analytic ordering of InpHT vs the naive input methods must be
+    # reflected in the measured errors (the paper's headline claim).
+    measured = {row["method"]: row["measured_mean_tv"] for row in result.rows}
+    assert measured["InpHT"] < measured["InpPS"]
+    assert measured["InpHT"] < measured["InpRR"]
+    config = result.config
+    assert error_exponent_factor("InpHT", config.dimension, config.width) < (
+        error_exponent_factor("InpPS", config.dimension, config.width)
+    )

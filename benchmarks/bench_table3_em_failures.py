@@ -1,0 +1,21 @@
+"""Table 3 — failure rate of the InpEM baseline at small epsilon."""
+
+from __future__ import annotations
+
+from repro.experiments import table3_em_failures
+
+
+def test_table3_em_failures(run_once):
+    config = table3_em_failures.default_config(quick=True)
+    result = run_once(table3_em_failures.run, config)
+    print()
+    print(table3_em_failures.render(result))
+
+    # Shape check: at these tiny epsilons a non-trivial fraction of marginals
+    # fail (terminate immediately at the uniform prior), and the failure count
+    # never exceeds the number of marginals.
+    total_failures = 0
+    for setting, failed, total in result.failures:
+        assert 0 <= failed <= total
+        total_failures += failed
+    assert total_failures > 0

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper on its *quick*
+configuration (small N, few repetitions — the method ordering is preserved,
+the absolute errors are larger than at paper scale).  Each benchmark runs the
+experiment exactly once via ``benchmark.pedantic`` (the experiments are
+seconds-long simulations, not microbenchmarks) and prints the rendered table
+so that ``pytest benchmarks/ --benchmark-only -s`` reproduces the numbers
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment once under pytest-benchmark timing and return it."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,63 @@
+"""Marginals over categorical (non-binary) attributes via binary encoding.
+
+Section 6.3 of the paper extends the binary protocols to categorical data by
+encoding each attribute with ceil(log2 r) bits (Corollary 6.1).  This example
+builds a small categorical survey dataset (device type, region, plan tier,
+heavy-user flag), encodes it, releases marginals with InpHT, and folds the
+reconstructed tables back into categorical form.
+
+Run with:  python examples/categorical_attributes.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InpHT, PrivacyBudget
+from repro.datasets import CategoricalDomain, encode_compact
+
+
+def make_survey_records(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Synthetic survey: device (4), region (4), plan (3), heavy user (2)."""
+    device = rng.choice(4, size=n, p=[0.45, 0.30, 0.15, 0.10])
+    region = rng.choice(4, size=n, p=[0.40, 0.25, 0.20, 0.15])
+    # Plan tier correlates with device (premium devices -> premium plans).
+    plan_probabilities = np.array(
+        [[0.6, 0.3, 0.1], [0.4, 0.4, 0.2], [0.2, 0.4, 0.4], [0.1, 0.3, 0.6]]
+    )
+    plan = np.array([rng.choice(3, p=plan_probabilities[d]) for d in device])
+    heavy = (rng.random(n) < (0.2 + 0.2 * plan)).astype(np.int64)
+    return np.stack([device, region, plan, heavy], axis=1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    domain = CategoricalDomain(
+        ["device", "region", "plan", "heavy_user"], [4, 4, 3, 2]
+    )
+    records = make_survey_records(200_000, rng)
+    encoded = encode_compact(records, domain)
+    binary = encoded.binary_dataset
+    print(
+        f"categorical domain {domain.cardinalities} encoded into "
+        f"{binary.dimension} binary attributes"
+    )
+
+    # Workload: 2-way categorical marginals need up to 2+2=4 encoded bits.
+    protocol = InpHT(PrivacyBudget(1.1), max_width=4)
+    estimator = protocol.run(binary, rng=rng)
+
+    for pair in (["device", "plan"], ["plan", "heavy_user"]):
+        mask = encoded.binary_mask_for(pair)
+        exact = encoded.categorical_marginal(pair, binary.marginal(mask).values)
+        private = encoded.categorical_marginal(pair, estimator.query(mask).values)
+        error = 0.5 * float(np.abs(exact - private).sum())
+        print(f"\n2-way categorical marginal {pair} (TV error {error:.4f})")
+        print("exact:")
+        print(np.round(exact, 4))
+        print("private:")
+        print(np.round(private, 4))
+
+
+if __name__ == "__main__":
+    main()

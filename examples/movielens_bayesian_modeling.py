@@ -1,0 +1,62 @@
+"""Fitting a dependency-tree Bayesian model from LDP reports (Section 6.2).
+
+A streaming service wants a probabilistic model of which movie genres its
+users watch together (for recommendations and demand prediction) without
+collecting raw viewing histories.  Each user submits one LDP report; the
+analyst fits a Chow–Liu dependency tree and its conditional probability
+tables entirely from the released 1- and 2-way marginals, then uses the model
+to score and sample genre-preference profiles.
+
+Run with:  python examples/movielens_bayesian_modeling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InpHT, PrivacyBudget, fit_chow_liu_tree, fit_tree_model, make_movielens_dataset
+from repro.analysis import pairwise_mutual_information
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    data = make_movielens_dataset(200_000, d=10, rng=rng)
+    budget = PrivacyBudget(1.1)
+
+    # Non-private reference model.
+    exact_tree = fit_chow_liu_tree(data)
+    true_weights = pairwise_mutual_information(data)
+    print("non-private Chow-Liu tree edges:")
+    for edge in exact_tree.edges:
+        print(f"  {edge[0]:12s} -- {edge[1]}")
+    print(f"total mutual information: {exact_tree.total_weight_under(true_weights):.4f}")
+
+    # Private model from InpHT marginals.
+    protocol = InpHT(budget, max_width=2)
+    estimator = protocol.run(data, rng=rng)
+    private_tree = fit_chow_liu_tree(estimator)
+    print("\nprivate Chow-Liu tree edges (from InpHT marginals):")
+    for edge in private_tree.edges:
+        print(f"  {edge[0]:12s} -- {edge[1]}")
+    captured = private_tree.total_weight_under(true_weights)
+    print(
+        f"true mutual information captured: {captured:.4f} "
+        f"({captured / exact_tree.total_weight_under(true_weights):.0%} of optimal)"
+    )
+
+    # Derive CPTs from the private marginals and use the generative model.
+    model = fit_tree_model(estimator, tree=private_tree)
+    profile = {name: 0 for name in data.attribute_names}
+    profile.update({"Drama": 1, "Comedy": 1})
+    print(f"\nP[drama+comedy-only profile] under the private model: "
+          f"{model.probability(profile):.6f}")
+
+    synthetic = model.sample(5, rng=rng)
+    print("five synthetic users sampled from the private model:")
+    for row in synthetic.records:
+        active = [name for name, bit in zip(data.attribute_names, row) if bit]
+        print(f"  {active or ['(no genres)']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Regenerate every table/figure at a moderate scale and record the output.
+
+This script backs EXPERIMENTS.md: it runs each experiment module at a scale
+between the benchmark "quick" presets and the paper's full grids (so it
+finishes in minutes on a laptop) and writes the rendered tables to
+``experiment_results.txt``.
+
+Run with:  python scripts/record_experiments.py [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    categorical,
+    fig3_taxi_heatmap,
+    fig4_vary_n,
+    fig5_vary_k,
+    fig6_vary_d_em,
+    fig7_chi2,
+    fig8_chow_liu,
+    fig9_vary_eps,
+    fig10_freq_oracles,
+    table2_bounds,
+    table3_em_failures,
+)
+from repro.experiments.config import LN3, SweepConfig
+from repro.protocols.registry import CORE_PROTOCOL_NAMES
+
+
+def moderate_configs():
+    """Moderate-scale configurations for every experiment."""
+    yield "Figure 3 (taxi heat map)", fig3_taxi_heatmap, fig3_taxi_heatmap.HeatmapConfig(
+        population=2**17
+    )
+    yield "Table 2 (bounds + measurement)", table2_bounds, table2_bounds.Table2Config(
+        population=2**16
+    )
+    yield "Figure 4 (vary N)", fig4_vary_n, SweepConfig(
+        protocols=tuple(CORE_PROTOCOL_NAMES),
+        dataset="movielens",
+        population_sizes=(2**14, 2**16),
+        dimensions=(4, 8, 16),
+        widths=(1, 2),
+        epsilons=(LN3,),
+        repetitions=3,
+    )
+    yield "Figure 5 (vary k)", fig5_vary_k, SweepConfig(
+        protocols=tuple(CORE_PROTOCOL_NAMES),
+        dataset="taxi",
+        population_sizes=(2**16,),
+        dimensions=(8,),
+        widths=(1, 2, 3, 4, 5),
+        epsilons=(LN3,),
+        repetitions=3,
+    )
+    yield "Figure 6 (vary d, EM baseline)", fig6_vary_d_em, SweepConfig(
+        protocols=fig6_vary_d_em.PROTOCOLS,
+        dataset="taxi",
+        population_sizes=(2**15,),
+        dimensions=(8, 12, 16),
+        widths=(2,),
+        epsilons=(0.6, LN3),
+        repetitions=3,
+        protocol_options={"InpEM": {"convergence_threshold": 1e-5}},
+    )
+    yield "Figure 7 (chi-squared tests)", fig7_chi2, fig7_chi2.Chi2Config(
+        population=2**18
+    )
+    yield "Figure 8 (Chow-Liu trees)", fig8_chow_liu, fig8_chow_liu.ChowLiuConfig(
+        population=2**16,
+        dimension=10,
+        epsilons=(0.4, 0.8, 1.1, 1.4),
+        repetitions=3,
+    )
+    yield "Figure 9 (vary epsilon)", fig9_vary_eps, SweepConfig(
+        protocols=tuple(CORE_PROTOCOL_NAMES),
+        dataset="movielens",
+        population_sizes=(2**16,),
+        dimensions=(8,),
+        widths=(2,),
+        epsilons=(0.4, 0.8, 1.1, 1.4),
+        repetitions=3,
+    )
+    yield "Figure 10 (frequency oracles)", fig10_freq_oracles, SweepConfig(
+        protocols=fig10_freq_oracles.PROTOCOLS,
+        dataset="skewed",
+        population_sizes=(2**15,),
+        dimensions=(4, 6, 8),
+        widths=(2,),
+        epsilons=(LN3,),
+        repetitions=3,
+        protocol_options={"InpHTCMS": {"num_hashes": 5, "width": 256}},
+    )
+    yield "Table 3 (EM failures)", table3_em_failures, table3_em_failures.Table3Config(
+        settings=(
+            table3_em_failures.EMFailureSetting(2**16, 8, 1, 0.2),
+            table3_em_failures.EMFailureSetting(2**16, 8, 2, 0.1),
+            table3_em_failures.EMFailureSetting(2**16, 8, 2, 0.2),
+            table3_em_failures.EMFailureSetting(2**16, 12, 2, 0.2),
+            table3_em_failures.EMFailureSetting(2**16, 16, 2, 0.1),
+            table3_em_failures.EMFailureSetting(2**16, 16, 2, 0.2),
+        )
+    )
+    yield "Corollary 6.1 (categorical)", categorical, categorical.CategoricalConfig(
+        population=2**16
+    )
+
+
+def main(output_path: str = "experiment_results.txt") -> None:
+    sections = []
+    for title, module, config in moderate_configs():
+        started = time.time()
+        result = module.run(config)
+        elapsed = time.time() - started
+        sections.append(
+            f"### {title}  (wall clock {elapsed:.1f}s)\n\n{module.render(result)}\n"
+        )
+        print(f"done: {title} in {elapsed:.1f}s", flush=True)
+
+    started = time.time()
+    oue = ablations.run_oue_ablation(
+        ablations.OUEAblationConfig(population=2**15, repetitions=3)
+    )
+    sections.append(
+        f"### Ablation: unary-encoding probabilities  "
+        f"(wall clock {time.time() - started:.1f}s)\n\n"
+        f"{ablations.render_oue_ablation(oue)}\n"
+    )
+    sample_split = ablations.run_sample_vs_split()
+    sections.append(
+        "### Ablation: sampling vs budget splitting\n\n"
+        f"{ablations.render_sample_vs_split(sample_split)}\n"
+    )
+
+    with open(output_path, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {output_path}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,11 @@
+"""Setup shim so that legacy (non-PEP-517) editable installs work offline.
+
+The canonical package metadata lives in ``pyproject.toml``; this file only
+exists because the offline environment lacks the ``wheel`` package needed for
+PEP 660 editable installs (``pip install -e . --no-build-isolation`` falls
+back to ``setup.py develop`` when invoked with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

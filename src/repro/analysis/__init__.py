@@ -1,0 +1,43 @@
+"""Downstream analyses built on released marginals."""
+
+from .association import (
+    AssociationComparison,
+    IndependenceTestResult,
+    chi_squared_critical_value,
+    chi_squared_statistic,
+    compare_association_tests,
+    test_independence,
+)
+from .bayesian import ConditionalProbabilityTable, TreeBayesianModel, fit_tree_model
+from .chow_liu import ChowLiuTree, fit_chow_liu_tree, maximum_spanning_tree
+from .correlation import (
+    correlation_matrix,
+    phi_coefficient,
+    private_correlation_matrix,
+)
+from .mutual_information import (
+    mutual_information,
+    pairwise_mutual_information,
+    private_pairwise_mutual_information,
+)
+
+__all__ = [
+    "chi_squared_statistic",
+    "chi_squared_critical_value",
+    "IndependenceTestResult",
+    "test_independence",
+    "AssociationComparison",
+    "compare_association_tests",
+    "phi_coefficient",
+    "correlation_matrix",
+    "private_correlation_matrix",
+    "mutual_information",
+    "pairwise_mutual_information",
+    "private_pairwise_mutual_information",
+    "ChowLiuTree",
+    "maximum_spanning_tree",
+    "fit_chow_liu_tree",
+    "ConditionalProbabilityTable",
+    "TreeBayesianModel",
+    "fit_tree_model",
+]

@@ -1,0 +1,189 @@
+"""Bayesian (dependency-tree) modelling from released marginals (Section 6.2).
+
+Once a Chow–Liu tree has been fitted, the joint distribution is approximated
+as a product of conditional probability tables along the tree:
+
+    P[x_1, ..., x_d] ~= P[x_root] * prod_{(parent, child) in tree} P[x_child | x_parent]
+
+Every factor is derived from 1-way and 2-way marginals, so the whole model
+can be built from the output of any marginal-release protocol.  This module
+derives the CPTs, evaluates the approximate joint, and can sample synthetic
+records from the fitted model — the "predict demand / build a model" use
+case the paper motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import MarginalQueryError
+from ..core.marginals import MarginalTable
+from ..core.rng import RngLike, ensure_rng
+from ..datasets.base import BinaryDataset
+from ..protocols.base import MarginalEstimator
+from .chow_liu import ChowLiuTree, fit_chow_liu_tree
+
+__all__ = ["ConditionalProbabilityTable", "TreeBayesianModel", "fit_tree_model"]
+
+
+@dataclass(frozen=True)
+class ConditionalProbabilityTable:
+    """``P[child = 1 | parent = value]`` for a tree edge (or a root prior).
+
+    For the root node ``parent`` is ``None`` and only ``probability_one[0]``
+    is meaningful (the unconditional ``P[child = 1]``).
+    """
+
+    child: str
+    parent: Optional[str]
+    probability_one: Tuple[float, float]
+
+    def probability(self, child_value: int, parent_value: int = 0) -> float:
+        """``P[child = child_value | parent = parent_value]``."""
+        if child_value not in (0, 1) or parent_value not in (0, 1):
+            raise MarginalQueryError("attribute values must be 0 or 1")
+        p_one = self.probability_one[parent_value if self.parent is not None else 0]
+        return p_one if child_value == 1 else 1.0 - p_one
+
+
+def _clip_probability(value: float) -> float:
+    return float(min(1.0, max(0.0, value)))
+
+
+def _conditional_from_joint(
+    joint: MarginalTable, child: str, parent: str
+) -> ConditionalProbabilityTable:
+    """Derive ``P[child | parent]`` from their released 2-way marginal."""
+    values = joint.normalized()
+    probabilities = []
+    for parent_value in (0, 1):
+        p_parent = values.cell({parent: parent_value, child: 0}) + values.cell(
+            {parent: parent_value, child: 1}
+        )
+        if p_parent <= 0:
+            probabilities.append(0.5)
+        else:
+            probabilities.append(
+                _clip_probability(
+                    values.cell({parent: parent_value, child: 1}) / p_parent
+                )
+            )
+    return ConditionalProbabilityTable(
+        child=child, parent=parent, probability_one=(probabilities[0], probabilities[1])
+    )
+
+
+@dataclass(frozen=True)
+class TreeBayesianModel:
+    """A tree-structured Bayesian network over binary attributes."""
+
+    tree: ChowLiuTree
+    root: str
+    order: Tuple[str, ...]
+    tables: Dict[str, ConditionalProbabilityTable]
+
+    def log_probability(self, record: Mapping[str, int]) -> float:
+        """Log probability of a full record under the fitted model."""
+        missing = set(self.order) - set(record)
+        if missing:
+            raise MarginalQueryError(f"record is missing attributes {sorted(missing)}")
+        total = 0.0
+        for attribute in self.order:
+            table = self.tables[attribute]
+            parent_value = int(record[table.parent]) if table.parent else 0
+            probability = table.probability(int(record[attribute]), parent_value)
+            if probability <= 0:
+                return float("-inf")
+            total += float(np.log(probability))
+        return total
+
+    def probability(self, record: Mapping[str, int]) -> float:
+        """Probability of a full record under the fitted model."""
+        return float(np.exp(self.log_probability(record)))
+
+    def sample(self, n: int, rng: RngLike = None) -> BinaryDataset:
+        """Draw ``n`` synthetic records from the fitted model."""
+        if n <= 0:
+            raise MarginalQueryError(f"sample size must be positive, got {n}")
+        generator = ensure_rng(rng)
+        columns: Dict[str, np.ndarray] = {}
+        for attribute in self.order:
+            table = self.tables[attribute]
+            if table.parent is None:
+                p_one = np.full(n, table.probability_one[0])
+            else:
+                parent_values = columns[table.parent]
+                p_one = np.where(
+                    parent_values == 1,
+                    table.probability_one[1],
+                    table.probability_one[0],
+                )
+            columns[attribute] = (generator.random(n) < p_one).astype(np.int8)
+        names = list(self.tree.attributes)
+        records = np.stack([columns[name] for name in names], axis=1)
+        return BinaryDataset.from_records(records, attribute_names=names)
+
+
+def fit_tree_model(
+    source: BinaryDataset | MarginalEstimator,
+    tree: Optional[ChowLiuTree] = None,
+    root: Optional[str] = None,
+) -> TreeBayesianModel:
+    """Fit the CPTs of a (given or freshly fitted) Chow–Liu tree.
+
+    ``source`` supplies the marginals: a dataset gives the exact model, a
+    protocol estimator gives the private model.
+    """
+    if tree is None:
+        tree = fit_chow_liu_tree(source)
+    attributes = list(tree.attributes)
+    if root is None:
+        root = attributes[0]
+    if root not in attributes:
+        raise MarginalQueryError(f"unknown root attribute {root!r}")
+
+    if isinstance(source, BinaryDataset):
+        domain = source.domain
+        query = source.marginal
+    else:
+        domain = source.domain
+        query = source.query
+
+    # Breadth-first orientation of the tree away from the root.
+    adjacency = tree.adjacency()
+    order: List[str] = [root]
+    parent_of: Dict[str, Optional[str]] = {root: None}
+    frontier = [root]
+    while frontier:
+        current = frontier.pop(0)
+        for neighbour in adjacency[current]:
+            if neighbour not in parent_of:
+                parent_of[neighbour] = current
+                order.append(neighbour)
+                frontier.append(neighbour)
+    if len(order) != len(attributes):
+        raise MarginalQueryError("the dependency tree is not connected")
+
+    tables: Dict[str, ConditionalProbabilityTable] = {}
+    for attribute in order:
+        parent = parent_of[attribute]
+        if parent is None:
+            one_way = query(domain.mask_of(attribute))
+            normalised = one_way.normalized()
+            tables[attribute] = ConditionalProbabilityTable(
+                child=attribute,
+                parent=None,
+                probability_one=(
+                    _clip_probability(normalised.cell({attribute: 1})),
+                    _clip_probability(normalised.cell({attribute: 1})),
+                ),
+            )
+        else:
+            joint = query(domain.mask_of([attribute, parent]))
+            tables[attribute] = _conditional_from_joint(joint, attribute, parent)
+    return TreeBayesianModel(
+        tree=tree, root=root, order=tuple(order), tables=tables
+    )

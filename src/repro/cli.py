@@ -1,0 +1,126 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig4 --quick
+    python -m repro.cli run table2 --output table2.txt
+    python -m repro.cli run fig9 --full --json fig9.json
+
+``run`` executes one experiment module (quick preset by default), prints the
+rendered text table, and can additionally persist sweep-style results to JSON
+for later analysis or plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Sequence
+
+from .experiments import (
+    categorical,
+    fig3_taxi_heatmap,
+    fig4_vary_n,
+    fig5_vary_k,
+    fig6_vary_d_em,
+    fig7_chi2,
+    fig8_chow_liu,
+    fig9_vary_eps,
+    fig10_freq_oracles,
+    table2_bounds,
+    table3_em_failures,
+)
+from .experiments.harness import SweepResult
+from .io import save_sweep_json
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: Experiment name -> (module, one-line description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig3": (fig3_taxi_heatmap, "taxi attribute-correlation heat map (Figure 3)"),
+    "fig4": (fig4_vary_n, "error vs population size N (Figure 4)"),
+    "fig5": (fig5_vary_k, "error vs marginal width k (Figure 5)"),
+    "fig6": (fig6_vary_d_em, "InpEM baseline vs InpHT/MargPS at larger d (Figure 6)"),
+    "fig7": (fig7_chi2, "chi-squared association tests (Figure 7)"),
+    "fig8": (fig8_chow_liu, "Chow-Liu dependency trees (Figure 8)"),
+    "fig9": (fig9_vary_eps, "error vs privacy parameter epsilon (Figure 9)"),
+    "fig10": (fig10_freq_oracles, "frequency-oracle comparison (Figure 10)"),
+    "table2": (table2_bounds, "communication/error bounds (Table 2)"),
+    "table3": (table3_em_failures, "InpEM failure rates (Table 3)"),
+    "categorical": (categorical, "categorical marginals via binary encoding (Cor. 6.1)"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures from 'Marginal Release "
+        "Under Local Differential Privacy' (SIGMOD 2018).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    scale = run_parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        default=True,
+        help="use the fast, small-N preset (default)",
+    )
+    scale.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper-scale parameter grid (slow)",
+    )
+    run_parser.add_argument(
+        "--output", help="also write the rendered table to this text file"
+    )
+    run_parser.add_argument(
+        "--json",
+        help="for sweep experiments, also write the raw results to this JSON file",
+    )
+    return parser
+
+
+def _run_experiment(arguments: argparse.Namespace) -> int:
+    module, _ = EXPERIMENTS[arguments.experiment]
+    config = module.default_config(quick=not arguments.full)
+    result = module.run(config)
+    rendered = module.render(result)
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"\nwrote {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        if isinstance(result, SweepResult):
+            save_sweep_json(result, arguments.json)
+            print(f"wrote {arguments.json}", file=sys.stderr)
+        else:
+            print(
+                f"--json is only supported for sweep experiments; "
+                f"{arguments.experiment} is not one",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            _, description = EXPERIMENTS[name]
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    return _run_experiment(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

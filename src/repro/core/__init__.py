@@ -1,0 +1,55 @@
+"""Core substrate: bit algebra, Hadamard transforms, domains, marginals.
+
+Everything in :mod:`repro.core` is deterministic, protocol-agnostic machinery
+that the LDP protocols (:mod:`repro.protocols`) and analyses
+(:mod:`repro.analysis`) are built on.
+"""
+
+from .domain import Domain
+from .exceptions import (
+    AggregationError,
+    ConvergenceError,
+    DatasetError,
+    DomainError,
+    EncodingError,
+    MarginalQueryError,
+    PrivacyBudgetError,
+    ProtocolConfigurationError,
+    ReproError,
+)
+from .marginals import (
+    MarginalTable,
+    MarginalWorkload,
+    full_distribution_from_indices,
+    marginal_from_indices,
+    marginal_operator,
+    marginalize,
+    max_absolute_error,
+    total_variation_distance,
+)
+from .privacy import PrivacyBudget
+from .rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "Domain",
+    "PrivacyBudget",
+    "MarginalTable",
+    "MarginalWorkload",
+    "marginal_operator",
+    "marginal_from_indices",
+    "marginalize",
+    "full_distribution_from_indices",
+    "total_variation_distance",
+    "max_absolute_error",
+    "ensure_rng",
+    "spawn_rngs",
+    "ReproError",
+    "DomainError",
+    "PrivacyBudgetError",
+    "MarginalQueryError",
+    "ProtocolConfigurationError",
+    "AggregationError",
+    "DatasetError",
+    "EncodingError",
+    "ConvergenceError",
+]

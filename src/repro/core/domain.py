@@ -1,0 +1,136 @@
+"""Description of the (binary) attribute domain.
+
+A :class:`Domain` names the ``d`` binary attributes of a dataset and provides
+the translation between attribute names and the bit masks used throughout the
+library.  All protocols, datasets and analyses share one ``Domain`` object so
+that "the marginal over ``(CC, Tip)``" and "the marginal ``beta = 0b...``"
+always refer to the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from . import bitops
+from .exceptions import DomainError, MarginalQueryError
+
+__all__ = ["Domain"]
+
+_MAX_ATTRIBUTES = 30
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An ordered collection of named binary attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names; position ``j`` in this tuple corresponds to bit ``j``
+        (value ``1 << j``) in every mask.
+    """
+
+    attributes: Tuple[str, ...]
+
+    def __init__(self, attributes: Sequence[str]):
+        names = tuple(str(name) for name in attributes)
+        if not names:
+            raise DomainError("a domain needs at least one attribute")
+        if len(names) > _MAX_ATTRIBUTES:
+            raise DomainError(
+                f"domains above {_MAX_ATTRIBUTES} binary attributes are not "
+                f"supported (got {len(names)}); the full contingency table "
+                "would not fit in memory"
+            )
+        if len(set(names)) != len(names):
+            raise DomainError(f"attribute names must be unique, got {names}")
+        object.__setattr__(self, "attributes", names)
+
+    @classmethod
+    def binary(cls, d: int, prefix: str = "attr") -> "Domain":
+        """A domain of ``d`` anonymous binary attributes ``attr0..attr{d-1}``."""
+        if d <= 0:
+            raise DomainError(f"dimension must be positive, got {d}")
+        return cls([f"{prefix}{j}" for j in range(d)])
+
+    @property
+    def dimension(self) -> int:
+        """Number of binary attributes ``d``."""
+        return len(self.attributes)
+
+    @property
+    def size(self) -> int:
+        """Size of the full contingency table, ``2^d``."""
+        return 1 << self.dimension
+
+    @property
+    def full_mask(self) -> int:
+        """The mask selecting every attribute (the d-way marginal)."""
+        return self.size - 1
+
+    def index_of(self, attribute: str) -> int:
+        """Bit position of a named attribute."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise DomainError(
+                f"unknown attribute {attribute!r}; domain has {self.attributes}"
+            ) from None
+
+    def mask_of(self, attributes: Iterable[str] | str | int) -> int:
+        """Translate attribute names (or a ready-made mask) into a mask.
+
+        Accepts a single name, an iterable of names, or an integer mask which
+        is validated and passed through.
+        """
+        if isinstance(attributes, (int,)):
+            mask = int(attributes)
+            if mask < 0 or mask >= self.size:
+                raise MarginalQueryError(
+                    f"mask {mask} outside the domain of dimension {self.dimension}"
+                )
+            return mask
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        return bitops.mask_from_positions(self.index_of(name) for name in attributes)
+
+    def names_of(self, mask: int) -> List[str]:
+        """Attribute names selected by ``mask``, in bit order."""
+        mask = self.mask_of(mask)
+        return [self.attributes[pos] for pos in bitops.bit_positions(mask)]
+
+    def validate_marginal(self, beta: int, max_width: int | None = None) -> int:
+        """Check that ``beta`` identifies a non-trivial marginal of this domain."""
+        beta = self.mask_of(beta)
+        if beta == 0:
+            raise MarginalQueryError("the empty marginal (beta=0) is trivial")
+        width = bitops.popcount(beta)
+        if max_width is not None and width > max_width:
+            raise MarginalQueryError(
+                f"marginal {self.names_of(beta)} has width {width}, but the "
+                f"protocol only supports up to {max_width}-way marginals"
+            )
+        return beta
+
+    def all_marginals(self, k: int) -> List[int]:
+        """Masks of all ``C(d, k)`` k-way marginals."""
+        if k <= 0 or k > self.dimension:
+            raise MarginalQueryError(
+                f"marginal width k={k} outside [1, d={self.dimension}]"
+            )
+        return bitops.masks_of_weight(self.dimension, k)
+
+    def full_kway_workload(self, k: int) -> List[int]:
+        """Masks of the *full* set of k-way marginals: every width 1..k."""
+        if k <= 0 or k > self.dimension:
+            raise MarginalQueryError(
+                f"marginal width k={k} outside [1, d={self.dimension}]"
+            )
+        return bitops.masks_up_to_weight(self.dimension, k)
+
+    def __len__(self) -> int:
+        return self.dimension
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Domain(d={self.dimension}, attributes={list(self.attributes)})"

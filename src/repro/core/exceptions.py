@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class DomainError(ReproError):
+    """A domain description is invalid (e.g. zero attributes, bad names)."""
+
+
+class PrivacyBudgetError(ReproError):
+    """An epsilon value or budget split is invalid (non-positive, NaN...)."""
+
+
+class MarginalQueryError(ReproError):
+    """A marginal query is malformed or outside the supported workload."""
+
+
+class ProtocolConfigurationError(ReproError):
+    """A protocol was configured with inconsistent parameters."""
+
+
+class AggregationError(ReproError):
+    """Aggregation failed, e.g. reports are missing or have the wrong shape."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed (wrong dtype, wrong width, empty...)."""
+
+
+class EncodingError(ReproError):
+    """Categorical-to-binary encoding failed or was given bad cardinalities."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative estimator (e.g. EM decoding) failed to converge."""

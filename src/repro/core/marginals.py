@@ -1,0 +1,274 @@
+"""Marginal tables and the marginal operator ``C_beta``.
+
+The paper treats the population as a normalised histogram ``t`` over
+``{0,1}^d`` and defines the marginal operator (Definition 3.2)
+
+    C_beta(t)[gamma] = sum_{eta : eta AND beta = gamma} t[eta]     for gamma ⪯ beta
+
+This module provides that operator (both from the dense histogram and
+directly from per-user indices), a :class:`MarginalTable` value type holding
+one reconstructed marginal, the workload abstraction for "the full set of
+k-way marginals", and the error metrics used throughout the evaluation
+(total variation distance, maximum absolute cell error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from . import bitops
+from .domain import Domain
+from .exceptions import MarginalQueryError
+
+__all__ = [
+    "MarginalTable",
+    "marginal_operator",
+    "marginal_from_indices",
+    "marginalize",
+    "full_distribution_from_indices",
+    "total_variation_distance",
+    "max_absolute_error",
+    "MarginalWorkload",
+]
+
+
+@dataclass(frozen=True)
+class MarginalTable:
+    """One marginal table over the attributes selected by ``beta``.
+
+    Attributes
+    ----------
+    domain:
+        The domain the marginal lives in.
+    beta:
+        Mask of the ``k`` attributes the marginal covers.
+    values:
+        Length ``2^k`` array of (estimated or exact) frequencies, indexed by
+        the compact cell index (bit ``r`` of the index is the value of the
+        ``r``-th selected attribute).
+    """
+
+    domain: Domain
+    beta: int
+    values: np.ndarray
+
+    def __post_init__(self):
+        beta = self.domain.validate_marginal(self.beta)
+        values = np.asarray(self.values, dtype=np.float64)
+        expected = 1 << bitops.popcount(beta)
+        if values.shape != (expected,):
+            raise MarginalQueryError(
+                f"marginal over {self.domain.names_of(beta)} needs {expected} "
+                f"cells, got array of shape {values.shape}"
+            )
+        object.__setattr__(self, "beta", beta)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def width(self) -> int:
+        """Number of attributes ``k`` in the marginal."""
+        return bitops.popcount(self.beta)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of the attributes the marginal covers."""
+        return self.domain.names_of(self.beta)
+
+    def cell(self, assignment: Mapping[str, int]) -> float:
+        """Value of the cell for a named assignment, e.g. ``{"CC": 1, "Tip": 0}``."""
+        names = self.attribute_names
+        if set(assignment) != set(names):
+            raise MarginalQueryError(
+                f"assignment must cover exactly {names}, got {sorted(assignment)}"
+            )
+        compact = 0
+        for position, name in enumerate(names):
+            bit = int(assignment[name])
+            if bit not in (0, 1):
+                raise MarginalQueryError(
+                    f"attribute {name!r} must be 0 or 1, got {assignment[name]!r}"
+                )
+            compact |= bit << position
+        return float(self.values[compact])
+
+    def normalized(self) -> "MarginalTable":
+        """Project onto the probability simplex (clip at 0, renormalise).
+
+        The unbiased LDP estimators can produce slightly negative cells or a
+        total different from 1; analyses that need a proper distribution
+        (e.g. mutual information) use this projection.
+        """
+        clipped = np.clip(self.values, 0.0, None)
+        total = clipped.sum()
+        if total <= 0:
+            clipped = np.full_like(clipped, 1.0 / clipped.size)
+        else:
+            clipped = clipped / total
+        return MarginalTable(self.domain, self.beta, clipped)
+
+    def counts(self, population: int) -> np.ndarray:
+        """Scale frequencies to expected counts for a population of given size."""
+        if population <= 0:
+            raise MarginalQueryError(f"population must be positive, got {population}")
+        return self.values * float(population)
+
+    def marginalize(self, sub_beta: int) -> "MarginalTable":
+        """Aggregate this marginal down to a sub-marginal ``sub_beta ⪯ beta``."""
+        sub_beta = self.domain.mask_of(sub_beta)
+        if not bitops.is_subset(sub_beta, self.beta):
+            raise MarginalQueryError(
+                f"{self.domain.names_of(sub_beta)} is not a subset of "
+                f"{self.attribute_names}"
+            )
+        if sub_beta == 0:
+            raise MarginalQueryError("cannot marginalise to the empty marginal")
+        k = self.width
+        sub_values = np.zeros(1 << bitops.popcount(sub_beta), dtype=np.float64)
+        for compact in range(1 << k):
+            full_index = bitops.expand_index(compact, self.beta)
+            sub_compact = bitops.compress_index(full_index & sub_beta, sub_beta)
+            sub_values[sub_compact] += self.values[compact]
+        return MarginalTable(self.domain, sub_beta, sub_values)
+
+    def total_variation_distance(self, other: "MarginalTable") -> float:
+        """Total variation distance to another marginal over the same ``beta``."""
+        if other.beta != self.beta:
+            raise MarginalQueryError(
+                "cannot compare marginals over different attribute sets"
+            )
+        return total_variation_distance(self.values, other.values)
+
+    def to_dict(self) -> Dict[Tuple[int, ...], float]:
+        """Mapping from attribute-value tuples (in attribute order) to cell values."""
+        k = self.width
+        result: Dict[Tuple[int, ...], float] = {}
+        for compact in range(1 << k):
+            key = tuple((compact >> r) & 1 for r in range(k))
+            result[key] = float(self.values[compact])
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarginalTable({'/'.join(self.attribute_names)}, "
+            f"values={np.round(self.values, 4).tolist()})"
+        )
+
+
+def full_distribution_from_indices(indices: np.ndarray, size: int) -> np.ndarray:
+    """Normalised histogram over ``{0,1}^d`` from per-user one-hot positions."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        raise MarginalQueryError("cannot build a distribution from zero users")
+    if indices.min() < 0 or indices.max() >= size:
+        raise MarginalQueryError(
+            f"user indices must lie in [0, {size}), got range "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    counts = np.bincount(indices, minlength=size).astype(np.float64)
+    return counts / indices.size
+
+
+def marginal_operator(distribution: np.ndarray, beta: int, domain: Domain) -> MarginalTable:
+    """Apply the marginal operator ``C_beta`` to a dense distribution."""
+    beta = domain.validate_marginal(beta)
+    distribution = np.asarray(distribution, dtype=np.float64)
+    if distribution.shape != (domain.size,):
+        raise MarginalQueryError(
+            f"distribution must have length {domain.size}, got {distribution.shape}"
+        )
+    cells = bitops.compress_indices(np.arange(domain.size) & beta, beta)
+    values = np.bincount(cells, weights=distribution, minlength=1 << bitops.popcount(beta))
+    return MarginalTable(domain, beta, values)
+
+
+def marginal_from_indices(indices: np.ndarray, beta: int, domain: Domain) -> MarginalTable:
+    """Exact (non-private) marginal computed directly from user indices."""
+    beta = domain.validate_marginal(beta)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        raise MarginalQueryError("cannot compute a marginal of zero users")
+    cells = bitops.compress_indices(indices & beta, beta)
+    k = bitops.popcount(beta)
+    counts = np.bincount(cells, minlength=1 << k).astype(np.float64)
+    return MarginalTable(domain, beta, counts / indices.size)
+
+
+def marginalize(table: MarginalTable, sub_beta: int) -> MarginalTable:
+    """Module-level alias of :meth:`MarginalTable.marginalize`."""
+    return table.marginalize(sub_beta)
+
+
+def total_variation_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Total variation distance ``0.5 * ||p - q||_1`` between two cell vectors."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise MarginalQueryError(
+            f"cannot compare vectors of shapes {first.shape} and {second.shape}"
+        )
+    return 0.5 * float(np.abs(first - second).sum())
+
+
+def max_absolute_error(first: np.ndarray, second: np.ndarray) -> float:
+    """Largest absolute per-cell error between two cell vectors."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise MarginalQueryError(
+            f"cannot compare vectors of shapes {first.shape} and {second.shape}"
+        )
+    return float(np.abs(first - second).max())
+
+
+@dataclass(frozen=True)
+class MarginalWorkload:
+    """The set of marginals an aggregator promises to answer.
+
+    The paper's data-collection model gathers enough information to answer
+    *every* marginal of width at most ``k`` ("the full set of k-way
+    marginals"); this class enumerates that workload and validates queries
+    against it.
+    """
+
+    domain: Domain
+    max_width: int
+
+    def __post_init__(self):
+        if self.max_width <= 0 or self.max_width > self.domain.dimension:
+            raise MarginalQueryError(
+                f"workload width {self.max_width} outside "
+                f"[1, {self.domain.dimension}]"
+            )
+
+    @property
+    def dimension(self) -> int:
+        return self.domain.dimension
+
+    def marginals(self, width: int | None = None) -> List[int]:
+        """Masks in the workload; optionally restricted to one exact width."""
+        if width is None:
+            return self.domain.full_kway_workload(self.max_width)
+        if width <= 0 or width > self.max_width:
+            raise MarginalQueryError(
+                f"width {width} outside the workload's range [1, {self.max_width}]"
+            )
+        return self.domain.all_marginals(width)
+
+    def __contains__(self, beta: int) -> bool:
+        try:
+            beta = self.domain.mask_of(beta)
+        except MarginalQueryError:
+            return False
+        width = bitops.popcount(beta)
+        return 1 <= width <= self.max_width
+
+    def validate(self, beta: int) -> int:
+        """Validate a query mask against the workload and return it."""
+        beta = self.domain.validate_marginal(beta, max_width=self.max_width)
+        return beta
+
+    def __len__(self) -> int:
+        return len(self.marginals())

@@ -1,0 +1,133 @@
+"""Privacy budget accounting for local differential privacy.
+
+The protocols in this library consume an epsilon budget in one of two ways:
+
+* **sampling** — each user reveals a single randomly chosen piece of
+  information at full epsilon (the paper's preferred pattern), or
+* **splitting** — the budget is divided across ``m`` simultaneous releases,
+  each run at ``epsilon / m`` (sequential composition; used by the Fanti et
+  al. EM baseline and by the "budget splitting" ablation).
+
+:class:`PrivacyBudget` wraps a validated epsilon and centralises the standard
+probability settings of the randomized-response family so the conversions
+(``e^eps / (1 + e^eps)`` and friends) live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .exceptions import PrivacyBudgetError
+
+__all__ = [
+    "PrivacyBudget",
+    "rr_keep_probability",
+    "grr_keep_probability",
+    "oue_probabilities",
+]
+
+
+def rr_keep_probability(epsilon: float) -> float:
+    """Symmetric randomized-response keep probability ``e^eps / (1 + e^eps)``.
+
+    A single bit reported with this probability (and flipped otherwise)
+    satisfies epsilon-LDP.
+    """
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+    return math.exp(epsilon) / (1.0 + math.exp(epsilon))
+
+
+def grr_keep_probability(epsilon: float, domain_size: int) -> float:
+    """Generalised randomized response (a.k.a. preferential sampling / direct
+    encoding) probability of reporting the true category.
+
+    The true value is reported with probability ``e^eps / (e^eps + m - 1)``
+    and each of the ``m - 1`` other values with the remaining mass divided
+    evenly, which meets epsilon-LDP (Fact 3.1 of the paper).
+    """
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+    if domain_size < 2:
+        raise PrivacyBudgetError(f"domain size must be >= 2, got {domain_size}")
+    exp_eps = math.exp(epsilon)
+    return exp_eps / (exp_eps + domain_size - 1)
+
+
+def oue_probabilities(epsilon: float) -> tuple:
+    """Wang et al.'s optimised unary-encoding probabilities ``(p, q)``.
+
+    ``p`` is the probability of keeping a 1-bit set, ``q`` the probability of
+    flipping a 0-bit to 1.  With ``p = 1/2`` and ``q = 1 / (e^eps + 1)`` the
+    per-bit ratio is ``p(1-q) / (q(1-p)) = e^eps``, so perturbing the whole
+    sparse unary vector meets epsilon-LDP while minimising estimator variance.
+    """
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+    return 0.5, 1.0 / (math.exp(epsilon) + 1.0)
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """A validated epsilon-LDP budget.
+
+    Attributes
+    ----------
+    epsilon:
+        The local differential privacy parameter.  Must be a positive finite
+        float; typical deployed values are well below 4.
+    """
+
+    epsilon: float
+
+    def __post_init__(self):
+        eps = float(self.epsilon)
+        if not math.isfinite(eps) or eps <= 0:
+            raise PrivacyBudgetError(
+                f"epsilon must be a positive finite number, got {self.epsilon!r}"
+            )
+        object.__setattr__(self, "epsilon", eps)
+
+    @classmethod
+    def from_exp(cls, exp_epsilon: float) -> "PrivacyBudget":
+        """Build a budget from ``e^epsilon`` (the paper often sets ``e^eps = 3``)."""
+        if exp_epsilon <= 1.0:
+            raise PrivacyBudgetError(
+                f"e^epsilon must exceed 1, got {exp_epsilon}"
+            )
+        return cls(math.log(exp_epsilon))
+
+    @property
+    def exp_epsilon(self) -> float:
+        """``e^epsilon``."""
+        return math.exp(self.epsilon)
+
+    def split(self, parts: int) -> "PrivacyBudget":
+        """Sequential-composition split of the budget into ``parts`` releases.
+
+        Each of the ``parts`` simultaneous releases may be run with the
+        returned budget and their composition satisfies the original epsilon.
+        """
+        if parts <= 0:
+            raise PrivacyBudgetError(f"cannot split a budget into {parts} parts")
+        return PrivacyBudget(self.epsilon / parts)
+
+    def halve(self) -> "PrivacyBudget":
+        """Convenience for the epsilon/2 per-bit budget used by parallel RR."""
+        return self.split(2)
+
+    def rr_keep_probability(self) -> float:
+        """Symmetric randomized-response keep probability at this budget."""
+        return rr_keep_probability(self.epsilon)
+
+    def grr_keep_probability(self, domain_size: int) -> float:
+        """Generalised RR keep probability over ``domain_size`` categories."""
+        return grr_keep_probability(self.epsilon, domain_size)
+
+    def oue_probabilities(self) -> tuple:
+        """Optimised unary-encoding ``(p, q)`` at this budget."""
+        return oue_probabilities(self.epsilon)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrivacyBudget(epsilon={self.epsilon:.4f})"

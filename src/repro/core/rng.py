@@ -1,0 +1,39 @@
+"""Randomness helpers.
+
+All stochastic code in the library takes an explicit ``numpy.random.Generator``
+so experiments are reproducible and tests can be deterministic.  This module
+centralises the (tiny) policy around that: creating generators from seeds,
+accepting either a seed or a generator, and spawning independent child
+streams for repeated experiment runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``None``, a seed, a seed sequence or a generator into a generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``rng``.
+
+    Used by the experiment harness to give each repetition its own stream so
+    repetitions are independent but the whole sweep stays reproducible from a
+    single seed.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

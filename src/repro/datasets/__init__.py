@@ -1,0 +1,48 @@
+"""Datasets: the container type, generic generators and the paper's two
+(synthetically reproduced) evaluation datasets."""
+
+from .base import BinaryDataset
+from .encoding import (
+    BinaryEncodedDataset,
+    CategoricalDomain,
+    compact_binary_dimension,
+    decode_compact,
+    encode_compact,
+    encode_onehot,
+)
+from .movielens import MOVIE_GENRES, MovieLensDataGenerator, make_movielens_dataset
+from .synthetic import (
+    independent_dataset,
+    latent_class_dataset,
+    skewed_dataset,
+    uniform_dataset,
+)
+from .taxi import (
+    DEPENDENT_PAIRS,
+    INDEPENDENT_PAIRS,
+    TAXI_ATTRIBUTES,
+    TaxiDataGenerator,
+    make_taxi_dataset,
+)
+
+__all__ = [
+    "BinaryDataset",
+    "uniform_dataset",
+    "independent_dataset",
+    "skewed_dataset",
+    "latent_class_dataset",
+    "TaxiDataGenerator",
+    "make_taxi_dataset",
+    "TAXI_ATTRIBUTES",
+    "DEPENDENT_PAIRS",
+    "INDEPENDENT_PAIRS",
+    "MovieLensDataGenerator",
+    "make_movielens_dataset",
+    "MOVIE_GENRES",
+    "CategoricalDomain",
+    "BinaryEncodedDataset",
+    "encode_compact",
+    "decode_compact",
+    "encode_onehot",
+    "compact_binary_dimension",
+]

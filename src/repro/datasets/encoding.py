@@ -1,0 +1,207 @@
+"""Categorical-to-binary encodings (Section 6.3 of the paper).
+
+The core protocols operate on binary attributes.  Section 6.3 extends them to
+categorical attributes with cardinality ``r > 2`` by rewriting each attribute
+in binary: either *compactly* with ``ceil(log2 r)`` bits (the encoding behind
+Corollary 6.1) or with full *one-hot* indicator bits.  This module implements
+both directions of those encodings and the bookkeeping needed to translate a
+categorical marginal query into a query over the encoded binary domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.exceptions import EncodingError
+from ..core import bitops
+from .base import BinaryDataset
+
+__all__ = [
+    "CategoricalDomain",
+    "BinaryEncodedDataset",
+    "compact_binary_dimension",
+    "encode_compact",
+    "decode_compact",
+    "encode_onehot",
+]
+
+
+@dataclass(frozen=True)
+class CategoricalDomain:
+    """Named categorical attributes with their cardinalities."""
+
+    attributes: Tuple[str, ...]
+    cardinalities: Tuple[int, ...]
+
+    def __init__(self, attributes: Sequence[str], cardinalities: Sequence[int]):
+        names = tuple(str(name) for name in attributes)
+        cards = tuple(int(card) for card in cardinalities)
+        if not names:
+            raise EncodingError("a categorical domain needs at least one attribute")
+        if len(names) != len(cards):
+            raise EncodingError(
+                f"{len(names)} attribute names but {len(cards)} cardinalities"
+            )
+        if len(set(names)) != len(names):
+            raise EncodingError(f"attribute names must be unique, got {names}")
+        if any(card < 2 for card in cards):
+            raise EncodingError(f"every cardinality must be >= 2, got {cards}")
+        object.__setattr__(self, "attributes", names)
+        object.__setattr__(self, "cardinalities", cards)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.attributes)
+
+    def bits_per_attribute(self) -> List[int]:
+        """``ceil(log2 r_i)`` for each attribute (the compact encoding width)."""
+        return [max(1, math.ceil(math.log2(card))) for card in self.cardinalities]
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise EncodingError(
+                f"unknown attribute {attribute!r}; domain has {self.attributes}"
+            ) from None
+
+
+def compact_binary_dimension(domain: CategoricalDomain) -> int:
+    """The effective binary dimension ``d_2 = sum_i ceil(log2 r_i)``."""
+    return sum(domain.bits_per_attribute())
+
+
+def _validate_records(records: np.ndarray, domain: CategoricalDomain) -> np.ndarray:
+    records = np.asarray(records)
+    if records.ndim != 2 or records.shape[1] != domain.dimension:
+        raise EncodingError(
+            f"records must have shape (N, {domain.dimension}), got {records.shape}"
+        )
+    if records.shape[0] == 0:
+        raise EncodingError("need at least one record")
+    records = records.astype(np.int64)
+    for column, cardinality in enumerate(domain.cardinalities):
+        col = records[:, column]
+        if col.min() < 0 or col.max() >= cardinality:
+            raise EncodingError(
+                f"attribute {domain.attributes[column]!r} has values outside "
+                f"[0, {cardinality})"
+            )
+    return records
+
+
+@dataclass(frozen=True)
+class BinaryEncodedDataset:
+    """A categorical dataset together with its compact binary encoding.
+
+    Besides the encoded :class:`BinaryDataset` this object remembers which
+    binary attributes belong to which categorical attribute, so that a
+    categorical marginal query ("the 2-way marginal over (colour, size)") can
+    be translated to the corresponding mask over the binary domain (whose
+    width is the ``k_2`` of Corollary 6.1).
+    """
+
+    categorical_domain: CategoricalDomain
+    binary_dataset: BinaryDataset
+    bit_groups: Tuple[Tuple[int, ...], ...]
+
+    def binary_mask_for(self, attributes: Sequence[str]) -> int:
+        """Mask over the binary domain covering the named categorical attributes."""
+        if not attributes:
+            raise EncodingError("need at least one attribute for a marginal")
+        positions: List[int] = []
+        for name in attributes:
+            index = self.categorical_domain.index_of(name)
+            positions.extend(self.bit_groups[index])
+        return bitops.mask_from_positions(positions)
+
+    def categorical_marginal(self, attributes: Sequence[str], binary_values: np.ndarray) -> np.ndarray:
+        """Fold a binary marginal (over :meth:`binary_mask_for`) back to categories.
+
+        ``binary_values`` must be the compact cell vector of the binary
+        marginal; the result is an array of shape ``(r_{a1}, r_{a2}, ...)``
+        whose entries sum to (approximately) the same total.  Cells of the
+        binary encoding that do not correspond to a valid category (because
+        ``r`` is not a power of two) are dropped.
+        """
+        indices = [self.categorical_domain.index_of(name) for name in attributes]
+        bits = [len(self.bit_groups[i]) for i in indices]
+        cards = [self.categorical_domain.cardinalities[i] for i in indices]
+        expected = 1 << sum(bits)
+        binary_values = np.asarray(binary_values, dtype=np.float64)
+        if binary_values.shape != (expected,):
+            raise EncodingError(
+                f"binary marginal must have {expected} cells, got {binary_values.shape}"
+            )
+        result = np.zeros(cards, dtype=np.float64)
+        for compact in range(expected):
+            remaining = compact
+            coords = []
+            valid = True
+            for width, card in zip(bits, cards):
+                value = remaining & ((1 << width) - 1)
+                remaining >>= width
+                if value >= card:
+                    valid = False
+                    break
+                coords.append(value)
+            if valid:
+                result[tuple(coords)] += binary_values[compact]
+        return result
+
+
+def encode_compact(records: np.ndarray, domain: CategoricalDomain) -> BinaryEncodedDataset:
+    """Compactly encode categorical records with ``ceil(log2 r)`` bits each."""
+    records = _validate_records(records, domain)
+    widths = domain.bits_per_attribute()
+    names: List[str] = []
+    columns: List[np.ndarray] = []
+    bit_groups: List[Tuple[int, ...]] = []
+    next_bit = 0
+    for index, (attribute, width) in enumerate(zip(domain.attributes, widths)):
+        group = []
+        for bit in range(width):
+            names.append(f"{attribute}_b{bit}")
+            columns.append(((records[:, index] >> bit) & 1).astype(np.int8))
+            group.append(next_bit)
+            next_bit += 1
+        bit_groups.append(tuple(group))
+    binary = BinaryDataset(Domain(names), np.stack(columns, axis=1))
+    return BinaryEncodedDataset(domain, binary, tuple(bit_groups))
+
+
+def decode_compact(encoded: BinaryEncodedDataset) -> np.ndarray:
+    """Recover the categorical records from a compact encoding."""
+    binary = encoded.binary_dataset.records.astype(np.int64)
+    n = binary.shape[0]
+    result = np.zeros((n, encoded.categorical_domain.dimension), dtype=np.int64)
+    for index, group in enumerate(encoded.bit_groups):
+        for bit, column in enumerate(group):
+            result[:, index] |= binary[:, column] << bit
+    return result
+
+
+def encode_onehot(records: np.ndarray, domain: CategoricalDomain) -> BinaryEncodedDataset:
+    """One-hot encode categorical records (one indicator bit per category)."""
+    records = _validate_records(records, domain)
+    names: List[str] = []
+    columns: List[np.ndarray] = []
+    bit_groups: List[Tuple[int, ...]] = []
+    next_bit = 0
+    for index, (attribute, cardinality) in enumerate(
+        zip(domain.attributes, domain.cardinalities)
+    ):
+        group = []
+        for value in range(cardinality):
+            names.append(f"{attribute}_is{value}")
+            columns.append((records[:, index] == value).astype(np.int8))
+            group.append(next_bit)
+            next_bit += 1
+        bit_groups.append(tuple(group))
+    binary = BinaryDataset(Domain(names), np.stack(columns, axis=1))
+    return BinaryEncodedDataset(domain, binary, tuple(bit_groups))

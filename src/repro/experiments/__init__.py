@@ -1,0 +1,58 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``default_config(quick=...)``, ``run(config)`` and
+``render(result)``; the pytest benchmarks in ``benchmarks/`` call these and
+print the rendered tables, and EXPERIMENTS.md records the measured shapes
+against the paper's.
+"""
+
+from . import (
+    ablations,
+    categorical,
+    fig3_taxi_heatmap,
+    fig4_vary_n,
+    fig5_vary_k,
+    fig6_vary_d_em,
+    fig7_chi2,
+    fig8_chow_liu,
+    fig9_vary_eps,
+    fig10_freq_oracles,
+    table2_bounds,
+    table3_em_failures,
+)
+from .config import LN3, SweepConfig
+from .harness import SweepPoint, SweepResult, make_dataset, run_sweep
+from .metrics import (
+    MarginalErrorReport,
+    marginal_errors,
+    mean_total_variation,
+    mean_total_variation_by_width,
+)
+from .reporting import format_series, format_table
+
+__all__ = [
+    "LN3",
+    "SweepConfig",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "make_dataset",
+    "marginal_errors",
+    "MarginalErrorReport",
+    "mean_total_variation",
+    "mean_total_variation_by_width",
+    "format_table",
+    "format_series",
+    "fig3_taxi_heatmap",
+    "fig4_vary_n",
+    "fig5_vary_k",
+    "fig6_vary_d_em",
+    "fig7_chi2",
+    "fig8_chow_liu",
+    "fig9_vary_eps",
+    "fig10_freq_oracles",
+    "table2_bounds",
+    "table3_em_failures",
+    "categorical",
+    "ablations",
+]

@@ -1,0 +1,243 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+Two design decisions the paper discusses but does not plot get their own
+experiments here so the benchmark suite can quantify them:
+
+* **Vanilla vs Wang-optimised unary-encoding probabilities** for the
+  parallel-RR protocols (the paper adopts the optimised variant but notes it
+  "makes little difference").
+* **Sampling vs budget splitting**: the Section 3.1 argument that sampling
+  one piece of information at full epsilon beats releasing every piece at
+  epsilon/m.  We compare InpHT (sampling) against a budget-split variant
+  realised by running InpEM-style per-attribute splitting, and also compare
+  the analytic variances of the two strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.privacy import PrivacyBudget
+from ..core.rng import spawn_rngs
+from ..datasets.movielens import make_movielens_dataset
+from ..mechanisms.sampling import sample_variance, split_budget_variance
+from ..protocols.inp_rr import InpRR
+from ..protocols.marg_rr import MargRR
+from .config import LN3
+from .metrics import mean_total_variation
+from .reporting import format_table
+
+__all__ = [
+    "OUEAblationConfig",
+    "OUEAblationResult",
+    "run_oue_ablation",
+    "render_oue_ablation",
+    "SampleVsSplitConfig",
+    "SampleVsSplitResult",
+    "run_sample_vs_split",
+    "render_sample_vs_split",
+    "ProjectionAblationConfig",
+    "ProjectionAblationResult",
+    "run_projection_ablation",
+    "render_projection_ablation",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Vanilla vs optimised unary encoding
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OUEAblationConfig:
+    population: int = 2**14
+    dimension: int = 8
+    width: int = 2
+    epsilon: float = LN3
+    repetitions: int = 3
+    seed: int = 20180610
+
+
+@dataclass(frozen=True)
+class OUEAblationResult:
+    config: OUEAblationConfig
+    #: ``(protocol, variant) -> (mean TV, std TV)``.
+    errors: Dict[Tuple[str, str], Tuple[float, float]]
+
+    def relative_difference(self, protocol: str) -> float:
+        """(vanilla - optimised) / optimised mean error."""
+        vanilla, _ = self.errors[(protocol, "vanilla")]
+        optimised, _ = self.errors[(protocol, "optimized")]
+        if optimised == 0:
+            return 0.0
+        return (vanilla - optimised) / optimised
+
+
+def run_oue_ablation(config: OUEAblationConfig | None = None) -> OUEAblationResult:
+    config = config or OUEAblationConfig()
+    master = np.random.default_rng(config.seed)
+    budget = PrivacyBudget(config.epsilon)
+    errors: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for protocol_class in (InpRR, MargRR):
+        for variant, optimized in (("vanilla", False), ("optimized", True)):
+            measurements: List[float] = []
+            for rng in spawn_rngs(master, config.repetitions):
+                dataset = make_movielens_dataset(
+                    config.population, d=config.dimension, rng=rng
+                )
+                protocol = protocol_class(
+                    budget, config.width, optimized_probabilities=optimized
+                )
+                estimator = protocol.run(dataset, rng=rng)
+                measurements.append(
+                    mean_total_variation(dataset, estimator, widths=[config.width])
+                )
+            errors[(protocol_class.name, variant)] = (
+                float(np.mean(measurements)),
+                float(np.std(measurements)),
+            )
+    return OUEAblationResult(config=config, errors=errors)
+
+
+def render_oue_ablation(result: OUEAblationResult) -> str:
+    rows = [
+        {
+            "protocol": protocol,
+            "variant": variant,
+            "mean_tv": round(mean, 4),
+            "std_tv": round(std, 4),
+        }
+        for (protocol, variant), (mean, std) in sorted(result.errors.items())
+    ]
+    return format_table(rows, title="Ablation: vanilla vs optimised unary encoding")
+
+
+# --------------------------------------------------------------------------- #
+# Raw unbiased estimates vs simplex-projected post-processing
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ProjectionAblationConfig:
+    population: int = 2**14
+    dimension: int = 8
+    width: int = 2
+    epsilon: float = LN3
+    protocols: Tuple[str, ...] = ("InpHT", "MargPS")
+    repetitions: int = 3
+    seed: int = 20180610
+
+
+@dataclass(frozen=True)
+class ProjectionAblationResult:
+    config: ProjectionAblationConfig
+    #: ``(protocol, variant) -> mean TV``, variant in {"raw", "projected"}.
+    errors: Dict[Tuple[str, str], float]
+
+    def improvement(self, protocol: str) -> float:
+        """Relative error reduction from projecting onto the simplex."""
+        raw = self.errors[(protocol, "raw")]
+        projected = self.errors[(protocol, "projected")]
+        if raw == 0:
+            return 0.0
+        return (raw - projected) / raw
+
+
+def run_projection_ablation(
+    config: ProjectionAblationConfig | None = None,
+) -> ProjectionAblationResult:
+    """Measure whether simplex projection (post-processing) helps accuracy."""
+    from ..postprocess import SimplexProjectedEstimator
+    from ..protocols.registry import make_protocol
+
+    config = config or ProjectionAblationConfig()
+    master = np.random.default_rng(config.seed)
+    budget = PrivacyBudget(config.epsilon)
+    accumulator: Dict[Tuple[str, str], List[float]] = {}
+    for rng in spawn_rngs(master, config.repetitions):
+        dataset = make_movielens_dataset(
+            config.population, d=config.dimension, rng=rng
+        )
+        for name in config.protocols:
+            estimator = make_protocol(name, budget, config.width).run(dataset, rng=rng)
+            raw_error = mean_total_variation(dataset, estimator, widths=[config.width])
+            projected_error = mean_total_variation(
+                dataset, SimplexProjectedEstimator(estimator), widths=[config.width]
+            )
+            accumulator.setdefault((name, "raw"), []).append(raw_error)
+            accumulator.setdefault((name, "projected"), []).append(projected_error)
+    errors = {key: float(np.mean(values)) for key, values in accumulator.items()}
+    return ProjectionAblationResult(config=config, errors=errors)
+
+
+def render_projection_ablation(result: ProjectionAblationResult) -> str:
+    rows = [
+        {
+            "protocol": protocol,
+            "variant": variant,
+            "mean_tv": round(error, 4),
+        }
+        for (protocol, variant), error in sorted(result.errors.items())
+    ]
+    return format_table(
+        rows,
+        title=(
+            "Ablation: raw unbiased estimates vs simplex-projected tables "
+            f"(d={result.config.dimension}, k={result.config.width}, "
+            f"N={result.config.population})"
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sampling vs budget splitting
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SampleVsSplitConfig:
+    epsilon: float = LN3
+    population: int = 2**16
+    num_items: Tuple[int, ...] = (2, 8, 36, 120)
+
+
+@dataclass(frozen=True)
+class SampleVsSplitResult:
+    config: SampleVsSplitConfig
+    #: ``num_items -> (sampling variance, splitting variance)``.
+    variances: Dict[int, Tuple[float, float]]
+
+    def advantage(self, num_items: int) -> float:
+        """Splitting variance divided by sampling variance (>1 favours sampling)."""
+        sampling, splitting = self.variances[num_items]
+        return splitting / sampling if sampling > 0 else float("inf")
+
+
+def run_sample_vs_split(
+    config: SampleVsSplitConfig | None = None,
+) -> SampleVsSplitResult:
+    config = config or SampleVsSplitConfig()
+    budget = PrivacyBudget(config.epsilon)
+    variances: Dict[int, Tuple[float, float]] = {}
+    for num_items in config.num_items:
+        variances[num_items] = (
+            sample_variance(budget, num_items, config.population),
+            split_budget_variance(budget, num_items, config.population),
+        )
+    return SampleVsSplitResult(config=config, variances=variances)
+
+
+def render_sample_vs_split(result: SampleVsSplitResult) -> str:
+    rows = [
+        {
+            "num_items_m": num_items,
+            "var_sampling": sampling,
+            "var_splitting": splitting,
+            "split/sample": round(result.advantage(num_items), 2),
+        }
+        for num_items, (sampling, splitting) in sorted(result.variances.items())
+    ]
+    return format_table(
+        rows,
+        title=(
+            "Ablation: sample-one-at-full-eps vs split-eps-across-all "
+            f"(eps={result.config.epsilon:.2f}, N={result.config.population})"
+        ),
+    )

@@ -1,0 +1,142 @@
+"""Section 6.3 / Corollary 6.1 — marginals over categorical attributes.
+
+The extension experiment: categorical attributes are compactly encoded into
+``ceil(log2 r)`` binary attributes each, InpHT is run over the encoded
+domain with workload width ``k_2`` (the total number of encoded bits of the
+widest categorical marginal), and the reconstructed binary marginal is folded
+back into a categorical table.
+
+Expected shape: the error of a 2-way categorical marginal over attributes of
+cardinality r behaves like the error of a ``2 * ceil(log2 r)``-way binary
+marginal (Corollary 6.1), i.e. it grows with the attribute cardinalities but
+remains small for low-cardinality attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.privacy import PrivacyBudget
+from ..core.rng import ensure_rng
+from ..datasets.encoding import CategoricalDomain, compact_binary_dimension, encode_compact
+from ..protocols.inp_ht import InpHT
+from .config import LN3
+from .reporting import format_table
+
+__all__ = [
+    "CategoricalConfig",
+    "CategoricalResult",
+    "default_config",
+    "run",
+    "render",
+]
+
+
+@dataclass(frozen=True)
+class CategoricalConfig:
+    """Configuration of the categorical-encoding experiment."""
+
+    population: int = 2**15
+    cardinalities: Tuple[int, ...] = (4, 4, 3, 2)
+    epsilon: float = LN3
+    seed: int = 20180610
+
+
+@dataclass(frozen=True)
+class CategoricalResult:
+    """Error of every 2-way categorical marginal under the compact encoding."""
+
+    config: CategoricalConfig
+    binary_dimension: int
+    #: ``(first attribute, second attribute) -> total variation distance``.
+    errors: Dict[Tuple[str, str], float]
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(list(self.errors.values())))
+
+
+def default_config(quick: bool = True) -> CategoricalConfig:
+    return CategoricalConfig(population=2**13 if quick else 2**18)
+
+
+def _sample_categorical_records(
+    config: CategoricalConfig, rng
+) -> Tuple[CategoricalDomain, np.ndarray]:
+    """Correlated categorical records: adjacent attributes share a latent draw."""
+    generator = ensure_rng(rng)
+    names = [f"cat{i}" for i in range(len(config.cardinalities))]
+    domain = CategoricalDomain(names, config.cardinalities)
+    n = config.population
+    latent = generator.random(n)
+    columns = []
+    for cardinality in config.cardinalities:
+        # Attribute value follows the latent quantile with noise, so pairs of
+        # attributes are positively associated.
+        noisy = np.clip(latent + generator.normal(0, 0.25, size=n), 0, 0.999999)
+        columns.append((noisy * cardinality).astype(np.int64))
+    return domain, np.stack(columns, axis=1)
+
+
+def run(config: CategoricalConfig | None = None) -> CategoricalResult:
+    """Run InpHT over the compactly encoded categorical data."""
+    config = config or default_config()
+    rng = np.random.default_rng(config.seed)
+    domain, records = _sample_categorical_records(config, rng)
+    encoded = encode_compact(records, domain)
+    binary = encoded.binary_dataset
+
+    # The workload must cover the widest 2-way categorical marginal, i.e.
+    # k_2 = max over pairs of the summed encoded widths.
+    widths = domain.bits_per_attribute()
+    k2 = max(
+        widths[i] + widths[j]
+        for i in range(domain.dimension)
+        for j in range(i + 1, domain.dimension)
+    )
+    protocol = InpHT(PrivacyBudget(config.epsilon), max_width=k2)
+    estimator = protocol.run(binary, rng=rng)
+
+    errors: Dict[Tuple[str, str], float] = {}
+    for i in range(domain.dimension):
+        for j in range(i + 1, domain.dimension):
+            first, second = domain.attributes[i], domain.attributes[j]
+            mask = encoded.binary_mask_for([first, second])
+            exact = binary.marginal(mask)
+            private = estimator.query(mask)
+            exact_categorical = encoded.categorical_marginal(
+                [first, second], exact.values
+            )
+            private_categorical = encoded.categorical_marginal(
+                [first, second], private.values
+            )
+            errors[(first, second)] = 0.5 * float(
+                np.abs(exact_categorical - private_categorical).sum()
+            )
+    return CategoricalResult(
+        config=config,
+        binary_dimension=compact_binary_dimension(domain),
+        errors=errors,
+    )
+
+
+def render(result: CategoricalResult) -> str:
+    rows: List[Dict[str, object]] = [
+        {
+            "pair": f"{first}/{second}",
+            "tv_distance": round(error, 4),
+        }
+        for (first, second), error in sorted(result.errors.items())
+    ]
+    rows.append({"pair": "MEAN", "tv_distance": round(result.mean_error, 4)})
+    return format_table(
+        rows,
+        title=(
+            "Corollary 6.1: 2-way categorical marginals via compact binary "
+            f"encoding (d2={result.binary_dimension}, "
+            f"N={result.config.population})"
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Experiment configuration presets.
+
+Every experiment module exposes a ``default_config(quick=...)`` built from
+these dataclasses.  The ``paper`` presets use the parameter grids of the
+corresponding figure/table in the paper; the ``quick`` presets shrink the
+population sizes and repetition counts so the whole suite can regenerate in
+minutes on a laptop (the *shape* of the results is preserved — error ratios
+between methods are driven by d, k and eps, not by N alone).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ProtocolConfigurationError
+
+__all__ = ["SweepConfig", "LN3"]
+
+#: The paper's default privacy level, eps = ln 3 (~1.1).
+LN3 = math.log(3.0)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A generic parameter sweep over (protocols x datasets x parameters).
+
+    Attributes
+    ----------
+    protocols:
+        Protocol names (see :mod:`repro.protocols.registry`).
+    dataset:
+        Which generator to use: ``"taxi"``, ``"movielens"``, ``"skewed"`` or
+        ``"uniform"``.
+    population_sizes:
+        Values of N to sweep.
+    dimensions:
+        Values of d to sweep.
+    widths:
+        Values of the workload width k to sweep.
+    epsilons:
+        Values of the privacy parameter to sweep.
+    repetitions:
+        Number of independent repetitions per grid point (the paper uses 10).
+    seed:
+        Master seed for reproducibility.
+    protocol_options:
+        Extra keyword arguments per protocol name.
+    """
+
+    protocols: Tuple[str, ...]
+    dataset: str = "movielens"
+    population_sizes: Tuple[int, ...] = (2**16,)
+    dimensions: Tuple[int, ...] = (8,)
+    widths: Tuple[int, ...] = (2,)
+    epsilons: Tuple[float, ...] = (LN3,)
+    repetitions: int = 3
+    seed: int = 20180610
+    protocol_options: Dict[str, Dict] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.protocols:
+            raise ProtocolConfigurationError("a sweep needs at least one protocol")
+        if self.repetitions < 1:
+            raise ProtocolConfigurationError(
+                f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        if any(n < 1 for n in self.population_sizes):
+            raise ProtocolConfigurationError("population sizes must be positive")
+        if any(d < 1 for d in self.dimensions):
+            raise ProtocolConfigurationError("dimensions must be positive")
+        if any(k < 1 for k in self.widths):
+            raise ProtocolConfigurationError("widths must be positive")
+        if any(eps <= 0 for eps in self.epsilons):
+            raise ProtocolConfigurationError("epsilons must be positive")
+
+    def grid_size(self) -> int:
+        """Number of (protocol, N, d, k, eps, repetition) cells in the sweep."""
+        return (
+            len(self.protocols)
+            * len(self.population_sizes)
+            * len(self.dimensions)
+            * len(self.widths)
+            * len(self.epsilons)
+            * self.repetitions
+        )

@@ -1,0 +1,176 @@
+"""Generic sweep harness shared by the per-figure experiment modules.
+
+The harness runs a :class:`~repro.experiments.config.SweepConfig`: for every
+grid point it generates the dataset, runs every protocol with its own random
+stream, measures the mean total-variation error over the relevant marginal
+widths, and aggregates the repetitions into mean / standard deviation — the
+numbers behind each curve (and error bar) in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ProtocolConfigurationError
+from ..core.privacy import PrivacyBudget
+from ..core.rng import ensure_rng, spawn_rngs
+from ..datasets import (
+    BinaryDataset,
+    make_movielens_dataset,
+    make_taxi_dataset,
+    skewed_dataset,
+    uniform_dataset,
+)
+from ..protocols.registry import make_protocol
+from .config import SweepConfig
+from .metrics import mean_total_variation
+
+__all__ = ["SweepPoint", "SweepResult", "make_dataset", "run_sweep"]
+
+
+def make_dataset(name: str, n: int, d: int, rng) -> BinaryDataset:
+    """Build one of the named evaluation datasets at the requested size."""
+    generator = ensure_rng(rng)
+    if name == "taxi":
+        return make_taxi_dataset(n, d=d, rng=generator)
+    if name == "movielens":
+        return make_movielens_dataset(n, d=d, rng=generator)
+    if name == "skewed":
+        return skewed_dataset(n, d, rng=generator)
+    if name == "uniform":
+        return uniform_dataset(n, d, rng=generator)
+    raise ProtocolConfigurationError(
+        f"unknown dataset {name!r}; expected taxi, movielens, skewed or uniform"
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated result of one (protocol, N, d, k, eps) grid point."""
+
+    protocol: str
+    population: int
+    dimension: int
+    width: int
+    epsilon: float
+    mean_error: float
+    std_error: float
+    errors: Tuple[float, ...]
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat representation for table rendering and serialisation."""
+        return {
+            "protocol": self.protocol,
+            "N": self.population,
+            "d": self.dimension,
+            "k": self.width,
+            "epsilon": round(self.epsilon, 4),
+            "mean_tv": self.mean_error,
+            "std_tv": self.std_error,
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All grid points of one sweep."""
+
+    config: SweepConfig
+    points: Tuple[SweepPoint, ...]
+
+    def filter(
+        self,
+        protocol: Optional[str] = None,
+        population: Optional[int] = None,
+        dimension: Optional[int] = None,
+        width: Optional[int] = None,
+        epsilon: Optional[float] = None,
+    ) -> List[SweepPoint]:
+        """Select grid points matching the given coordinates."""
+        selected = []
+        for point in self.points:
+            if protocol is not None and point.protocol != protocol:
+                continue
+            if population is not None and point.population != population:
+                continue
+            if dimension is not None and point.dimension != dimension:
+                continue
+            if width is not None and point.width != width:
+                continue
+            if epsilon is not None and not np.isclose(point.epsilon, epsilon):
+                continue
+            selected.append(point)
+        return selected
+
+    def series(
+        self, protocol: str, x_axis: str, **fixed
+    ) -> List[Tuple[float, float, float]]:
+        """One curve: (x, mean error, std error) for a protocol.
+
+        ``x_axis`` is one of ``"population"``, ``"dimension"``, ``"width"``
+        or ``"epsilon"``; the remaining coordinates should be pinned through
+        ``fixed`` keyword arguments.
+        """
+        points = self.filter(protocol=protocol, **fixed)
+        points.sort(key=lambda point: getattr(point, x_axis))
+        return [
+            (float(getattr(point, x_axis)), point.mean_error, point.std_error)
+            for point in points
+        ]
+
+    def best_protocol(self, **fixed) -> str:
+        """Name of the protocol with the lowest mean error at a grid point."""
+        points = self.filter(**fixed)
+        if not points:
+            raise ProtocolConfigurationError(
+                f"no sweep points match the coordinates {fixed}"
+            )
+        return min(points, key=lambda point: point.mean_error).protocol
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        return [point.as_row() for point in self.points]
+
+
+def run_sweep(config: SweepConfig) -> SweepResult:
+    """Execute a sweep and aggregate the per-repetition errors."""
+    master = np.random.default_rng(config.seed)
+    points: List[SweepPoint] = []
+    for dimension in config.dimensions:
+        for population in config.population_sizes:
+            for width in config.widths:
+                if width > dimension:
+                    continue
+                for epsilon in config.epsilons:
+                    budget = PrivacyBudget(epsilon)
+                    per_protocol: Dict[str, List[float]] = {
+                        name: [] for name in config.protocols
+                    }
+                    repetition_rngs = spawn_rngs(master, config.repetitions)
+                    for repetition_rng in repetition_rngs:
+                        dataset = make_dataset(
+                            config.dataset, population, dimension, repetition_rng
+                        )
+                        for name in config.protocols:
+                            options = config.protocol_options.get(name, {})
+                            protocol = make_protocol(name, budget, width, **options)
+                            estimator = protocol.run(dataset, rng=repetition_rng)
+                            error = mean_total_variation(
+                                dataset, estimator, widths=[width]
+                            )
+                            per_protocol[name].append(error)
+                    for name, errors in per_protocol.items():
+                        points.append(
+                            SweepPoint(
+                                protocol=name,
+                                population=population,
+                                dimension=dimension,
+                                width=width,
+                                epsilon=epsilon,
+                                mean_error=float(np.mean(errors)),
+                                std_error=float(np.std(errors)),
+                                errors=tuple(errors),
+                            )
+                        )
+    return SweepResult(config=config, points=tuple(points))

@@ -1,0 +1,99 @@
+"""Error metrics used throughout the experimental evaluation.
+
+The paper's headline metric is the *mean total variation distance* between
+true and reconstructed marginals, averaged over every marginal of the target
+widths.  These helpers compute that (and a few related diagnostics) for any
+protocol estimator against the dataset it was run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import bitops
+from ..core.exceptions import MarginalQueryError
+from ..datasets.base import BinaryDataset
+from ..protocols.base import MarginalEstimator
+
+__all__ = [
+    "MarginalErrorReport",
+    "marginal_errors",
+    "mean_total_variation",
+    "mean_total_variation_by_width",
+]
+
+
+@dataclass(frozen=True)
+class MarginalErrorReport:
+    """Error of one reconstructed marginal."""
+
+    beta: int
+    width: int
+    total_variation: float
+    max_cell_error: float
+
+
+def marginal_errors(
+    dataset: BinaryDataset,
+    estimator: MarginalEstimator,
+    widths: Sequence[int] = (1, 2, 3),
+    betas: Optional[Iterable[int]] = None,
+) -> List[MarginalErrorReport]:
+    """Per-marginal errors of an estimator against the exact marginals.
+
+    Either an explicit list of marginal masks (``betas``) or a collection of
+    widths (every marginal of each width is evaluated) can be supplied.
+    """
+    if betas is None:
+        masks: List[int] = []
+        for width in widths:
+            if width < 1 or width > estimator.workload.max_width:
+                raise MarginalQueryError(
+                    f"width {width} outside the estimator's workload "
+                    f"(max {estimator.workload.max_width})"
+                )
+            masks.extend(dataset.domain.all_marginals(width))
+    else:
+        masks = [dataset.domain.mask_of(beta) for beta in betas]
+
+    reports: List[MarginalErrorReport] = []
+    for mask in masks:
+        exact = dataset.marginal(mask)
+        estimated = estimator.query(mask)
+        difference = np.abs(exact.values - estimated.values)
+        reports.append(
+            MarginalErrorReport(
+                beta=mask,
+                width=bitops.popcount(mask),
+                total_variation=0.5 * float(difference.sum()),
+                max_cell_error=float(difference.max()),
+            )
+        )
+    return reports
+
+
+def mean_total_variation(
+    dataset: BinaryDataset,
+    estimator: MarginalEstimator,
+    widths: Sequence[int] = (1, 2, 3),
+) -> float:
+    """Mean TV distance over every marginal of the given widths."""
+    reports = marginal_errors(dataset, estimator, widths=widths)
+    return float(np.mean([report.total_variation for report in reports]))
+
+
+def mean_total_variation_by_width(
+    dataset: BinaryDataset,
+    estimator: MarginalEstimator,
+    widths: Sequence[int] = (1, 2, 3),
+) -> Dict[int, float]:
+    """Mean TV distance broken down by marginal width."""
+    reports = marginal_errors(dataset, estimator, widths=widths)
+    result: Dict[int, float] = {}
+    for width in widths:
+        relevant = [r.total_variation for r in reports if r.width == width]
+        result[width] = float(np.mean(relevant)) if relevant else float("nan")
+    return result

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness regenerates each table/figure as rows of numbers; these
+helpers format them the way the paper's tables read (fixed-width columns,
+one row per configuration) so the output of ``pytest benchmarks/`` can be
+compared against the paper at a glance and copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    parts = [title, header, separator, body] if title else [header, separator, body]
+    return "\n".join(part for part in parts if part)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple]], x_label: str, y_label: str, title: str = ""
+) -> str:
+    """Render several (x, y, err) curves as a merged text table.
+
+    ``series`` maps a curve name (protocol) to a sequence of
+    ``(x, mean, std)`` points; the output has one row per x value and one
+    column per curve, which is the text analogue of the paper's plots.
+    """
+    x_values: List[float] = []
+    for points in series.values():
+        for x, *_ in points:
+            if x not in x_values:
+                x_values.append(x)
+    x_values.sort()
+    rows: List[Dict[str, object]] = []
+    for x in x_values:
+        row: Dict[str, object] = {x_label: x}
+        for name, points in series.items():
+            match = next((p for p in points if p[0] == x), None)
+            row[name] = match[1] if match is not None else ""
+        rows.append(row)
+    heading = title or f"{y_label} vs {x_label}"
+    return format_table(rows, title=heading)

@@ -1,0 +1,123 @@
+"""Table 3 — failure rate of the InpEM baseline at small epsilon.
+
+Paper setting: taxi data, a grid of (N, d, k, eps) combinations with small
+eps, counting for how many of the target marginals the EM decode terminates
+immediately and returns the uniform prior ("failed" marginals).
+
+Expected shape: for the smallest eps and larger d the failure rate
+approaches 100% (the paper reports 120/120 and 276/276 failures for its two
+largest settings), and it falls as eps or N grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.privacy import PrivacyBudget
+from ..datasets.taxi import make_taxi_dataset
+from ..protocols.inp_em import InpEM
+from .reporting import format_table
+
+__all__ = [
+    "EMFailureSetting",
+    "Table3Config",
+    "Table3Result",
+    "default_config",
+    "run",
+    "render",
+]
+
+
+@dataclass(frozen=True)
+class EMFailureSetting:
+    """One row of the Table 3 grid."""
+
+    population: int
+    dimension: int
+    width: int
+    epsilon: float
+
+
+#: The grid the paper reports (Table 3).
+PAPER_SETTINGS: Tuple[EMFailureSetting, ...] = (
+    EMFailureSetting(2**16, 8, 1, 0.2),
+    EMFailureSetting(2**18, 8, 2, 0.1),
+    EMFailureSetting(2**16, 8, 2, 0.2),
+    EMFailureSetting(2**16, 12, 2, 0.2),
+    EMFailureSetting(2**18, 16, 2, 0.1),
+    EMFailureSetting(2**18, 16, 2, 0.2),
+    EMFailureSetting(2**19, 24, 2, 0.2),
+)
+
+#: A reduced grid with the same qualitative contrast for quick runs.
+QUICK_SETTINGS: Tuple[EMFailureSetting, ...] = (
+    EMFailureSetting(2**12, 8, 2, 0.1),
+    EMFailureSetting(2**12, 8, 2, 0.2),
+    EMFailureSetting(2**12, 12, 2, 0.1),
+)
+
+
+@dataclass(frozen=True)
+class Table3Config:
+    settings: Tuple[EMFailureSetting, ...] = PAPER_SETTINGS
+    convergence_threshold: float = 1e-5
+    seed: int = 20180610
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    config: Table3Config
+    #: Per setting: (failed marginals, total marginals).
+    failures: Tuple[Tuple[EMFailureSetting, int, int], ...]
+
+    def failure_rate(self, setting: EMFailureSetting) -> float:
+        for entry, failed, total in self.failures:
+            if entry == setting:
+                return failed / total
+        raise KeyError(setting)
+
+
+def default_config(quick: bool = True) -> Table3Config:
+    return Table3Config(settings=QUICK_SETTINGS if quick else PAPER_SETTINGS)
+
+
+def run(config: Table3Config | None = None) -> Table3Result:
+    """Count immediate-convergence failures of InpEM across the grid."""
+    config = config or default_config()
+    rng = np.random.default_rng(config.seed)
+    failures: List[Tuple[EMFailureSetting, int, int]] = []
+    for setting in config.settings:
+        dataset = make_taxi_dataset(setting.population, d=setting.dimension, rng=rng)
+        protocol = InpEM(
+            PrivacyBudget(setting.epsilon),
+            max_width=setting.width,
+            convergence_threshold=config.convergence_threshold,
+        )
+        estimator = protocol.run(dataset, rng=rng)
+        marginals = dataset.domain.all_marginals(setting.width)
+        failed = 0
+        for beta in marginals:
+            result = estimator.query_with_diagnostics(beta)
+            if result.failed:
+                failed += 1
+        failures.append((setting, failed, len(marginals)))
+    return Table3Result(config=config, failures=tuple(failures))
+
+
+def render(result: Table3Result) -> str:
+    rows: List[Dict[str, object]] = []
+    for setting, failed, total in result.failures:
+        rows.append(
+            {
+                "N": setting.population,
+                "d": setting.dimension,
+                "k": setting.width,
+                "epsilon": setting.epsilon,
+                "failed/total": f"{failed}/{total}",
+                "failure_rate": round(failed / total, 3),
+            }
+        )
+    return format_table(rows, title="Table 3: InpEM failure rate at small epsilon")

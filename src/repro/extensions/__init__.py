@@ -1,0 +1,20 @@
+"""Extensions beyond the paper's core protocols.
+
+Currently: the Efron–Stein orthogonal decomposition and the ``InpES``
+protocol, realising the categorical-data extension the paper sketches in
+Section 6.3 ("Orthogonal Decomposition").
+"""
+
+from .efron_stein import (
+    AttributeBasis,
+    EfronSteinDecomposition,
+    EfronSteinEstimator,
+    InpES,
+)
+
+__all__ = [
+    "AttributeBasis",
+    "EfronSteinDecomposition",
+    "EfronSteinEstimator",
+    "InpES",
+]

@@ -1,0 +1,118 @@
+"""Serialisation of experiment results.
+
+Sweep results (the data behind the paper's figures) can be written to JSON
+(full fidelity, including the configuration and per-repetition errors) or CSV
+(one row per grid point, convenient for external plotting), and JSON results
+can be loaded back into :class:`~repro.experiments.harness.SweepResult`
+objects for further analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .core.exceptions import ReproError
+from .experiments.config import SweepConfig
+from .experiments.harness import SweepPoint, SweepResult
+
+__all__ = ["save_sweep_json", "load_sweep_json", "save_sweep_csv"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_sweep_json(result: SweepResult, path: PathLike) -> Path:
+    """Write a sweep result (configuration + every grid point) to JSON."""
+    path = Path(path)
+    config = result.config
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "protocols": list(config.protocols),
+            "dataset": config.dataset,
+            "population_sizes": list(config.population_sizes),
+            "dimensions": list(config.dimensions),
+            "widths": list(config.widths),
+            "epsilons": list(config.epsilons),
+            "repetitions": config.repetitions,
+            "seed": config.seed,
+            "protocol_options": config.protocol_options,
+        },
+        "points": [
+            {
+                "protocol": point.protocol,
+                "population": point.population,
+                "dimension": point.dimension,
+                "width": point.width,
+                "epsilon": point.epsilon,
+                "mean_error": point.mean_error,
+                "std_error": point.std_error,
+                "errors": list(point.errors),
+            }
+            for point in result.points
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_sweep_json(path: PathLike) -> SweepResult:
+    """Load a sweep result previously written by :func:`save_sweep_json`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read sweep result from {path}: {error}") from error
+
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported sweep-result format {payload.get('format_version')!r} "
+            f"in {path}; expected {_FORMAT_VERSION}"
+        )
+    raw_config = payload["config"]
+    config = SweepConfig(
+        protocols=tuple(raw_config["protocols"]),
+        dataset=raw_config["dataset"],
+        population_sizes=tuple(raw_config["population_sizes"]),
+        dimensions=tuple(raw_config["dimensions"]),
+        widths=tuple(raw_config["widths"]),
+        epsilons=tuple(raw_config["epsilons"]),
+        repetitions=raw_config["repetitions"],
+        seed=raw_config["seed"],
+        protocol_options=raw_config.get("protocol_options", {}),
+    )
+    points = tuple(
+        SweepPoint(
+            protocol=raw["protocol"],
+            population=raw["population"],
+            dimension=raw["dimension"],
+            width=raw["width"],
+            epsilon=raw["epsilon"],
+            mean_error=raw["mean_error"],
+            std_error=raw["std_error"],
+            errors=tuple(raw["errors"]),
+        )
+        for raw in payload["points"]
+    )
+    return SweepResult(config=config, points=points)
+
+
+def save_sweep_csv(result: SweepResult, path: PathLike) -> Path:
+    """Write one CSV row per grid point (protocol, N, d, k, eps, mean, std)."""
+    path = Path(path)
+    rows = result.as_rows()
+    if not rows:
+        raise ReproError("cannot write an empty sweep result to CSV")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

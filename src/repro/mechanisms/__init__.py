@@ -1,0 +1,26 @@
+"""LDP mechanism primitives: the building blocks the protocols compose."""
+
+from .direct_encoding import DirectEncoding
+from .local_hashing import OptimizedLocalHashing
+from .randomized_response import BitRandomizedResponse, SignRandomizedResponse
+from .sampling import (
+    UniformSampler,
+    sample_and_randomize_signs,
+    sample_variance,
+    split_budget_variance,
+)
+from .sketch import HadamardCountMeanSketch
+from .unary_encoding import UnaryEncoding
+
+__all__ = [
+    "BitRandomizedResponse",
+    "SignRandomizedResponse",
+    "UnaryEncoding",
+    "DirectEncoding",
+    "UniformSampler",
+    "sample_and_randomize_signs",
+    "sample_variance",
+    "split_budget_variance",
+    "OptimizedLocalHashing",
+    "HadamardCountMeanSketch",
+]

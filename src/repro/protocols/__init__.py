@@ -1,0 +1,49 @@
+"""Marginal-release protocols under local differential privacy."""
+
+from .base import (
+    CoefficientEstimator,
+    DistributionEstimator,
+    MarginalEstimator,
+    MarginalReleaseProtocol,
+    PerMarginalEstimator,
+)
+from .inp_em import EMDecodingResult, EMEstimator, InpEM
+from .inp_ht import InpHT
+from .inp_htcms import InpHTCMS
+from .inp_olh import InpOLH
+from .inp_ps import InpPS
+from .inp_rr import InpRR
+from .marg_ht import MargHT
+from .marg_ps import MargPS
+from .marg_rr import MargRR
+from .registry import (
+    BASELINE_PROTOCOL_NAMES,
+    CORE_PROTOCOL_NAMES,
+    PROTOCOL_CLASSES,
+    available_protocols,
+    make_protocol,
+)
+
+__all__ = [
+    "MarginalReleaseProtocol",
+    "MarginalEstimator",
+    "DistributionEstimator",
+    "CoefficientEstimator",
+    "PerMarginalEstimator",
+    "InpRR",
+    "InpPS",
+    "InpHT",
+    "MargRR",
+    "MargPS",
+    "MargHT",
+    "InpEM",
+    "EMEstimator",
+    "EMDecodingResult",
+    "InpOLH",
+    "InpHTCMS",
+    "PROTOCOL_CLASSES",
+    "CORE_PROTOCOL_NAMES",
+    "BASELINE_PROTOCOL_NAMES",
+    "available_protocols",
+    "make_protocol",
+]

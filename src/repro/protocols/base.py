@@ -1,0 +1,261 @@
+"""Protocol and estimator interfaces shared by all marginal-release methods.
+
+Every method in the paper follows the same life-cycle:
+
+1. each user locally *perturbs* a view of their record (the client side),
+2. the untrusted aggregator *aggregates* the reports into some global
+   summary (a noisy full distribution, a set of Hadamard coefficients, or a
+   collection of noisy marginals), and
+3. any k-way marginal is *queried* on demand from that summary.
+
+:class:`MarginalReleaseProtocol` captures steps 1–2 behind a single
+``run(dataset, rng)`` call and step 3 behind the returned
+:class:`MarginalEstimator`.  Three concrete estimator kinds cover the design
+space:
+
+* :class:`DistributionEstimator` — a reconstructed full distribution over
+  ``{0,1}^d`` (``InpRR``, ``InpPS`` and the frequency-oracle baselines);
+* :class:`CoefficientEstimator` — reconstructed low-order Hadamard
+  coefficients (``InpHT``);
+* :class:`PerMarginalEstimator` — directly reconstructed k-way marginal
+  tables (``MargRR``, ``MargPS``, ``MargHT``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from ..core import bitops
+from ..core.domain import Domain
+from ..core.exceptions import (
+    AggregationError,
+    MarginalQueryError,
+    ProtocolConfigurationError,
+)
+from ..core.hadamard import marginal_from_scaled_coefficients
+from ..core.marginals import MarginalTable, MarginalWorkload, marginal_operator
+from ..core.privacy import PrivacyBudget
+from ..core.rng import RngLike, ensure_rng
+from ..datasets.base import BinaryDataset
+
+__all__ = [
+    "MarginalEstimator",
+    "DistributionEstimator",
+    "CoefficientEstimator",
+    "PerMarginalEstimator",
+    "MarginalReleaseProtocol",
+]
+
+
+class MarginalEstimator(abc.ABC):
+    """Answers marginal queries from privately aggregated reports."""
+
+    def __init__(self, workload: MarginalWorkload):
+        self._workload = workload
+
+    @property
+    def workload(self) -> MarginalWorkload:
+        """The set of marginals this estimator promises to answer."""
+        return self._workload
+
+    @property
+    def domain(self) -> Domain:
+        return self._workload.domain
+
+    @abc.abstractmethod
+    def query(self, beta) -> MarginalTable:
+        """Estimate the marginal identified by ``beta`` (mask or names)."""
+
+    def query_all(self, width: Optional[int] = None) -> Dict[int, MarginalTable]:
+        """Estimate every marginal in the workload (optionally of one width)."""
+        return {beta: self.query(beta) for beta in self._workload.marginals(width)}
+
+    def _validate(self, beta) -> int:
+        mask = self.domain.mask_of(beta)
+        return self._workload.validate(mask)
+
+
+class DistributionEstimator(MarginalEstimator):
+    """Marginals obtained by aggregating a reconstructed full distribution."""
+
+    def __init__(self, workload: MarginalWorkload, distribution: np.ndarray):
+        super().__init__(workload)
+        distribution = np.asarray(distribution, dtype=np.float64)
+        if distribution.shape != (workload.domain.size,):
+            raise AggregationError(
+                f"reconstructed distribution must have length "
+                f"{workload.domain.size}, got shape {distribution.shape}"
+            )
+        self._distribution = distribution
+
+    @property
+    def distribution(self) -> np.ndarray:
+        """The reconstructed (possibly non-normalised / signed) distribution."""
+        return self._distribution
+
+    def query(self, beta) -> MarginalTable:
+        mask = self._validate(beta)
+        return marginal_operator(self._distribution, mask, self.domain)
+
+
+class CoefficientEstimator(MarginalEstimator):
+    """Marginals reconstructed from estimated scaled Hadamard coefficients."""
+
+    def __init__(self, workload: MarginalWorkload, coefficients: Mapping[int, float]):
+        super().__init__(workload)
+        self._coefficients: Dict[int, float] = {0: 1.0}
+        for alpha, value in coefficients.items():
+            self._coefficients[int(alpha)] = float(value)
+
+    @property
+    def coefficients(self) -> Dict[int, float]:
+        """Estimated scaled coefficients ``alpha -> Theta[alpha]`` (0 included)."""
+        return dict(self._coefficients)
+
+    def coefficient(self, alpha: int) -> float:
+        try:
+            return self._coefficients[int(alpha)]
+        except KeyError:
+            raise MarginalQueryError(
+                f"coefficient {alpha:#x} was not collected by this protocol"
+            ) from None
+
+    def query(self, beta) -> MarginalTable:
+        mask = self._validate(beta)
+        needed = {}
+        for alpha in bitops.submasks(mask):
+            needed[alpha] = self.coefficient(alpha)
+        values = marginal_from_scaled_coefficients(mask, needed)
+        return MarginalTable(self.domain, mask, values)
+
+
+class PerMarginalEstimator(MarginalEstimator):
+    """Marginals estimated table-by-table (the ``Marg*`` protocols).
+
+    ``tables`` maps each width-``k`` marginal mask to its estimated cell
+    vector.  Queries of width exactly ``k`` are answered directly; narrower
+    queries are answered by marginalising every stored superset table and
+    averaging (each is an unbiased estimate, so the average only reduces
+    variance).
+    """
+
+    def __init__(self, workload: MarginalWorkload, tables: Mapping[int, np.ndarray]):
+        super().__init__(workload)
+        if not tables:
+            raise AggregationError("per-marginal estimator needs at least one table")
+        self._tables: Dict[int, np.ndarray] = {}
+        width = None
+        for beta, values in tables.items():
+            beta = int(beta)
+            values = np.asarray(values, dtype=np.float64)
+            k = bitops.popcount(beta)
+            if width is None:
+                width = k
+            elif k != width:
+                raise AggregationError(
+                    "all stored tables must cover the same number of attributes"
+                )
+            if values.shape != (1 << k,):
+                raise AggregationError(
+                    f"table for marginal {beta:#x} must have {1 << k} cells, "
+                    f"got shape {values.shape}"
+                )
+            self._tables[beta] = values
+        self._table_width = int(width)
+
+    @property
+    def table_width(self) -> int:
+        """Width of the directly materialised marginals."""
+        return self._table_width
+
+    @property
+    def tables(self) -> Dict[int, np.ndarray]:
+        return dict(self._tables)
+
+    def query(self, beta) -> MarginalTable:
+        mask = self._validate(beta)
+        if mask in self._tables:
+            return MarginalTable(self.domain, mask, self._tables[mask])
+        width = bitops.popcount(mask)
+        if width > self._table_width:
+            raise MarginalQueryError(
+                f"marginal of width {width} exceeds the materialised width "
+                f"{self._table_width}"
+            )
+        supersets = [
+            stored for stored in self._tables if bitops.is_subset(mask, stored)
+        ]
+        if not supersets:
+            raise MarginalQueryError(
+                f"no materialised marginal covers {self.domain.names_of(mask)}"
+            )
+        estimates = []
+        for stored in supersets:
+            table = MarginalTable(self.domain, stored, self._tables[stored])
+            estimates.append(table.marginalize(mask).values)
+        return MarginalTable(self.domain, mask, np.mean(estimates, axis=0))
+
+
+class MarginalReleaseProtocol(abc.ABC):
+    """A complete marginal-release method under epsilon-LDP.
+
+    Parameters
+    ----------
+    budget:
+        The per-user privacy budget; each user's single report satisfies
+        ``budget.epsilon``-LDP.
+    max_width:
+        The workload parameter ``k``: after collection, every marginal over
+        at most ``k`` attributes can be answered.
+    """
+
+    #: Short machine-readable name matching the paper (e.g. ``"InpHT"``).
+    name: str = "abstract"
+
+    def __init__(self, budget: PrivacyBudget, max_width: int):
+        if not isinstance(budget, PrivacyBudget):
+            budget = PrivacyBudget(float(budget))
+        if max_width < 1:
+            raise ProtocolConfigurationError(
+                f"max marginal width must be >= 1, got {max_width}"
+            )
+        self._budget = budget
+        self._max_width = int(max_width)
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        return self._budget
+
+    @property
+    def epsilon(self) -> float:
+        return self._budget.epsilon
+
+    @property
+    def max_width(self) -> int:
+        return self._max_width
+
+    def workload_for(self, domain: Domain) -> MarginalWorkload:
+        if self._max_width > domain.dimension:
+            raise ProtocolConfigurationError(
+                f"workload width {self._max_width} exceeds the domain's "
+                f"{domain.dimension} attributes"
+            )
+        return MarginalWorkload(domain, self._max_width)
+
+    @abc.abstractmethod
+    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> MarginalEstimator:
+        """Simulate the whole protocol on a dataset and return the estimator."""
+
+    @abc.abstractmethod
+    def communication_bits(self, dimension: int) -> int:
+        """Bits each user sends, as reported in Table 2 of the paper."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(epsilon={self.epsilon:.3f}, "
+            f"k={self.max_width})"
+        )

@@ -1,0 +1,63 @@
+"""InpHTCMS — marginals via the Hadamard Count-Mean Sketch frequency oracle.
+
+The second frequency-oracle baseline of Appendix B.2 (Figure 10): Apple's
+Hadamard count-mean sketch estimates the frequency of every cell of the
+flattened domain, and marginals are produced by aggregating those estimates.
+The sketch is tuned for heavy hitters, not for the very flat distributions
+marginal reconstruction needs, so it is fast but comparatively inaccurate —
+the behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+from ..core.privacy import PrivacyBudget
+from ..core.rng import RngLike, ensure_rng
+from ..datasets.base import BinaryDataset
+from ..mechanisms.sketch import HadamardCountMeanSketch
+from .base import DistributionEstimator, MarginalReleaseProtocol
+
+__all__ = ["InpHTCMS"]
+
+
+class InpHTCMS(MarginalReleaseProtocol):
+    """Hadamard count-mean sketch applied to the full-domain index."""
+
+    name = "InpHTCMS"
+
+    def __init__(
+        self,
+        budget: PrivacyBudget,
+        max_width: int,
+        num_hashes: int = 5,
+        width: int = 256,
+    ):
+        super().__init__(budget, max_width)
+        self._num_hashes = int(num_hashes)
+        self._width = int(width)
+
+    def oracle(self, dimension: int) -> HadamardCountMeanSketch:
+        """The HCMS frequency oracle over ``{0,1}^d``."""
+        return HadamardCountMeanSketch(
+            domain_size=1 << dimension,
+            budget=self.budget,
+            num_hashes=self._num_hashes,
+            width=self._width,
+        )
+
+    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> DistributionEstimator:
+        generator = ensure_rng(rng)
+        workload = self.workload_for(dataset.domain)
+        oracle = self.oracle(dataset.dimension)
+        hash_indices, coefficient_indices, noisy = oracle.perturb(
+            dataset.indices(), rng=generator
+        )
+        distribution = oracle.estimate_frequencies(
+            hash_indices, coefficient_indices, noisy
+        )
+        return DistributionEstimator(workload, distribution)
+
+    def communication_bits(self, dimension: int) -> int:
+        """Hash index + coefficient index + one noisy sign bit."""
+        hash_bits = max(1, (self._num_hashes - 1).bit_length())
+        coefficient_bits = max(1, (self._width - 1).bit_length())
+        return hash_bits + coefficient_bits + 1

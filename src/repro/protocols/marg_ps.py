@@ -1,0 +1,77 @@
+"""MargPS — preferential sampling within one randomly sampled marginal.
+
+Each user samples one of the ``C(d, k)`` k-way marginals uniformly and then
+reports the cell of that marginal their record falls in through generalised
+randomized response over the ``2^k`` cells (``d + k`` bits per user).  The
+aggregator groups the reports by marginal and unbiases the per-cell report
+fractions into frequency estimates.
+
+Table 2 summary: error behaviour ``2^{3k/2} d^{k/2} / (eps sqrt(N))``.  For
+the small ``k`` the paper targets, MargPS is competitive and in several
+experiments the second-best method after InpHT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import bitops
+from ..core.privacy import PrivacyBudget
+from ..core.rng import RngLike, ensure_rng
+from ..datasets.base import BinaryDataset
+from ..mechanisms.direct_encoding import DirectEncoding
+from .base import MarginalReleaseProtocol, PerMarginalEstimator
+
+__all__ = ["MargPS"]
+
+
+class MargPS(MarginalReleaseProtocol):
+    """Preferential sampling (GRR) on a randomly sampled k-way marginal."""
+
+    name = "MargPS"
+
+    def mechanism(self) -> DirectEncoding:
+        """The GRR mechanism over the ``2^k`` cells of the sampled marginal."""
+        return DirectEncoding.from_budget(self.budget, 1 << self.max_width)
+
+    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> PerMarginalEstimator:
+        generator = ensure_rng(rng)
+        workload = self.workload_for(dataset.domain)
+        mechanism = self.mechanism()
+
+        marginals: List[int] = dataset.domain.all_marginals(self.max_width)
+        marginal_array = np.asarray(marginals, dtype=np.int64)
+        cells = 1 << self.max_width
+
+        indices = dataset.indices()
+        n = indices.shape[0]
+        choices = generator.integers(0, marginal_array.size, size=n)
+
+        user_cells = np.empty(n, dtype=np.int64)
+        for position, beta in enumerate(marginals):
+            members = choices == position
+            if members.any():
+                user_cells[members] = bitops.compress_indices(
+                    indices[members] & beta, beta
+                )
+
+        noisy_cells = mechanism.perturb(user_cells, rng=generator)
+
+        tables: Dict[int, np.ndarray] = {}
+        for position, beta in enumerate(marginals):
+            members = choices == position
+            if not members.any():
+                tables[beta] = np.full(cells, 1.0 / cells)
+                continue
+            fractions = (
+                np.bincount(noisy_cells[members], minlength=cells).astype(np.float64)
+                / members.sum()
+            )
+            tables[beta] = mechanism.unbias_frequencies(fractions)
+        return PerMarginalEstimator(workload, tables)
+
+    def communication_bits(self, dimension: int) -> int:
+        """``d`` bits to name the marginal plus ``k`` bits for the noisy cell."""
+        return dimension + self.max_width

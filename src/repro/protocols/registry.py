@@ -1,0 +1,80 @@
+"""Name-based construction of protocols.
+
+Experiments and benchmarks refer to protocols by the short names the paper
+uses (``"InpHT"``, ``"MargPS"``, ...).  The registry maps those names to the
+implementing classes and provides a single factory,
+:func:`make_protocol`, that the experiment harness uses to build comparable
+instances from a configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..core.exceptions import ProtocolConfigurationError
+from ..core.privacy import PrivacyBudget
+from .base import MarginalReleaseProtocol
+from .inp_em import InpEM
+from .inp_ht import InpHT
+from .inp_htcms import InpHTCMS
+from .inp_olh import InpOLH
+from .inp_ps import InpPS
+from .inp_rr import InpRR
+from .marg_ht import MargHT
+from .marg_ps import MargPS
+from .marg_rr import MargRR
+
+__all__ = [
+    "PROTOCOL_CLASSES",
+    "CORE_PROTOCOL_NAMES",
+    "BASELINE_PROTOCOL_NAMES",
+    "available_protocols",
+    "make_protocol",
+]
+
+#: All protocol classes keyed by their paper name.
+PROTOCOL_CLASSES: Dict[str, Type[MarginalReleaseProtocol]] = {
+    cls.name: cls
+    for cls in (InpRR, InpPS, InpHT, MargRR, MargPS, MargHT, InpEM, InpOLH, InpHTCMS)
+}
+
+#: The six protocols the paper contributes (Sections 4.2 and 4.3).
+CORE_PROTOCOL_NAMES: List[str] = [
+    "InpRR",
+    "InpPS",
+    "InpHT",
+    "MargRR",
+    "MargPS",
+    "MargHT",
+]
+
+#: The comparison methods from prior work (Section 4.4 and Appendix B.2).
+BASELINE_PROTOCOL_NAMES: List[str] = ["InpEM", "InpOLH", "InpHTCMS"]
+
+
+def available_protocols() -> List[str]:
+    """Names of every registered protocol."""
+    return sorted(PROTOCOL_CLASSES)
+
+
+def make_protocol(
+    name: str,
+    budget: PrivacyBudget | float,
+    max_width: int,
+    **options,
+) -> MarginalReleaseProtocol:
+    """Instantiate a protocol by its paper name.
+
+    ``options`` are forwarded to the protocol constructor, so callers can
+    pass e.g. ``optimized_probabilities=False`` for ``InpRR`` or
+    ``width=512`` for ``InpHTCMS``.
+    """
+    try:
+        cls = PROTOCOL_CLASSES[name]
+    except KeyError:
+        raise ProtocolConfigurationError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from None
+    if not isinstance(budget, PrivacyBudget):
+        budget = PrivacyBudget(float(budget))
+    return cls(budget, max_width, **options)

@@ -1,0 +1,19 @@
+"""Analytic bounds from the paper's theory sections."""
+
+from .bounds import (
+    BoundSummary,
+    communication_bits,
+    error_bound,
+    error_exponent_factor,
+    master_theorem_deviation_bound,
+    table2_summary,
+)
+
+__all__ = [
+    "communication_bits",
+    "error_exponent_factor",
+    "error_bound",
+    "BoundSummary",
+    "table2_summary",
+    "master_theorem_deviation_bound",
+]

@@ -1,0 +1,112 @@
+"""Unit tests for chi-squared association testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.association import (
+    chi_squared_critical_value,
+    chi_squared_statistic,
+    compare_association_tests,
+)
+from repro.analysis.association import test_independence as run_independence_test
+from repro.core.domain import Domain
+from repro.core.exceptions import MarginalQueryError
+from repro.core.marginals import MarginalTable
+from repro.core.privacy import PrivacyBudget
+from repro.protocols.inp_ht import InpHT
+
+
+def make_table(values) -> MarginalTable:
+    return MarginalTable(Domain(["x", "y"]), 0b11, np.asarray(values, dtype=float))
+
+
+class TestStatistic:
+    def test_independent_table_gives_zero(self):
+        table = make_table([0.25, 0.25, 0.25, 0.25])
+        assert chi_squared_statistic(table, 1000) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_scipy(self, rng):
+        counts = np.array([[330.0, 170.0], [220.0, 280.0]])
+        population = int(counts.sum())
+        table = make_table((counts / population).T.reshape(-1))
+        expected, _, _, _ = stats.chi2_contingency(counts, correction=False)[0:4]
+        # scipy returns (stat, p, dof, expected); unpack the statistic only.
+        scipy_statistic = stats.chi2_contingency(counts, correction=False)[0]
+        assert chi_squared_statistic(table, population) == pytest.approx(
+            scipy_statistic, rel=1e-6
+        )
+
+    def test_scales_linearly_with_population(self):
+        table = make_table([0.4, 0.1, 0.1, 0.4])
+        small = chi_squared_statistic(table, 1000)
+        large = chi_squared_statistic(table, 10_000)
+        assert large == pytest.approx(10 * small, rel=1e-9)
+
+    def test_clips_negative_cells(self):
+        table = make_table([0.5, -0.05, 0.15, 0.4])
+        statistic = chi_squared_statistic(table, 1000)
+        assert np.isfinite(statistic) and statistic >= 0
+
+    def test_rejects_bad_inputs(self):
+        table = make_table([0.25, 0.25, 0.25, 0.25])
+        with pytest.raises(MarginalQueryError):
+            chi_squared_statistic(table, 0)
+        domain = Domain(["x", "y", "z"])
+        wide = MarginalTable(domain, 0b111, np.full(8, 1 / 8))
+        with pytest.raises(MarginalQueryError):
+            chi_squared_statistic(wide, 100)
+
+
+class TestCriticalValue:
+    def test_standard_value(self):
+        assert chi_squared_critical_value() == pytest.approx(3.841, abs=0.01)
+
+    def test_monotone_in_confidence(self):
+        assert chi_squared_critical_value(0.99) > chi_squared_critical_value(0.9)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(MarginalQueryError):
+            chi_squared_critical_value(1.5)
+        with pytest.raises(MarginalQueryError):
+            chi_squared_critical_value(0.95, dof=0)
+
+
+class TestDecision:
+    def test_dependent_table_detected(self):
+        result = run_independence_test(make_table([0.45, 0.05, 0.05, 0.45]), 10_000)
+        assert result.dependent
+        assert result.statistic > result.critical_value
+        assert result.p_value < 0.05
+        assert result.attributes == ("x", "y")
+
+    def test_independent_table_accepted(self):
+        result = run_independence_test(make_table([0.25, 0.25, 0.25, 0.25]), 10_000)
+        assert not result.dependent
+        assert result.p_value > 0.9
+
+
+class TestComparison:
+    def test_compare_on_planted_data(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(4.0), 2).run(tiny_dataset, rng=rng)
+        comparisons = compare_association_tests(
+            tiny_dataset, estimator, [("a", "b"), ("c", "d")]
+        )
+        assert len(comparisons) == 2
+        planted = comparisons[0]
+        # a/b are strongly dependent by construction; both tests must agree.
+        assert planted.exact.dependent
+        assert planted.private.dependent
+        assert planted.agrees
+        assert not planted.type_one_error
+
+    def test_error_flags_are_mutually_consistent(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(1.0), 2).run(tiny_dataset, rng=rng)
+        for comparison in compare_association_tests(
+            tiny_dataset, estimator, [("a", "c"), ("b", "d")]
+        ):
+            assert comparison.agrees == (
+                not comparison.type_one_error and not comparison.type_two_error
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for the tree-structured Bayesian model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bayesian import ConditionalProbabilityTable, fit_tree_model
+from repro.core.exceptions import MarginalQueryError
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.base import BinaryDataset
+from repro.protocols.inp_ht import InpHT
+
+
+@pytest.fixture
+def chain_dataset(rng) -> BinaryDataset:
+    n = 40_000
+    a = (rng.random(n) < 0.6).astype(np.int8)
+    b = np.where(rng.random(n) < 0.8, a, 1 - a).astype(np.int8)
+    c = np.where(rng.random(n) < 0.8, b, 1 - b).astype(np.int8)
+    return BinaryDataset.from_records(
+        np.stack([a, b, c], axis=1), attribute_names=["a", "b", "c"]
+    )
+
+
+class TestConditionalProbabilityTable:
+    def test_probability_lookup(self):
+        table = ConditionalProbabilityTable("child", "parent", (0.2, 0.9))
+        assert table.probability(1, 0) == pytest.approx(0.2)
+        assert table.probability(0, 1) == pytest.approx(0.1)
+
+    def test_root_table_ignores_parent_value(self):
+        table = ConditionalProbabilityTable("root", None, (0.3, 0.3))
+        assert table.probability(1, 0) == table.probability(1, 1) == pytest.approx(0.3)
+
+    def test_rejects_non_binary_values(self):
+        table = ConditionalProbabilityTable("child", "parent", (0.2, 0.9))
+        with pytest.raises(MarginalQueryError):
+            table.probability(2, 0)
+
+
+class TestFitTreeModel:
+    def test_exact_model_matches_empirical_probabilities(self, chain_dataset):
+        model = fit_tree_model(chain_dataset, root="a")
+        assert model.root == "a"
+        assert set(model.order) == {"a", "b", "c"}
+        # The model's joint should be close to the empirical joint because the
+        # data really is a tree (chain) distribution.
+        empirical = chain_dataset.full_distribution()
+        for index in range(8):
+            record = {
+                "a": (index >> 0) & 1,
+                "b": (index >> 1) & 1,
+                "c": (index >> 2) & 1,
+            }
+            assert model.probability(record) == pytest.approx(
+                empirical[index], abs=0.02
+            )
+
+    def test_probabilities_normalise(self, chain_dataset):
+        model = fit_tree_model(chain_dataset)
+        total = sum(
+            model.probability({"a": a, "b": b, "c": c})
+            for a in (0, 1)
+            for b in (0, 1)
+            for c in (0, 1)
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_private_model_close_to_exact(self, chain_dataset, rng):
+        estimator = InpHT(PrivacyBudget(3.0), 2).run(chain_dataset, rng=rng)
+        private_model = fit_tree_model(estimator)
+        exact_model = fit_tree_model(chain_dataset)
+        for index in range(8):
+            record = {
+                "a": (index >> 0) & 1,
+                "b": (index >> 1) & 1,
+                "c": (index >> 2) & 1,
+            }
+            assert private_model.probability(record) == pytest.approx(
+                exact_model.probability(record), abs=0.08
+            )
+
+    def test_sampling_matches_model_marginals(self, chain_dataset, rng):
+        model = fit_tree_model(chain_dataset, root="a")
+        sample = model.sample(50_000, rng=rng)
+        assert sample.size == 50_000
+        original_p_a = chain_dataset.attribute_column("a").mean()
+        assert sample.attribute_column("a").mean() == pytest.approx(
+            original_p_a, abs=0.02
+        )
+
+    def test_log_probability_requires_full_record(self, chain_dataset):
+        model = fit_tree_model(chain_dataset)
+        with pytest.raises(MarginalQueryError):
+            model.log_probability({"a": 1})
+
+    def test_unknown_root_rejected(self, chain_dataset):
+        with pytest.raises(MarginalQueryError):
+            fit_tree_model(chain_dataset, root="zzz")
+
+    def test_sample_rejects_nonpositive(self, chain_dataset, rng):
+        model = fit_tree_model(chain_dataset)
+        with pytest.raises(MarginalQueryError):
+            model.sample(0, rng=rng)

@@ -1,0 +1,95 @@
+"""Unit tests for Chow–Liu dependency trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.chow_liu import ChowLiuTree, fit_chow_liu_tree, maximum_spanning_tree
+from repro.analysis.mutual_information import pairwise_mutual_information
+from repro.core.exceptions import MarginalQueryError
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.base import BinaryDataset
+from repro.datasets.synthetic import latent_class_dataset
+from repro.protocols.inp_ht import InpHT
+
+
+class TestMaximumSpanningTree:
+    def test_simple_triangle(self):
+        weights = {("a", "b"): 3.0, ("b", "c"): 2.0, ("a", "c"): 1.0}
+        tree = maximum_spanning_tree(["a", "b", "c"], weights)
+        assert len(tree.edges) == 2
+        assert tree.total_weight == pytest.approx(5.0)
+        assert ("a", "c") not in tree.edges and ("c", "a") not in tree.edges
+
+    def test_edge_order_does_not_matter(self):
+        weights = {("b", "a"): 3.0, ("c", "b"): 2.0, ("c", "a"): 1.0}
+        tree = maximum_spanning_tree(["a", "b", "c"], weights)
+        assert tree.total_weight == pytest.approx(5.0)
+
+    def test_spanning_property(self, rng):
+        names = [f"v{i}" for i in range(8)]
+        weights = {
+            (names[i], names[j]): float(rng.random())
+            for i in range(8)
+            for j in range(i + 1, 8)
+        }
+        tree = maximum_spanning_tree(names, weights)
+        assert len(tree.edges) == 7
+        # Every node appears in the adjacency structure (tree is connected).
+        adjacency = tree.adjacency()
+        assert all(adjacency[name] for name in names)
+
+    def test_requires_all_pair_weights(self):
+        with pytest.raises(MarginalQueryError):
+            maximum_spanning_tree(["a", "b", "c"], {("a", "b"): 1.0})
+
+    def test_rejects_unknown_attributes(self):
+        with pytest.raises(MarginalQueryError):
+            maximum_spanning_tree(["a", "b"], {("a", "z"): 1.0})
+
+    def test_rejects_single_attribute(self):
+        with pytest.raises(MarginalQueryError):
+            maximum_spanning_tree(["a"], {})
+
+    def test_total_weight_under_other_weights(self):
+        weights = {("a", "b"): 3.0, ("b", "c"): 2.0, ("a", "c"): 1.0}
+        tree = maximum_spanning_tree(["a", "b", "c"], weights)
+        other = {("a", "b"): 0.5, ("b", "c"): 0.25, ("a", "c"): 10.0}
+        assert tree.total_weight_under(other) == pytest.approx(0.75)
+        with pytest.raises(MarginalQueryError):
+            tree.total_weight_under({("a", "b"): 1.0})
+
+
+class TestFitChowLiu:
+    @pytest.fixture
+    def chain_dataset(self, rng) -> BinaryDataset:
+        """A Markov chain a -> b -> c -> d, so the optimal tree is the chain."""
+        n = 60_000
+        a = (rng.random(n) < 0.5).astype(np.int8)
+        b = np.where(rng.random(n) < 0.85, a, 1 - a).astype(np.int8)
+        c = np.where(rng.random(n) < 0.85, b, 1 - b).astype(np.int8)
+        d = np.where(rng.random(n) < 0.85, c, 1 - c).astype(np.int8)
+        return BinaryDataset.from_records(
+            np.stack([a, b, c, d], axis=1), attribute_names=["a", "b", "c", "d"]
+        )
+
+    def test_recovers_chain_structure(self, chain_dataset):
+        tree = fit_chow_liu_tree(chain_dataset)
+        edges = {tuple(sorted(edge)) for edge in tree.edges}
+        assert edges == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_private_tree_close_to_optimal(self, chain_dataset, rng):
+        estimator = InpHT(PrivacyBudget(2.0), 2).run(chain_dataset, rng=rng)
+        private_tree = fit_chow_liu_tree(estimator)
+        true_weights = pairwise_mutual_information(chain_dataset)
+        exact_tree = fit_chow_liu_tree(chain_dataset)
+        optimal = exact_tree.total_weight_under(true_weights)
+        captured = private_tree.total_weight_under(true_weights)
+        assert captured >= 0.6 * optimal
+
+    def test_tree_dataclass_roundtrip(self, chain_dataset):
+        tree = fit_chow_liu_tree(chain_dataset)
+        assert isinstance(tree, ChowLiuTree)
+        assert set(tree.attributes) == {"a", "b", "c", "d"}
+        assert len(tree.edge_weights) == len(tree.edges)

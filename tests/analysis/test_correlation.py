@@ -1,0 +1,73 @@
+"""Unit tests for correlation analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    correlation_matrix,
+    phi_coefficient,
+    private_correlation_matrix,
+)
+from repro.core.domain import Domain
+from repro.core.exceptions import MarginalQueryError
+from repro.core.marginals import MarginalTable
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.base import BinaryDataset
+from repro.protocols.inp_ht import InpHT
+
+
+def make_table(p00, p10, p01, p11) -> MarginalTable:
+    domain = Domain(["x", "y"])
+    return MarginalTable(domain, 0b11, np.array([p00, p10, p01, p11]))
+
+
+class TestPhiCoefficient:
+    def test_perfect_positive_correlation(self):
+        assert phi_coefficient(make_table(0.5, 0.0, 0.0, 0.5)) == pytest.approx(1.0)
+
+    def test_perfect_negative_correlation(self):
+        assert phi_coefficient(make_table(0.0, 0.5, 0.5, 0.0)) == pytest.approx(-1.0)
+
+    def test_independence_gives_zero(self):
+        # P[x]=0.4, P[y]=0.3 independent.
+        table = make_table(0.6 * 0.7, 0.4 * 0.7, 0.6 * 0.3, 0.4 * 0.3)
+        assert phi_coefficient(table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_attribute_gives_zero(self):
+        assert phi_coefficient(make_table(0.0, 0.0, 0.3, 0.7)) == 0.0
+
+    def test_rejects_non_pairwise_tables(self):
+        domain = Domain(["x", "y", "z"])
+        table = MarginalTable(domain, 0b111, np.full(8, 1 / 8))
+        with pytest.raises(MarginalQueryError):
+            phi_coefficient(table)
+
+    def test_matches_numpy_corrcoef(self, rng):
+        x = (rng.random(20_000) < 0.5).astype(np.int8)
+        y = np.where(rng.random(20_000) < 0.7, x, 1 - x).astype(np.int8)
+        dataset = BinaryDataset.from_records(
+            np.stack([x, y], axis=1), attribute_names=["x", "y"]
+        )
+        expected = np.corrcoef(x, y)[0, 1]
+        assert phi_coefficient(dataset.marginal(["x", "y"])) == pytest.approx(
+            expected, abs=0.01
+        )
+
+
+class TestCorrelationMatrices:
+    def test_exact_matrix_properties(self, tiny_dataset):
+        matrix = correlation_matrix(tiny_dataset)
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+        # Planted: a and b strongly correlated.
+        assert matrix[0, 1] > 0.5
+
+    def test_private_matrix_tracks_exact(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(4.0), 2).run(tiny_dataset, rng=rng)
+        private = private_correlation_matrix(estimator)
+        exact = correlation_matrix(tiny_dataset)
+        assert np.abs(private - exact).max() < 0.25
+        assert private[0, 1] > 0.3

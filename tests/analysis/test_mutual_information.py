@@ -1,0 +1,71 @@
+"""Unit tests for mutual information computation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.mutual_information import (
+    mutual_information,
+    pairwise_mutual_information,
+    private_pairwise_mutual_information,
+)
+from repro.core.domain import Domain
+from repro.core.exceptions import MarginalQueryError
+from repro.core.marginals import MarginalTable
+from repro.core.privacy import PrivacyBudget
+from repro.protocols.inp_ht import InpHT
+
+
+def make_table(values) -> MarginalTable:
+    return MarginalTable(Domain(["x", "y"]), 0b11, np.asarray(values, dtype=float))
+
+
+class TestMutualInformation:
+    def test_independent_variables_give_zero(self):
+        table = make_table([0.28, 0.42, 0.12, 0.18])  # P[x]=0.6, P[y]=0.3 independent
+        assert mutual_information(table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_variables_give_entropy(self):
+        # x == y with P[x=1] = 0.5: MI = H(x) = ln 2.
+        table = make_table([0.5, 0.0, 0.0, 0.5])
+        assert mutual_information(table) == pytest.approx(math.log(2))
+
+    def test_biased_identical_variables(self):
+        p = 0.2
+        table = make_table([1 - p, 0.0, 0.0, p])
+        entropy = -(p * math.log(p) + (1 - p) * math.log(1 - p))
+        assert mutual_information(table) == pytest.approx(entropy)
+
+    def test_never_negative_even_for_noisy_tables(self, rng):
+        for _ in range(20):
+            values = rng.normal(0.25, 0.2, size=4)
+            assert mutual_information(make_table(values)) >= 0.0
+
+    def test_rejects_wrong_width(self):
+        domain = Domain(["x", "y", "z"])
+        table = MarginalTable(domain, 0b111, np.full(8, 1 / 8))
+        with pytest.raises(MarginalQueryError):
+            mutual_information(table)
+
+    def test_symmetric_in_arguments(self, tiny_dataset):
+        forward = mutual_information(tiny_dataset.marginal(["a", "b"]))
+        backward = mutual_information(tiny_dataset.marginal(["b", "a"]))
+        assert forward == pytest.approx(backward)
+
+
+class TestPairwise:
+    def test_exact_pairwise_covers_all_pairs(self, tiny_dataset):
+        pairwise = pairwise_mutual_information(tiny_dataset)
+        assert len(pairwise) == 6
+        assert pairwise[("a", "b")] > pairwise[("c", "d")]
+
+    def test_private_pairwise_tracks_exact(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(4.0), 2).run(tiny_dataset, rng=rng)
+        private = private_pairwise_mutual_information(estimator)
+        exact = pairwise_mutual_information(tiny_dataset)
+        assert set(private) == set(exact)
+        # The dominant pair must remain dominant under light noise.
+        assert max(private, key=private.get) == ("a", "b")

@@ -1,0 +1,103 @@
+"""Unit tests for the Domain type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import DomainError, MarginalQueryError
+
+
+class TestConstruction:
+    def test_named_attributes(self):
+        domain = Domain(["x", "y", "z"])
+        assert domain.dimension == 3
+        assert domain.size == 8
+        assert domain.full_mask == 0b111
+
+    def test_binary_constructor(self):
+        domain = Domain.binary(5)
+        assert domain.dimension == 5
+        assert domain.attributes == tuple(f"attr{i}" for i in range(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            Domain([])
+        with pytest.raises(DomainError):
+            Domain.binary(0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            Domain(["a", "a"])
+
+    def test_rejects_huge_dimension(self):
+        with pytest.raises(DomainError):
+            Domain.binary(31)
+
+    def test_len(self):
+        assert len(Domain.binary(7)) == 7
+
+
+class TestMasks:
+    def test_index_of(self):
+        domain = Domain(["CC", "Toll", "Far"])
+        assert domain.index_of("CC") == 0
+        assert domain.index_of("Far") == 2
+        with pytest.raises(DomainError):
+            domain.index_of("Tip")
+
+    def test_mask_of_names(self):
+        domain = Domain(["a", "b", "c", "d"])
+        assert domain.mask_of("a") == 0b0001
+        assert domain.mask_of(["b", "d"]) == 0b1010
+        assert domain.mask_of(["d", "b"]) == 0b1010
+
+    def test_mask_of_integer_passthrough(self):
+        domain = Domain.binary(4)
+        assert domain.mask_of(0b1010) == 0b1010
+
+    def test_mask_of_integer_out_of_range(self):
+        domain = Domain.binary(3)
+        with pytest.raises(MarginalQueryError):
+            domain.mask_of(8)
+        with pytest.raises(MarginalQueryError):
+            domain.mask_of(-1)
+
+    def test_names_of(self):
+        domain = Domain(["a", "b", "c", "d"])
+        assert domain.names_of(0b1010) == ["b", "d"]
+        assert domain.names_of(0) == []
+
+
+class TestMarginalValidation:
+    def test_validate_rejects_empty_marginal(self):
+        domain = Domain.binary(4)
+        with pytest.raises(MarginalQueryError):
+            domain.validate_marginal(0)
+
+    def test_validate_enforces_max_width(self):
+        domain = Domain.binary(4)
+        assert domain.validate_marginal(0b0011, max_width=2) == 0b0011
+        with pytest.raises(MarginalQueryError):
+            domain.validate_marginal(0b0111, max_width=2)
+
+    def test_all_marginals_counts(self):
+        import math
+
+        domain = Domain.binary(6)
+        for k in (1, 2, 3):
+            assert len(domain.all_marginals(k)) == math.comb(6, k)
+
+    def test_all_marginals_rejects_bad_width(self):
+        domain = Domain.binary(4)
+        with pytest.raises(MarginalQueryError):
+            domain.all_marginals(0)
+        with pytest.raises(MarginalQueryError):
+            domain.all_marginals(5)
+
+    def test_full_kway_workload(self):
+        import math
+
+        domain = Domain.binary(5)
+        workload = domain.full_kway_workload(2)
+        assert len(workload) == math.comb(5, 1) + math.comb(5, 2)

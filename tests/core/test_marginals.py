@@ -1,0 +1,197 @@
+"""Unit tests for the marginal operator and MarginalTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import MarginalQueryError
+from repro.core.marginals import (
+    MarginalTable,
+    MarginalWorkload,
+    full_distribution_from_indices,
+    marginal_from_indices,
+    marginal_operator,
+    max_absolute_error,
+    total_variation_distance,
+)
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain(["a", "b", "c", "d"])
+
+
+@pytest.fixture
+def distribution(rng) -> np.ndarray:
+    values = rng.random(16)
+    return values / values.sum()
+
+
+class TestMarginalOperator:
+    def test_paper_example(self, domain):
+        # Example 3.1: d=4, beta=0101 selects attributes a (bit 0) and c (bit 2).
+        distribution = np.zeros(16)
+        distribution[0b0000] = 0.1
+        distribution[0b0010] = 0.2
+        distribution[0b1000] = 0.3
+        distribution[0b1010] = 0.4
+        table = marginal_operator(distribution, 0b0101, domain)
+        # All mass has a=0, c=0, so the first compact cell holds everything.
+        assert table.values[0] == pytest.approx(1.0)
+        assert table.values[1:].sum() == pytest.approx(0.0)
+
+    def test_preserves_total_mass(self, domain, distribution):
+        for beta in (0b0001, 0b0110, 0b1111, 0b1010):
+            table = marginal_operator(distribution, beta, domain)
+            assert table.values.sum() == pytest.approx(distribution.sum())
+
+    def test_full_marginal_is_distribution(self, domain, distribution):
+        table = marginal_operator(distribution, 0b1111, domain)
+        np.testing.assert_allclose(table.values, distribution)
+
+    def test_rejects_wrong_length(self, domain):
+        with pytest.raises(MarginalQueryError):
+            marginal_operator(np.ones(8), 0b11, domain)
+
+    def test_matches_indices_based_computation(self, rng, domain):
+        indices = rng.integers(0, 16, size=5000)
+        distribution = full_distribution_from_indices(indices, 16)
+        for beta in (0b0011, 0b1100, 0b0101):
+            from_distribution = marginal_operator(distribution, beta, domain)
+            from_indices = marginal_from_indices(indices, beta, domain)
+            np.testing.assert_allclose(
+                from_distribution.values, from_indices.values, atol=1e-12
+            )
+
+
+class TestFullDistribution:
+    def test_normalised(self, rng):
+        indices = rng.integers(0, 8, size=1000)
+        distribution = full_distribution_from_indices(indices, 8)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert distribution.shape == (8,)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MarginalQueryError):
+            full_distribution_from_indices(np.array([0, 9]), 8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MarginalQueryError):
+            full_distribution_from_indices(np.array([], dtype=int), 8)
+
+
+class TestMarginalTable:
+    def test_cell_lookup(self, domain):
+        table = MarginalTable(domain, 0b0011, np.array([0.1, 0.2, 0.3, 0.4]))
+        assert table.cell({"a": 0, "b": 0}) == pytest.approx(0.1)
+        assert table.cell({"a": 1, "b": 0}) == pytest.approx(0.2)
+        assert table.cell({"a": 0, "b": 1}) == pytest.approx(0.3)
+        assert table.cell({"a": 1, "b": 1}) == pytest.approx(0.4)
+
+    def test_cell_rejects_wrong_assignment(self, domain):
+        table = MarginalTable(domain, 0b0011, np.full(4, 0.25))
+        with pytest.raises(MarginalQueryError):
+            table.cell({"a": 0})
+        with pytest.raises(MarginalQueryError):
+            table.cell({"a": 0, "b": 2})
+
+    def test_rejects_wrong_cell_count(self, domain):
+        with pytest.raises(MarginalQueryError):
+            MarginalTable(domain, 0b0011, np.ones(8))
+
+    def test_normalized_clips_and_sums_to_one(self, domain):
+        table = MarginalTable(domain, 0b0011, np.array([-0.1, 0.4, 0.5, 0.4]))
+        normalised = table.normalized()
+        assert normalised.values.min() >= 0
+        assert normalised.values.sum() == pytest.approx(1.0)
+
+    def test_normalized_handles_all_nonpositive(self, domain):
+        table = MarginalTable(domain, 0b0011, np.array([-0.1, -0.2, 0.0, -0.3]))
+        normalised = table.normalized()
+        np.testing.assert_allclose(normalised.values, np.full(4, 0.25))
+
+    def test_counts(self, domain):
+        table = MarginalTable(domain, 0b0001, np.array([0.25, 0.75]))
+        np.testing.assert_allclose(table.counts(1000), [250.0, 750.0])
+        with pytest.raises(MarginalQueryError):
+            table.counts(0)
+
+    def test_marginalize(self, domain, distribution):
+        full = marginal_operator(distribution, 0b0111, domain)
+        sub = full.marginalize(0b0011)
+        direct = marginal_operator(distribution, 0b0011, domain)
+        np.testing.assert_allclose(sub.values, direct.values, atol=1e-12)
+
+    def test_marginalize_rejects_non_subset(self, domain, distribution):
+        table = marginal_operator(distribution, 0b0011, domain)
+        with pytest.raises(MarginalQueryError):
+            table.marginalize(0b0100)
+        with pytest.raises(MarginalQueryError):
+            table.marginalize(0)
+
+    def test_total_variation_distance_method(self, domain):
+        first = MarginalTable(domain, 0b0001, np.array([0.2, 0.8]))
+        second = MarginalTable(domain, 0b0001, np.array([0.5, 0.5]))
+        assert first.total_variation_distance(second) == pytest.approx(0.3)
+        other = MarginalTable(domain, 0b0010, np.array([0.5, 0.5]))
+        with pytest.raises(MarginalQueryError):
+            first.total_variation_distance(other)
+
+    def test_to_dict(self, domain):
+        table = MarginalTable(domain, 0b0011, np.array([0.1, 0.2, 0.3, 0.4]))
+        mapping = table.to_dict()
+        assert mapping[(0, 0)] == pytest.approx(0.1)
+        assert mapping[(1, 1)] == pytest.approx(0.4)
+        assert len(mapping) == 4
+
+    def test_attribute_names_and_width(self, domain):
+        table = MarginalTable(domain, 0b1010, np.full(4, 0.25))
+        assert table.attribute_names == ["b", "d"]
+        assert table.width == 2
+
+
+class TestDistances:
+    def test_total_variation(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_max_absolute_error(self):
+        assert max_absolute_error([0.2, 0.8], [0.4, 0.6]) == pytest.approx(0.2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MarginalQueryError):
+            total_variation_distance([0.5, 0.5], [1.0])
+        with pytest.raises(MarginalQueryError):
+            max_absolute_error([0.5, 0.5], [1.0])
+
+
+class TestWorkload:
+    def test_contains(self, domain):
+        workload = MarginalWorkload(domain, 2)
+        assert 0b0011 in workload
+        assert 0b0001 in workload
+        assert 0b0111 not in workload
+        assert 0 not in workload
+
+    def test_marginal_enumeration(self, domain):
+        workload = MarginalWorkload(domain, 2)
+        assert len(workload.marginals(1)) == 4
+        assert len(workload.marginals(2)) == 6
+        assert len(workload) == 10
+
+    def test_validate(self, domain):
+        workload = MarginalWorkload(domain, 2)
+        assert workload.validate(0b0011) == 0b0011
+        with pytest.raises(MarginalQueryError):
+            workload.validate(0b0111)
+
+    def test_rejects_bad_width(self, domain):
+        with pytest.raises(MarginalQueryError):
+            MarginalWorkload(domain, 0)
+        with pytest.raises(MarginalQueryError):
+            MarginalWorkload(domain, 5)
+        workload = MarginalWorkload(domain, 2)
+        with pytest.raises(MarginalQueryError):
+            workload.marginals(3)

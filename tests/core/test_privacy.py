@@ -1,0 +1,88 @@
+"""Unit tests for privacy-budget accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PrivacyBudgetError
+from repro.core.privacy import (
+    PrivacyBudget,
+    grr_keep_probability,
+    oue_probabilities,
+    rr_keep_probability,
+)
+
+
+class TestModuleFunctions:
+    def test_rr_keep_probability_values(self):
+        assert rr_keep_probability(math.log(3)) == pytest.approx(0.75)
+        assert rr_keep_probability(0.0001) == pytest.approx(0.500025, abs=1e-6)
+
+    def test_rr_keep_probability_rejects_nonpositive(self):
+        with pytest.raises(PrivacyBudgetError):
+            rr_keep_probability(0.0)
+        with pytest.raises(PrivacyBudgetError):
+            rr_keep_probability(-1.0)
+
+    def test_grr_keep_probability_binary_matches_rr(self):
+        eps = 1.3
+        assert grr_keep_probability(eps, 2) == pytest.approx(rr_keep_probability(eps))
+
+    def test_grr_keep_probability_decreases_with_domain(self):
+        eps = 1.0
+        probabilities = [grr_keep_probability(eps, m) for m in (2, 4, 16, 256)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_grr_rejects_tiny_domain(self):
+        with pytest.raises(PrivacyBudgetError):
+            grr_keep_probability(1.0, 1)
+
+    def test_oue_probabilities(self):
+        p, q = oue_probabilities(math.log(3))
+        assert p == pytest.approx(0.5)
+        assert q == pytest.approx(0.25)
+
+
+class TestPrivacyBudget:
+    def test_valid_budget(self):
+        budget = PrivacyBudget(1.1)
+        assert budget.epsilon == pytest.approx(1.1)
+        assert budget.exp_epsilon == pytest.approx(math.exp(1.1))
+
+    def test_from_exp(self):
+        budget = PrivacyBudget.from_exp(3.0)
+        assert budget.epsilon == pytest.approx(math.log(3))
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget.from_exp(1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, float("nan"), float("inf")])
+    def test_rejects_invalid_epsilon(self, bad):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(bad)
+
+    def test_split_composition(self):
+        budget = PrivacyBudget(2.0)
+        split = budget.split(4)
+        assert split.epsilon == pytest.approx(0.5)
+        assert budget.halve().epsilon == pytest.approx(1.0)
+
+    def test_split_rejects_nonpositive_parts(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0).split(0)
+
+    def test_probability_helpers_match_module_functions(self):
+        budget = PrivacyBudget(0.8)
+        assert budget.rr_keep_probability() == pytest.approx(rr_keep_probability(0.8))
+        assert budget.grr_keep_probability(16) == pytest.approx(
+            grr_keep_probability(0.8, 16)
+        )
+        assert budget.oue_probabilities() == pytest.approx(oue_probabilities(0.8))
+
+    def test_budget_is_hashable_and_frozen(self):
+        budget = PrivacyBudget(1.0)
+        assert hash(budget) == hash(PrivacyBudget(1.0))
+        with pytest.raises(Exception):
+            budget.epsilon = 2.0  # type: ignore[misc]

@@ -1,0 +1,40 @@
+"""Unit tests for randomness helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        first = ensure_rng(42).integers(0, 1000, size=5)
+        second = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        children = spawn_rngs(7, 4)
+        assert len(children) == 4
+        draws = [child.integers(0, 2**31, size=3).tolist() for child in children]
+        # Distinct streams should not produce identical draws.
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_reproducible_from_seed(self):
+        first = [g.integers(0, 100, size=2).tolist() for g in spawn_rngs(3, 3)]
+        second = [g.integers(0, 100, size=2).tolist() for g in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, 0)

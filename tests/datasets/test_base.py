@@ -1,0 +1,123 @@
+"""Unit tests for the BinaryDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import DatasetError
+from repro.datasets.base import BinaryDataset
+
+
+class TestConstruction:
+    def test_from_records(self):
+        records = np.array([[0, 1, 0], [1, 1, 1], [0, 0, 0]])
+        dataset = BinaryDataset.from_records(records)
+        assert dataset.size == 3
+        assert dataset.dimension == 3
+        assert dataset.attribute_names == ["attr0", "attr1", "attr2"]
+
+    def test_from_records_with_names(self):
+        dataset = BinaryDataset.from_records(
+            np.array([[1, 0]]), attribute_names=["x", "y"]
+        )
+        assert dataset.attribute_names == ["x", "y"]
+
+    def test_from_indices_roundtrip(self, rng):
+        domain = Domain.binary(5)
+        indices = rng.integers(0, 32, size=200)
+        dataset = BinaryDataset.from_indices(indices, domain)
+        np.testing.assert_array_equal(dataset.indices(), indices)
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(DatasetError):
+            BinaryDataset.from_records(np.array([[0, 2]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            BinaryDataset.from_records(np.zeros((0, 3)))
+
+    def test_rejects_wrong_dimension_against_domain(self):
+        with pytest.raises(DatasetError):
+            BinaryDataset(Domain.binary(4), np.array([[0, 1]]))
+
+    def test_rejects_1d_records(self):
+        with pytest.raises(DatasetError):
+            BinaryDataset.from_records(np.array([0, 1, 1]))
+
+    def test_from_indices_rejects_out_of_range(self):
+        with pytest.raises(DatasetError):
+            BinaryDataset.from_indices(np.array([8]), Domain.binary(3))
+
+
+class TestViews:
+    def test_indices_encoding(self):
+        # Attribute j maps to bit j: record [1, 0, 1] -> index 0b101.
+        dataset = BinaryDataset.from_records(np.array([[1, 0, 1], [0, 1, 0]]))
+        assert dataset.indices().tolist() == [0b101, 0b010]
+
+    def test_full_distribution_sums_to_one(self, tiny_dataset):
+        distribution = tiny_dataset.full_distribution()
+        assert distribution.shape == (16,)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_marginal_by_names(self, tiny_dataset):
+        table = tiny_dataset.marginal(["a", "b"])
+        assert table.values.sum() == pytest.approx(1.0)
+        # a and b were planted to agree 85% of the time.
+        agreement = table.cell({"a": 0, "b": 0}) + table.cell({"a": 1, "b": 1})
+        assert agreement > 0.7
+
+    def test_attribute_column(self, tiny_dataset):
+        column = tiny_dataset.attribute_column("a")
+        assert column.shape == (tiny_dataset.size,)
+        assert set(np.unique(column)).issubset({0, 1})
+        assert column.mean() == pytest.approx(0.6, abs=0.05)
+
+    def test_len(self, tiny_dataset):
+        assert len(tiny_dataset) == tiny_dataset.size
+
+
+class TestResampling:
+    def test_sample_with_replacement(self, tiny_dataset, rng):
+        sample = tiny_dataset.sample(10_000, rng=rng)
+        assert sample.size == 10_000
+        assert sample.domain == tiny_dataset.domain
+
+    def test_sample_without_replacement_limits(self, tiny_dataset, rng):
+        with pytest.raises(DatasetError):
+            tiny_dataset.sample(tiny_dataset.size + 1, rng=rng, replace=False)
+        sample = tiny_dataset.sample(100, rng=rng, replace=False)
+        assert sample.size == 100
+
+    def test_sample_rejects_nonpositive(self, tiny_dataset, rng):
+        with pytest.raises(DatasetError):
+            tiny_dataset.sample(0, rng=rng)
+
+    def test_project(self, tiny_dataset):
+        projected = tiny_dataset.project(["c", "a"])
+        assert projected.attribute_names == ["c", "a"]
+        np.testing.assert_array_equal(
+            projected.attribute_column("a"), tiny_dataset.attribute_column("a")
+        )
+        with pytest.raises(DatasetError):
+            tiny_dataset.project([])
+
+    def test_duplicate_attributes(self, tiny_dataset):
+        doubled = tiny_dataset.duplicate_attributes(1)
+        assert doubled.dimension == 8
+        np.testing.assert_array_equal(
+            doubled.attribute_column("a"), doubled.attribute_column("a_dup1")
+        )
+
+    def test_widen_to(self, tiny_dataset):
+        widened = tiny_dataset.widen_to(7)
+        assert widened.dimension == 7
+        # The duplicated columns replicate the originals round-robin.
+        np.testing.assert_array_equal(
+            widened.records[:, 4], tiny_dataset.records[:, 0]
+        )
+        assert tiny_dataset.widen_to(4) is tiny_dataset
+        with pytest.raises(DatasetError):
+            tiny_dataset.widen_to(3)

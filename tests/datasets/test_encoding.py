@@ -1,0 +1,120 @@
+"""Unit tests for categorical-to-binary encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import EncodingError
+from repro.datasets.encoding import (
+    CategoricalDomain,
+    compact_binary_dimension,
+    decode_compact,
+    encode_compact,
+    encode_onehot,
+)
+
+
+@pytest.fixture
+def domain() -> CategoricalDomain:
+    return CategoricalDomain(["colour", "size", "flag"], [5, 3, 2])
+
+
+@pytest.fixture
+def records(rng, domain) -> np.ndarray:
+    return np.stack(
+        [rng.integers(0, card, size=500) for card in domain.cardinalities], axis=1
+    )
+
+
+class TestCategoricalDomain:
+    def test_bits_per_attribute(self, domain):
+        assert domain.bits_per_attribute() == [3, 2, 1]
+        assert compact_binary_dimension(domain) == 6
+
+    def test_validation(self):
+        with pytest.raises(EncodingError):
+            CategoricalDomain([], [])
+        with pytest.raises(EncodingError):
+            CategoricalDomain(["a"], [1])
+        with pytest.raises(EncodingError):
+            CategoricalDomain(["a", "a"], [2, 2])
+        with pytest.raises(EncodingError):
+            CategoricalDomain(["a", "b"], [2])
+
+    def test_index_of(self, domain):
+        assert domain.index_of("size") == 1
+        with pytest.raises(EncodingError):
+            domain.index_of("missing")
+
+
+class TestCompactEncoding:
+    def test_roundtrip(self, domain, records):
+        encoded = encode_compact(records, domain)
+        decoded = decode_compact(encoded)
+        np.testing.assert_array_equal(decoded, records)
+
+    def test_binary_dimension(self, domain, records):
+        encoded = encode_compact(records, domain)
+        assert encoded.binary_dataset.dimension == 6
+
+    def test_bit_groups_partition(self, domain, records):
+        encoded = encode_compact(records, domain)
+        all_bits = [bit for group in encoded.bit_groups for bit in group]
+        assert sorted(all_bits) == list(range(6))
+
+    def test_rejects_out_of_range_values(self, domain):
+        bad = np.array([[5, 0, 0]])
+        with pytest.raises(EncodingError):
+            encode_compact(bad, domain)
+
+    def test_rejects_wrong_shape(self, domain):
+        with pytest.raises(EncodingError):
+            encode_compact(np.array([[0, 0]]), domain)
+        with pytest.raises(EncodingError):
+            encode_compact(np.zeros((0, 3), dtype=int), domain)
+
+    def test_binary_mask_for(self, domain, records):
+        encoded = encode_compact(records, domain)
+        mask = encoded.binary_mask_for(["colour", "flag"])
+        # colour occupies bits 0-2, flag bit 5.
+        assert mask == 0b100111
+        with pytest.raises(EncodingError):
+            encoded.binary_mask_for([])
+
+
+class TestCategoricalMarginal:
+    def test_marginal_folds_back_to_categories(self, domain, records):
+        encoded = encode_compact(records, domain)
+        binary = encoded.binary_dataset
+        mask = encoded.binary_mask_for(["size", "flag"])
+        binary_marginal = binary.marginal(mask).values
+        categorical = encoded.categorical_marginal(["size", "flag"], binary_marginal)
+        assert categorical.shape == (3, 2)
+        assert categorical.sum() == pytest.approx(1.0)
+        # Compare one cell against a direct count.
+        direct = np.mean((records[:, 1] == 2) & (records[:, 2] == 1))
+        assert categorical[2, 1] == pytest.approx(direct)
+
+    def test_marginal_rejects_wrong_length(self, domain, records):
+        encoded = encode_compact(records, domain)
+        with pytest.raises(EncodingError):
+            encoded.categorical_marginal(["size", "flag"], np.ones(4))
+
+
+class TestOneHotEncoding:
+    def test_onehot_dimension_and_recovery(self, domain, records):
+        encoded = encode_onehot(records, domain)
+        assert encoded.binary_dataset.dimension == 5 + 3 + 2
+        # Each record has exactly one indicator set per attribute.
+        sums = encoded.binary_dataset.records.sum(axis=1)
+        assert set(sums.tolist()) == {3}
+
+    def test_onehot_columns_match_counts(self, domain, records):
+        encoded = encode_onehot(records, domain)
+        binary = encoded.binary_dataset
+        for value in range(5):
+            expected = float(np.mean(records[:, 0] == value))
+            assert binary.attribute_column(f"colour_is{value}").mean() == pytest.approx(
+                expected
+            )

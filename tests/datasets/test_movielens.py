@@ -1,0 +1,68 @@
+"""Unit tests for the synthetic MovieLens-like generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_matrix
+from repro.core.exceptions import DatasetError
+from repro.datasets.movielens import (
+    MOVIE_GENRES,
+    MovieLensDataGenerator,
+    make_movielens_dataset,
+)
+
+
+class TestSchema:
+    def test_genre_names(self):
+        dataset = make_movielens_dataset(100, d=10, rng=1)
+        assert tuple(dataset.attribute_names) == MOVIE_GENRES[:10]
+
+    def test_dimension_control(self):
+        assert make_movielens_dataset(100, d=4, rng=1).dimension == 4
+        assert make_movielens_dataset(100, d=16, rng=1).dimension == 16
+
+    def test_widening_beyond_genre_count(self):
+        dataset = make_movielens_dataset(100, d=20, rng=1)
+        assert dataset.dimension == 20
+
+    def test_generator_validation(self):
+        with pytest.raises(DatasetError):
+            MovieLensDataGenerator(num_genres=0)
+        with pytest.raises(DatasetError):
+            MovieLensDataGenerator(num_genres=99)
+        with pytest.raises(DatasetError):
+            MovieLensDataGenerator(activity_strength=-1)
+        with pytest.raises(DatasetError):
+            MovieLensDataGenerator().generate(0, rng=1)
+
+    def test_reproducible(self):
+        first = make_movielens_dataset(500, d=6, rng=9)
+        second = make_movielens_dataset(500, d=6, rng=9)
+        np.testing.assert_array_equal(first.records, second.records)
+
+
+class TestCorrelationStructure:
+    def test_most_pairs_positively_correlated(self):
+        # The paper's documented property of the movielens preference data.
+        dataset = MovieLensDataGenerator(num_genres=10).generate(40_000, rng=4)
+        matrix = correlation_matrix(dataset)
+        off_diagonal = matrix[np.triu_indices(10, k=1)]
+        assert (off_diagonal > 0).mean() > 0.9
+        assert off_diagonal.mean() > 0.05
+
+    def test_popular_genres_more_prevalent(self):
+        dataset = MovieLensDataGenerator(num_genres=10).generate(40_000, rng=4)
+        drama = dataset.attribute_column("Drama").mean()
+        film_noir = dataset.attribute_column("FilmNoir").mean()
+        assert drama > film_noir
+
+    def test_activity_strength_increases_correlation(self):
+        weak = MovieLensDataGenerator(num_genres=6, activity_strength=0.1)
+        strong = MovieLensDataGenerator(num_genres=6, activity_strength=1.5)
+        weak_corr = correlation_matrix(weak.generate(30_000, rng=5))
+        strong_corr = correlation_matrix(strong.generate(30_000, rng=5))
+        assert strong_corr[np.triu_indices(6, k=1)].mean() > weak_corr[
+            np.triu_indices(6, k=1)
+        ].mean()

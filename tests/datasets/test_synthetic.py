@@ -1,0 +1,102 @@
+"""Unit tests for the generic synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.datasets.synthetic import (
+    independent_dataset,
+    latent_class_dataset,
+    skewed_dataset,
+    uniform_dataset,
+)
+
+
+class TestUniformAndIndependent:
+    def test_uniform_marginals(self, rng):
+        dataset = uniform_dataset(50_000, 4, rng=rng)
+        for name in dataset.attribute_names:
+            assert dataset.attribute_column(name).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_independent_biases(self, rng):
+        probabilities = [0.1, 0.5, 0.9]
+        dataset = independent_dataset(50_000, probabilities, rng=rng)
+        for name, probability in zip(dataset.attribute_names, probabilities):
+            assert dataset.attribute_column(name).mean() == pytest.approx(
+                probability, abs=0.02
+            )
+
+    def test_independent_attributes_uncorrelated(self, rng):
+        dataset = independent_dataset(50_000, [0.5, 0.5], rng=rng)
+        table = dataset.marginal(["attr0", "attr1"]).values
+        # P[both] should be close to P[a] * P[b] = 0.25.
+        assert table[3] == pytest.approx(0.25, abs=0.02)
+
+    def test_rejects_bad_probabilities(self, rng):
+        with pytest.raises(DatasetError):
+            independent_dataset(10, [1.5], rng=rng)
+        with pytest.raises(DatasetError):
+            independent_dataset(10, [], rng=rng)
+        with pytest.raises(DatasetError):
+            independent_dataset(0, [0.5], rng=rng)
+
+
+class TestSkewed:
+    def test_shape_and_reproducibility(self):
+        first = skewed_dataset(5000, 5, rng=3)
+        second = skewed_dataset(5000, 5, rng=3)
+        np.testing.assert_array_equal(first.records, second.records)
+        assert first.dimension == 5
+
+    def test_skew_concentrates_mass(self, rng):
+        heavy = skewed_dataset(20_000, 6, skew=2.5, rng=rng)
+        light = skewed_dataset(20_000, 6, skew=0.0, rng=rng)
+        assert heavy.full_distribution().max() > light.full_distribution().max()
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(DatasetError):
+            skewed_dataset(0, 4, rng=rng)
+        with pytest.raises(DatasetError):
+            skewed_dataset(10, 0, rng=rng)
+        with pytest.raises(DatasetError):
+            skewed_dataset(10, 4, skew=-1, rng=rng)
+
+
+class TestLatentClass:
+    def test_plants_positive_correlation(self, rng):
+        # Two attributes driven by the same latent class are positively correlated.
+        dataset = latent_class_dataset(
+            50_000,
+            class_probabilities=[0.5, 0.5],
+            conditional_probabilities=np.array([[0.9, 0.9], [0.1, 0.1]]),
+            rng=rng,
+        )
+        table = dataset.marginal(["attr0", "attr1"]).values
+        p_both = table[3]
+        p_first = table[1] + table[3]
+        p_second = table[2] + table[3]
+        assert p_both > p_first * p_second + 0.05
+
+    def test_named_attributes(self, rng):
+        dataset = latent_class_dataset(
+            100,
+            class_probabilities=[1.0],
+            conditional_probabilities=np.array([[0.5, 0.5]]),
+            attribute_names=["left", "right"],
+            rng=rng,
+        )
+        assert dataset.attribute_names == ["left", "right"]
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(DatasetError):
+            latent_class_dataset(
+                10, [0.5, 0.6], np.array([[0.5], [0.5]]), rng=rng
+            )
+        with pytest.raises(DatasetError):
+            latent_class_dataset(10, [1.0], np.array([[1.5]]), rng=rng)
+        with pytest.raises(DatasetError):
+            latent_class_dataset(10, [1.0], np.array([0.5]), rng=rng)
+        with pytest.raises(DatasetError):
+            latent_class_dataset(0, [1.0], np.array([[0.5]]), rng=rng)

@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic NYC-taxi-like generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_matrix
+from repro.datasets.taxi import (
+    DEPENDENT_PAIRS,
+    INDEPENDENT_PAIRS,
+    TAXI_ATTRIBUTES,
+    TaxiDataGenerator,
+    make_taxi_dataset,
+)
+
+
+class TestSchema:
+    def test_attribute_names_match_paper(self):
+        dataset = make_taxi_dataset(100, rng=1)
+        assert tuple(dataset.attribute_names) == TAXI_ATTRIBUTES
+        assert dataset.dimension == 8
+
+    def test_reproducible_from_seed(self):
+        first = make_taxi_dataset(1000, rng=5)
+        second = make_taxi_dataset(1000, rng=5)
+        np.testing.assert_array_equal(first.records, second.records)
+
+
+class TestCorrelationStructure:
+    @pytest.fixture(scope="class")
+    def correlations(self):
+        dataset = TaxiDataGenerator().generate(60_000, rng=11)
+        matrix = correlation_matrix(dataset)
+        names = dataset.attribute_names
+        return {
+            (names[i], names[j]): matrix[i, j]
+            for i in range(len(names))
+            for j in range(len(names))
+        }
+
+    @pytest.mark.parametrize("pair", DEPENDENT_PAIRS)
+    def test_documented_dependent_pairs_are_strong(self, correlations, pair):
+        assert correlations[pair] > 0.3
+
+    @pytest.mark.parametrize("pair", INDEPENDENT_PAIRS)
+    def test_documented_independent_pairs_are_weak(self, correlations, pair):
+        assert abs(correlations[pair]) < 0.1
+
+    def test_manhattan_trips_dominate(self):
+        # Figure 2: most trips start and end inside Manhattan.
+        dataset = make_taxi_dataset(50_000, rng=3)
+        table = dataset.marginal(["M_pick", "M_drop"])
+        assert table.cell({"M_pick": 1, "M_drop": 1}) > 0.5
+
+
+class TestWidening:
+    def test_widen_to_larger_d(self):
+        dataset = make_taxi_dataset(2000, d=12, rng=2)
+        assert dataset.dimension == 12
+        # Duplicated columns keep the original 8 as a prefix.
+        assert list(dataset.attribute_names[:8]) == list(TAXI_ATTRIBUTES)
+
+    def test_project_to_smaller_d(self):
+        dataset = make_taxi_dataset(2000, d=4, rng=2)
+        assert dataset.dimension == 4
+        assert tuple(dataset.attribute_names) == TAXI_ATTRIBUTES[:4]
+
+    def test_default_d_unchanged(self):
+        assert make_taxi_dataset(500, d=8, rng=2).dimension == 8

@@ -1,0 +1,84 @@
+"""Unit tests for sweep configuration and text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.experiments.config import LN3, SweepConfig
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestSweepConfig:
+    def test_grid_size(self):
+        config = SweepConfig(
+            protocols=("InpHT", "MargPS"),
+            population_sizes=(100, 200),
+            dimensions=(4,),
+            widths=(1, 2),
+            epsilons=(0.5, 1.0),
+            repetitions=3,
+        )
+        assert config.grid_size() == 2 * 2 * 1 * 2 * 2 * 3
+
+    def test_default_epsilon_is_ln3(self):
+        import math
+
+        assert LN3 == pytest.approx(math.log(3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"protocols": ()},
+            {"protocols": ("InpHT",), "repetitions": 0},
+            {"protocols": ("InpHT",), "population_sizes": (0,)},
+            {"protocols": ("InpHT",), "dimensions": (0,)},
+            {"protocols": ("InpHT",), "widths": (0,)},
+            {"protocols": ("InpHT",), "epsilons": (0.0,)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ProtocolConfigurationError):
+            SweepConfig(**kwargs)
+
+
+class TestFormatTable:
+    def test_renders_columns_and_rows(self):
+        rows = [
+            {"method": "InpHT", "error": 0.0123},
+            {"method": "MargPS", "error": 0.0456},
+        ]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "InpHT" in text and "MargPS" in text
+        assert "0.0123" in text
+
+    def test_handles_missing_cells(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_scientific_notation_for_extremes(self):
+        text = format_table([{"value": 123456.789}, {"value": 0.0000001}])
+        assert "e+" in text or "E+" in text
+        assert "e-" in text or "E-" in text
+
+
+class TestFormatSeries:
+    def test_merges_curves_on_shared_x(self):
+        series = {
+            "InpHT": [(100, 0.1, 0.01), (200, 0.05, 0.01)],
+            "MargPS": [(100, 0.2, 0.02), (200, 0.1, 0.02)],
+        }
+        text = format_series(series, x_label="N", y_label="tv", title="curves")
+        assert "curves" in text
+        lines = text.splitlines()
+        assert any("100" in line and "0.1" in line and "0.2" in line for line in lines)
+
+    def test_handles_missing_points(self):
+        series = {"A": [(1, 0.5, 0.0)], "B": [(2, 0.25, 0.0)]}
+        text = format_series(series, x_label="x", y_label="y")
+        assert "0.5" in text and "0.25" in text

@@ -1,0 +1,65 @@
+"""Unit tests for the experiment error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MarginalQueryError
+from repro.core.marginals import MarginalWorkload
+from repro.core.privacy import PrivacyBudget
+from repro.experiments.metrics import (
+    marginal_errors,
+    mean_total_variation,
+    mean_total_variation_by_width,
+)
+from repro.protocols.base import DistributionEstimator
+from repro.protocols.inp_ht import InpHT
+
+
+class TestWithExactEstimator:
+    """An estimator built from the exact distribution must have zero error."""
+
+    @pytest.fixture
+    def exact_estimator(self, tiny_dataset):
+        workload = MarginalWorkload(tiny_dataset.domain, 3)
+        return DistributionEstimator(workload, tiny_dataset.full_distribution())
+
+    def test_zero_error(self, tiny_dataset, exact_estimator):
+        assert mean_total_variation(tiny_dataset, exact_estimator, widths=[1, 2, 3]) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_reports_cover_all_marginals(self, tiny_dataset, exact_estimator):
+        reports = marginal_errors(tiny_dataset, exact_estimator, widths=[1, 2])
+        assert len(reports) == 4 + 6
+        assert all(report.total_variation == pytest.approx(0.0) for report in reports)
+        assert {report.width for report in reports} == {1, 2}
+
+    def test_explicit_beta_list(self, tiny_dataset, exact_estimator):
+        reports = marginal_errors(
+            tiny_dataset, exact_estimator, betas=[["a", "b"], ["c"]]
+        )
+        assert len(reports) == 2
+        assert reports[0].width == 2 and reports[1].width == 1
+
+
+class TestWithNoisyEstimator:
+    def test_by_width_breakdown(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(1.0), 2).run(tiny_dataset, rng=rng)
+        by_width = mean_total_variation_by_width(tiny_dataset, estimator, widths=[1, 2])
+        assert set(by_width) == {1, 2}
+        assert all(value >= 0 for value in by_width.values())
+        overall = mean_total_variation(tiny_dataset, estimator, widths=[1, 2])
+        weighted = (4 * by_width[1] + 6 * by_width[2]) / 10
+        assert overall == pytest.approx(weighted)
+
+    def test_width_outside_workload_rejected(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(1.0), 2).run(tiny_dataset, rng=rng)
+        with pytest.raises(MarginalQueryError):
+            mean_total_variation(tiny_dataset, estimator, widths=[3])
+
+    def test_max_cell_error_at_most_double_tv(self, tiny_dataset, rng):
+        estimator = InpHT(PrivacyBudget(1.0), 2).run(tiny_dataset, rng=rng)
+        for report in marginal_errors(tiny_dataset, estimator, widths=[2]):
+            assert report.max_cell_error <= 2 * report.total_variation + 1e-12

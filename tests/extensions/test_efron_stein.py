@@ -1,0 +1,205 @@
+"""Unit tests for the Efron–Stein decomposition and the InpES protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    EncodingError,
+    MarginalQueryError,
+    ProtocolConfigurationError,
+)
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.encoding import CategoricalDomain
+from repro.extensions.efron_stein import (
+    AttributeBasis,
+    EfronSteinDecomposition,
+    InpES,
+)
+
+
+@pytest.fixture
+def domain() -> CategoricalDomain:
+    return CategoricalDomain(["colour", "size", "flag"], [4, 3, 2])
+
+
+@pytest.fixture
+def records(rng, domain) -> np.ndarray:
+    """Correlated categorical records: size follows colour with noise."""
+    n = 30_000
+    colour = rng.choice(4, size=n, p=[0.4, 0.3, 0.2, 0.1])
+    size = np.clip(colour // 2 + rng.integers(0, 2, size=n), 0, 2)
+    flag = (rng.random(n) < 0.3 + 0.1 * (colour == 0)).astype(np.int64)
+    return np.stack([colour, size, flag], axis=1)
+
+
+def empirical_marginal(records: np.ndarray, columns, cards) -> np.ndarray:
+    counts = np.zeros(cards, dtype=np.float64)
+    for row in records:
+        counts[tuple(row[c] for c in columns)] += 1
+    return counts / records.shape[0]
+
+
+class TestAttributeBasis:
+    @pytest.mark.parametrize("cardinality", [2, 3, 4, 7])
+    def test_helmert_is_orthonormal_with_constant_row(self, cardinality):
+        basis = AttributeBasis.helmert(cardinality)
+        assert basis.is_orthonormal()
+        np.testing.assert_allclose(
+            basis.matrix[0], np.full(cardinality, 1 / np.sqrt(cardinality))
+        )
+
+    def test_binary_case_matches_hadamard_signs(self):
+        basis = AttributeBasis.helmert(2)
+        scaled = np.sqrt(2) * basis.matrix[1]
+        np.testing.assert_allclose(scaled, [1.0, -1.0])
+
+    def test_rejects_small_cardinality(self):
+        with pytest.raises(EncodingError):
+            AttributeBasis.helmert(1)
+
+    def test_rejects_bad_matrix_shape(self):
+        with pytest.raises(EncodingError):
+            AttributeBasis(3, np.eye(2))
+
+
+class TestDecomposition:
+    def test_coefficient_counts(self, domain):
+        decomposition = EfronSteinDecomposition(domain)
+        singles = decomposition.coefficient_indices(1)
+        assert len(singles) == (4 - 1) + (3 - 1) + (2 - 1)
+        pairs = decomposition.coefficient_indices(2)
+        expected_pairs = 3 * 2 + 3 * 1 + 2 * 1
+        assert len(pairs) == len(singles) + expected_pairs
+
+    def test_coefficients_for_marginal(self, domain):
+        decomposition = EfronSteinDecomposition(domain)
+        needed = decomposition.coefficients_for_marginal(["colour", "flag"])
+        assert len(needed) == 4 * 2
+        # All returned indices are constant on the "size" attribute.
+        assert all(index[1] == 0 for index in needed)
+
+    def test_constant_coefficient_is_one(self, domain, records):
+        decomposition = EfronSteinDecomposition(domain)
+        coefficients = decomposition.coefficients_of(records, max_support=1)
+        assert coefficients[(0, 0, 0)] == pytest.approx(1.0)
+
+    def test_exact_reconstruction_of_marginals(self, domain, records):
+        decomposition = EfronSteinDecomposition(domain)
+        coefficients = decomposition.coefficients_of(records, max_support=2)
+        for attributes, columns, cards in (
+            (["colour", "size"], (0, 1), (4, 3)),
+            (["size", "flag"], (1, 2), (3, 2)),
+            (["colour"], (0,), (4,)),
+        ):
+            reconstructed = decomposition.marginal_from_coefficients(
+                attributes, coefficients
+            )
+            expected = empirical_marginal(records, columns, cards)
+            np.testing.assert_allclose(reconstructed, expected, atol=1e-10)
+
+    def test_binary_domain_matches_hadamard(self, rng):
+        """On an all-binary domain the ES coefficients equal the scaled
+        Hadamard coefficients of the one-hot distribution."""
+        from repro.core.hadamard import scaled_coefficients
+
+        domain = CategoricalDomain(["a", "b", "c"], [2, 2, 2])
+        records = rng.integers(0, 2, size=(5000, 3))
+        decomposition = EfronSteinDecomposition(domain)
+        es = decomposition.coefficients_of(records, max_support=3)
+        indices = records[:, 0] + 2 * records[:, 1] + 4 * records[:, 2]
+        distribution = np.bincount(indices, minlength=8) / records.shape[0]
+        hadamard = scaled_coefficients(distribution)
+        for index, value in es.items():
+            mask = sum(1 << position for position, bit in enumerate(index) if bit)
+            assert value == pytest.approx(hadamard[mask], abs=1e-9)
+
+    def test_value_bound_holds(self, domain, records):
+        decomposition = EfronSteinDecomposition(domain)
+        for index in decomposition.coefficient_indices(2):
+            bound = decomposition.value_bound(index)
+            values = decomposition.basis_values(index, records)
+            assert np.abs(values).max() <= bound + 1e-9
+
+    def test_missing_coefficient_raises(self, domain):
+        decomposition = EfronSteinDecomposition(domain)
+        with pytest.raises(MarginalQueryError):
+            decomposition.marginal_from_coefficients(["colour"], {(0, 0, 0): 1.0})
+
+    def test_bad_support_width_rejected(self, domain):
+        decomposition = EfronSteinDecomposition(domain)
+        with pytest.raises(MarginalQueryError):
+            decomposition.coefficient_indices(0)
+        with pytest.raises(MarginalQueryError):
+            decomposition.coefficient_indices(4)
+
+
+class TestInpES:
+    def test_configuration_validation(self, domain, records, rng):
+        with pytest.raises(ProtocolConfigurationError):
+            InpES(PrivacyBudget(1.0), 0)
+        with pytest.raises(ProtocolConfigurationError):
+            InpES(PrivacyBudget(1.0), 5).run(records, domain, rng=rng)
+        with pytest.raises(ProtocolConfigurationError):
+            InpES(PrivacyBudget(1.0), 2).run(records[:, :2], domain, rng=rng)
+
+    def test_budget_coercion(self):
+        assert InpES(1.3, 2).budget.epsilon == pytest.approx(1.3)
+
+    def test_high_budget_recovers_categorical_marginals(self, domain, records, rng):
+        protocol = InpES(PrivacyBudget(8.0), max_width=2)
+        estimator = protocol.run(records, domain, rng=rng)
+        for attributes, columns, cards in (
+            (["colour", "size"], (0, 1), (4, 3)),
+            (["size", "flag"], (1, 2), (3, 2)),
+        ):
+            estimate = estimator.query(attributes)
+            expected = empirical_marginal(records, columns, cards)
+            # Even with a near-noiseless mechanism the sampling of one
+            # coefficient per user leaves O(sqrt(#coeffs / N)) error.
+            assert 0.5 * np.abs(estimate - expected).sum() < 0.12
+
+    def test_moderate_budget_reasonable(self, domain, records, rng):
+        protocol = InpES(PrivacyBudget(np.log(3)), max_width=2)
+        estimator = protocol.run(records, domain, rng=rng)
+        estimate = estimator.query(["colour", "size"])
+        expected = empirical_marginal(records, (0, 1), (4, 3))
+        assert 0.5 * np.abs(estimate - expected).sum() < 0.25
+        assert estimate.sum() == pytest.approx(1.0, abs=0.1)
+
+    def test_query_width_validation(self, domain, records, rng):
+        estimator = InpES(PrivacyBudget(1.0), max_width=2).run(records, domain, rng=rng)
+        with pytest.raises(MarginalQueryError):
+            estimator.query(["colour", "size", "flag"])
+
+    def test_communication_bits(self, domain):
+        bits = InpES(PrivacyBudget(1.0), max_width=2).communication_bits(domain)
+        # 17 coefficients for cardinalities (4, 3, 2) at width 2:
+        # singles 3+2+1 = 6, pairs 3*2 + 3*1 + 2*1 = 11 -> 5 index bits + 1.
+        assert bits == 6
+
+    def test_binary_domain_behaves_like_inp_ht(self, rng):
+        """On binary data InpES should achieve accuracy comparable to InpHT."""
+        from repro.datasets.base import BinaryDataset
+        from repro.experiments.metrics import mean_total_variation
+        from repro.protocols.inp_ht import InpHT
+
+        n = 20_000
+        bits = rng.integers(0, 2, size=(n, 4))
+        domain = CategoricalDomain(["a", "b", "c", "d"], [2, 2, 2, 2])
+        binary = BinaryDataset.from_records(bits, attribute_names=["a", "b", "c", "d"])
+        budget = PrivacyBudget(np.log(3))
+
+        ht_error = mean_total_variation(
+            binary, InpHT(budget, 2).run(binary, rng=np.random.default_rng(0)), widths=[2]
+        )
+        estimator = InpES(budget, 2).run(bits, domain, rng=np.random.default_rng(0))
+        es_errors = []
+        names = ["a", "b", "c", "d"]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                estimate = estimator.query([names[i], names[j]]).reshape(-1)
+                expected = empirical_marginal(bits, (i, j), (2, 2)).reshape(-1)
+                es_errors.append(0.5 * np.abs(estimate - expected).sum())
+        assert np.mean(es_errors) < ht_error * 2.5

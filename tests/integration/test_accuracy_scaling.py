@@ -1,0 +1,77 @@
+"""Integration tests of the accuracy trends the theory predicts.
+
+These are the statistical counterparts of Theorems 4.3–4.5 and Table 2:
+error falls with N and epsilon, grows with d and k, and the method ordering
+matches the bounds.  They use averaged repetitions on moderate populations so
+they are stable without being slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.synthetic import uniform_dataset
+from repro.datasets.taxi import make_taxi_dataset
+from repro.experiments.metrics import mean_total_variation
+from repro.protocols.registry import make_protocol
+
+
+def averaged_error(name, dataset, epsilon, width, repetitions=3):
+    errors = []
+    for seed in range(repetitions):
+        protocol = make_protocol(name, PrivacyBudget(epsilon), width)
+        estimator = protocol.run(dataset, rng=np.random.default_rng(seed))
+        errors.append(mean_total_variation(dataset, estimator, widths=[width]))
+    return float(np.mean(errors))
+
+
+class TestScalingWithPopulation:
+    @pytest.mark.parametrize("name", ["InpHT", "MargPS"])
+    def test_error_shrinks_roughly_like_inverse_sqrt_n(self, name):
+        small = make_taxi_dataset(4096, rng=np.random.default_rng(0))
+        large = make_taxi_dataset(65_536, rng=np.random.default_rng(0))
+        error_small = averaged_error(name, small, 1.1, 2)
+        error_large = averaged_error(name, large, 1.1, 2)
+        ratio = error_small / error_large
+        # N grows 16x, so 1/sqrt(N) predicts a 4x error reduction; allow slack.
+        assert ratio > 2.0
+
+
+class TestScalingWithEpsilon:
+    @pytest.mark.parametrize("name", ["InpHT", "MargPS", "MargHT"])
+    def test_error_decreases_with_epsilon(self, name):
+        dataset = make_taxi_dataset(16_384, rng=np.random.default_rng(1))
+        strict = averaged_error(name, dataset, 0.4, 2)
+        relaxed = averaged_error(name, dataset, 1.4, 2)
+        assert relaxed < strict
+
+
+class TestScalingWithDimension:
+    def test_inp_ps_blows_up_with_d_but_inp_ht_degrades_gracefully(self):
+        narrow = uniform_dataset(8192, 4, rng=np.random.default_rng(2))
+        wide = uniform_dataset(8192, 10, rng=np.random.default_rng(2))
+        ps_growth = averaged_error("InpPS", wide, 1.1, 2) / max(
+            averaged_error("InpPS", narrow, 1.1, 2), 1e-6
+        )
+        ht_growth = averaged_error("InpHT", wide, 1.1, 2) / max(
+            averaged_error("InpHT", narrow, 1.1, 2), 1e-6
+        )
+        assert ps_growth > ht_growth
+
+    def test_method_ordering_matches_table2_at_d16(self):
+        dataset = make_taxi_dataset(16_384, d=16, rng=np.random.default_rng(3))
+        inp_ht = averaged_error("InpHT", dataset, 1.1, 2)
+        inp_ps = averaged_error("InpPS", dataset, 1.1, 2)
+        marg_ps = averaged_error("MargPS", dataset, 1.1, 2)
+        # The paper's Figure 4 (d=16) ordering: InpHT best, InpPS hopeless.
+        assert inp_ht < marg_ps < inp_ps
+
+
+class TestScalingWithWidth:
+    def test_error_grows_with_k_for_inp_ht(self):
+        dataset = make_taxi_dataset(16_384, rng=np.random.default_rng(4))
+        narrow = averaged_error("InpHT", dataset, 1.1, 1)
+        wide = averaged_error("InpHT", dataset, 1.1, 3)
+        assert wide > narrow

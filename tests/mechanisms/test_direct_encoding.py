@@ -1,0 +1,97 @@
+"""Unit tests for direct encoding / generalised randomized response."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.direct_encoding import DirectEncoding
+
+
+class TestConstruction:
+    def test_from_budget(self):
+        mechanism = DirectEncoding.from_budget(PrivacyBudget(math.log(3)), 4)
+        assert mechanism.keep_probability == pytest.approx(3 / 6)
+        assert mechanism.lie_probability == pytest.approx((1 - 0.5) / 3)
+        assert mechanism.epsilon == pytest.approx(math.log(3))
+
+    def test_binary_case_matches_rr(self):
+        mechanism = DirectEncoding.from_budget(PrivacyBudget(math.log(3)), 2)
+        assert mechanism.keep_probability == pytest.approx(0.75)
+
+    def test_rejects_small_domain(self):
+        with pytest.raises(ProtocolConfigurationError):
+            DirectEncoding(1, 0.9)
+
+    def test_rejects_probability_below_uniform(self):
+        with pytest.raises(ProtocolConfigurationError):
+            DirectEncoding(4, 0.2)
+        with pytest.raises(ProtocolConfigurationError):
+            DirectEncoding(4, 1.0)
+
+
+class TestPerturbation:
+    def test_output_range(self, rng):
+        mechanism = DirectEncoding.from_budget(PrivacyBudget(1.0), 8)
+        values = rng.integers(0, 8, size=1000)
+        noisy = mechanism.perturb(values, rng=rng)
+        assert noisy.min() >= 0 and noisy.max() < 8
+
+    def test_rejects_out_of_range_values(self, rng):
+        mechanism = DirectEncoding.from_budget(PrivacyBudget(1.0), 4)
+        with pytest.raises(ProtocolConfigurationError):
+            mechanism.perturb(np.array([0, 4]), rng=rng)
+
+    def test_keep_rate(self, rng):
+        mechanism = DirectEncoding(4, 0.6)
+        values = np.full(100_000, 2)
+        noisy = mechanism.perturb(values, rng=rng)
+        assert (noisy == 2).mean() == pytest.approx(0.6, abs=0.01)
+
+    def test_lies_are_uniform_over_other_values(self, rng):
+        mechanism = DirectEncoding(5, 0.5)
+        values = np.full(200_000, 3)
+        noisy = mechanism.perturb(values, rng=rng)
+        lies = noisy[noisy != 3]
+        counts = np.bincount(lies, minlength=5).astype(float)
+        counts[3] = np.nan
+        fractions = counts / len(lies)
+        np.testing.assert_allclose(
+            fractions[[0, 1, 2, 4]], np.full(4, 0.25), atol=0.01
+        )
+
+
+class TestEstimation:
+    def test_estimate_frequencies_recovers_distribution(self, rng):
+        mechanism = DirectEncoding.from_budget(PrivacyBudget(math.log(3)), 4)
+        probabilities = np.array([0.5, 0.25, 0.15, 0.1])
+        values = rng.choice(4, size=300_000, p=probabilities)
+        estimates = mechanism.estimate_frequencies(mechanism.perturb(values, rng=rng))
+        np.testing.assert_allclose(estimates, probabilities, atol=0.02)
+        assert estimates.sum() == pytest.approx(1.0, abs=0.02)
+
+    def test_unbias_matches_paper_formula(self):
+        # The paper writes the estimator as (D F_j + p_s - 1) / (D p_s + p_s - 1).
+        mechanism = DirectEncoding(8, 0.4)
+        domain = 8
+        big_d = domain - 1
+        p_s = 0.4
+        for fraction in (0.0, 0.1, 0.3, 0.7):
+            ours = mechanism.unbias_frequencies(np.array([fraction]))[0]
+            paper = (big_d * fraction + p_s - 1) / (big_d * p_s + p_s - 1)
+            assert ours == pytest.approx(paper)
+
+    def test_report_histogram_rejects_empty(self):
+        mechanism = DirectEncoding(4, 0.5)
+        with pytest.raises(ProtocolConfigurationError):
+            mechanism.report_histogram(np.array([], dtype=int))
+
+    def test_variance_grows_with_domain(self):
+        budget = PrivacyBudget(1.0)
+        small = DirectEncoding.from_budget(budget, 4).variance_per_report()
+        large = DirectEncoding.from_budget(budget, 256).variance_per_report()
+        assert large > small

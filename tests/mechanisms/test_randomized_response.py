@@ -1,0 +1,107 @@
+"""Unit tests for bit and sign randomized response."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.randomized_response import (
+    BitRandomizedResponse,
+    SignRandomizedResponse,
+)
+
+
+class TestBitRandomizedResponse:
+    def test_from_budget_probability(self):
+        mechanism = BitRandomizedResponse.from_budget(PrivacyBudget(math.log(3)))
+        assert mechanism.keep_probability == pytest.approx(0.75)
+        assert mechanism.epsilon == pytest.approx(math.log(3))
+
+    @pytest.mark.parametrize("bad", [0.5, 0.4, 1.0, 1.2])
+    def test_rejects_bad_probability(self, bad):
+        with pytest.raises(ProtocolConfigurationError):
+            BitRandomizedResponse(bad)
+
+    def test_perturb_output_is_binary(self, rng):
+        mechanism = BitRandomizedResponse(0.75)
+        bits = rng.integers(0, 2, size=(50, 20))
+        noisy = mechanism.perturb(bits, rng=rng)
+        assert set(np.unique(noisy)).issubset({0, 1})
+        assert noisy.shape == bits.shape
+
+    def test_flip_rate_matches_probability(self, rng):
+        mechanism = BitRandomizedResponse(0.8)
+        bits = np.ones(200_000, dtype=np.int8)
+        noisy = mechanism.perturb(bits, rng=rng)
+        assert noisy.mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_unbias_mean_inverts_expectation(self, rng):
+        mechanism = BitRandomizedResponse(0.7)
+        true_frequency = 0.3
+        bits = (rng.random(300_000) < true_frequency).astype(np.int8)
+        noisy = mechanism.perturb(bits, rng=rng)
+        estimate = mechanism.unbias_mean(noisy.mean())
+        assert estimate == pytest.approx(true_frequency, abs=0.01)
+
+    def test_unbias_is_exact_inverse_of_expectation(self):
+        mechanism = BitRandomizedResponse(0.9)
+        for frequency in (0.0, 0.25, 0.5, 1.0):
+            expected_mean = 0.9 * frequency + 0.1 * (1 - frequency)
+            assert mechanism.unbias_mean(expected_mean) == pytest.approx(frequency)
+
+    def test_variance_positive_and_decreasing_in_p(self):
+        low = BitRandomizedResponse(0.6).variance_per_report()
+        high = BitRandomizedResponse(0.9).variance_per_report()
+        assert low > high > 0
+
+
+class TestSignRandomizedResponse:
+    def test_attenuation(self):
+        mechanism = SignRandomizedResponse(0.75)
+        assert mechanism.attenuation == pytest.approx(0.5)
+        assert mechanism.epsilon == pytest.approx(math.log(3))
+
+    def test_perturb_preserves_magnitude(self, rng):
+        mechanism = SignRandomizedResponse(0.75)
+        signs = rng.choice([-1.0, 1.0], size=1000)
+        noisy = mechanism.perturb(signs, rng=rng)
+        assert set(np.unique(noisy)).issubset({-1.0, 1.0})
+
+    def test_unbias_mean(self, rng):
+        mechanism = SignRandomizedResponse(0.75)
+        signs = np.ones(200_000)
+        noisy = mechanism.perturb(signs, rng=rng)
+        assert mechanism.unbias_mean(noisy.mean()) == pytest.approx(1.0, abs=0.02)
+
+    def test_unbiasedness_for_mixed_input(self, rng):
+        mechanism = SignRandomizedResponse(0.8)
+        true_mean = 0.4  # 70% ones, 30% minus-ones
+        signs = np.where(rng.random(200_000) < 0.7, 1.0, -1.0)
+        noisy = mechanism.perturb(signs, rng=rng)
+        assert mechanism.unbias_mean(noisy.mean()) == pytest.approx(true_mean, abs=0.02)
+
+    def test_variance_formula(self):
+        mechanism = SignRandomizedResponse(0.75)
+        expected = 4 * 0.75 * 0.25 / 0.25
+        assert mechanism.variance_per_report() == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", [0.5, 1.0, 0.0])
+    def test_rejects_bad_probability(self, bad):
+        with pytest.raises(ProtocolConfigurationError):
+            SignRandomizedResponse(bad)
+
+    def test_empirical_ldp_ratio(self, rng):
+        """The observed output distribution respects the e^eps ratio bound."""
+        budget = PrivacyBudget(1.0)
+        mechanism = SignRandomizedResponse.from_budget(budget)
+        n = 200_000
+        plus = mechanism.perturb(np.ones(n), rng=rng)
+        minus = mechanism.perturb(-np.ones(n), rng=rng)
+        p_plus_given_plus = (plus == 1).mean()
+        p_plus_given_minus = (minus == 1).mean()
+        ratio = p_plus_given_plus / p_plus_given_minus
+        assert ratio <= math.exp(1.0) * 1.05

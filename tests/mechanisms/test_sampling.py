@@ -1,0 +1,91 @@
+"""Unit tests for the sampling strategies (RRS vs budget splitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.sampling import (
+    UniformSampler,
+    sample_and_randomize_signs,
+    sample_variance,
+    split_budget_variance,
+)
+
+
+class TestUniformSampler:
+    def test_sampling_probability(self):
+        assert UniformSampler(10).sampling_probability == pytest.approx(0.1)
+        assert UniformSampler(10).inverse_probability() == pytest.approx(10.0)
+
+    def test_sample_range_and_shape(self, rng):
+        sampler = UniformSampler(7)
+        samples = sampler.sample(1000, rng=rng)
+        assert samples.shape == (1000,)
+        assert samples.min() >= 0 and samples.max() < 7
+
+    def test_sample_is_roughly_uniform(self, rng):
+        sampler = UniformSampler(4)
+        samples = sampler.sample(100_000, rng=rng)
+        fractions = np.bincount(samples, minlength=4) / samples.size
+        np.testing.assert_allclose(fractions, np.full(4, 0.25), atol=0.01)
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ProtocolConfigurationError):
+            UniformSampler(0)
+        with pytest.raises(ProtocolConfigurationError):
+            UniformSampler(3).sample(0, rng=rng)
+
+
+class TestSampleAndRandomize:
+    def test_shapes_and_values(self, rng, budget):
+        values = np.where(rng.random((500, 6)) < 0.5, 1.0, -1.0)
+        columns, perturbed, mechanism = sample_and_randomize_signs(
+            values, budget, rng=rng
+        )
+        assert columns.shape == (500,)
+        assert perturbed.shape == (500,)
+        assert set(np.unique(perturbed)).issubset({-1.0, 1.0})
+        assert mechanism.epsilon == pytest.approx(budget.epsilon)
+
+    def test_rejects_non_matrix(self, rng, budget):
+        with pytest.raises(ProtocolConfigurationError):
+            sample_and_randomize_signs(np.ones(10), budget, rng=rng)
+
+    def test_unbiased_recovery_of_column_means(self, rng, budget):
+        # All columns are constant +1, so the de-biased per-column mean should
+        # be close to 1 regardless of which users sampled which column.
+        n, m = 200_000, 4
+        values = np.ones((n, m))
+        columns, perturbed, mechanism = sample_and_randomize_signs(
+            values, budget, rng=rng
+        )
+        for column in range(m):
+            member = columns == column
+            estimate = mechanism.unbias_mean(perturbed[member].mean())
+            assert estimate == pytest.approx(1.0, abs=0.05)
+
+
+class TestVarianceComparison:
+    def test_sampling_beats_splitting_for_many_items(self, budget):
+        for m in (4, 16, 64):
+            assert sample_variance(budget, m, 10_000) < split_budget_variance(
+                budget, m, 10_000
+            )
+
+    def test_single_item_equivalence(self, budget):
+        # With one item there is nothing to sample or split over.
+        assert sample_variance(budget, 1, 1000) == pytest.approx(
+            split_budget_variance(budget, 1, 1000)
+        )
+
+    def test_variance_decreases_with_population(self, budget):
+        assert sample_variance(budget, 8, 100_000) < sample_variance(budget, 8, 1000)
+
+    def test_rejects_bad_arguments(self, budget):
+        with pytest.raises(ProtocolConfigurationError):
+            sample_variance(budget, 0, 100)
+        with pytest.raises(ProtocolConfigurationError):
+            split_budget_variance(budget, 4, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the Hadamard count-mean sketch."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.sketch import HadamardCountMeanSketch
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        sketch = HadamardCountMeanSketch(1024, PrivacyBudget(1.0))
+        assert sketch.num_hashes == 5
+        assert sketch.width == 256
+
+    @pytest.mark.parametrize("width", [0, 3, 100])
+    def test_rejects_non_power_of_two_width(self, width):
+        with pytest.raises(ProtocolConfigurationError):
+            HadamardCountMeanSketch(64, PrivacyBudget(1.0), width=width)
+
+    def test_rejects_bad_hash_count(self):
+        with pytest.raises(ProtocolConfigurationError):
+            HadamardCountMeanSketch(64, PrivacyBudget(1.0), num_hashes=0)
+
+    def test_rejects_small_domain(self):
+        with pytest.raises(ProtocolConfigurationError):
+            HadamardCountMeanSketch(1, PrivacyBudget(1.0))
+
+
+class TestReports:
+    def test_report_shapes_and_ranges(self, rng):
+        sketch = HadamardCountMeanSketch(256, PrivacyBudget(1.1), num_hashes=3, width=16)
+        values = rng.integers(0, 256, size=1000)
+        hashes, coefficients, signs = sketch.perturb(values, rng=rng)
+        assert hashes.shape == coefficients.shape == signs.shape == (1000,)
+        assert hashes.min() >= 0 and hashes.max() < 3
+        assert coefficients.min() >= 0 and coefficients.max() < 16
+        assert set(np.unique(signs)).issubset({-1.0, 1.0})
+
+    def test_rejects_out_of_range(self, rng):
+        sketch = HadamardCountMeanSketch(16, PrivacyBudget(1.0), width=8)
+        with pytest.raises(ProtocolConfigurationError):
+            sketch.perturb(np.array([20]), rng=rng)
+
+    def test_build_sketch_rejects_shape_mismatch(self):
+        sketch = HadamardCountMeanSketch(16, PrivacyBudget(1.0), width=8)
+        with pytest.raises(ProtocolConfigurationError):
+            sketch.build_sketch(np.zeros(3), np.zeros(4), np.zeros(4))
+
+
+class TestEstimation:
+    def test_heavy_hitter_recovery(self, rng):
+        # One value carries 60% of the mass; the sketch should find it.
+        sketch = HadamardCountMeanSketch(
+            64, PrivacyBudget(math.log(3)), num_hashes=5, width=64
+        )
+        heavy = 17
+        values = np.where(
+            rng.random(150_000) < 0.6, heavy, rng.integers(0, 64, size=150_000)
+        )
+        hashes, coefficients, signs = sketch.perturb(values, rng=rng)
+        estimates = sketch.estimate_frequencies(hashes, coefficients, signs)
+        assert estimates.shape == (64,)
+        assert int(np.argmax(estimates)) == heavy
+        true_frequency = float((values == heavy).mean())
+        assert estimates[heavy] == pytest.approx(true_frequency, abs=0.08)
+
+    def test_estimates_roughly_normalised(self, rng):
+        sketch = HadamardCountMeanSketch(
+            32, PrivacyBudget(1.1), num_hashes=5, width=32
+        )
+        values = rng.integers(0, 32, size=100_000)
+        estimates = sketch.estimate_frequencies(*sketch.perturb(values, rng=rng))
+        assert estimates.sum() == pytest.approx(1.0, abs=0.25)

@@ -1,0 +1,99 @@
+"""Unit tests for unary encoding / parallel randomized response."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.unary_encoding import UnaryEncoding
+
+
+class TestConstruction:
+    def test_symmetric_probabilities(self):
+        budget = PrivacyBudget(2 * math.log(3))
+        mechanism = UnaryEncoding.symmetric(budget)
+        # eps/2 = ln 3 -> keep probability 0.75, flip 0.25.
+        assert mechanism.probability_keep_one == pytest.approx(0.75)
+        assert mechanism.probability_zero_to_one == pytest.approx(0.25)
+        assert mechanism.epsilon == pytest.approx(2 * math.log(3))
+
+    def test_optimized_probabilities(self):
+        budget = PrivacyBudget(math.log(3))
+        mechanism = UnaryEncoding.optimized(budget)
+        assert mechanism.probability_keep_one == pytest.approx(0.5)
+        assert mechanism.probability_zero_to_one == pytest.approx(0.25)
+        assert mechanism.epsilon == pytest.approx(math.log(3))
+
+    def test_from_budget_dispatch(self):
+        budget = PrivacyBudget(1.0)
+        assert UnaryEncoding.from_budget(budget, optimized=True) == UnaryEncoding.optimized(budget)
+        assert UnaryEncoding.from_budget(budget, optimized=False) == UnaryEncoding.symmetric(budget)
+
+    @pytest.mark.parametrize("p,q", [(0.5, 0.5), (0.4, 0.6), (0.9, 0.0), (1.0, 0.1)])
+    def test_rejects_bad_probabilities(self, p, q):
+        with pytest.raises(ProtocolConfigurationError):
+            UnaryEncoding(p, q)
+
+    def test_both_variants_give_same_epsilon(self):
+        budget = PrivacyBudget(1.3)
+        assert UnaryEncoding.symmetric(budget).epsilon == pytest.approx(1.3)
+        assert UnaryEncoding.optimized(budget).epsilon == pytest.approx(1.3)
+
+
+class TestPerturbation:
+    def test_perturb_bits_shape_and_values(self, rng):
+        mechanism = UnaryEncoding(0.75, 0.25)
+        bits = rng.integers(0, 2, size=(100, 16)).astype(np.int8)
+        noisy = mechanism.perturb_bits(bits, rng=rng)
+        assert noisy.shape == bits.shape
+        assert set(np.unique(noisy)).issubset({0, 1})
+
+    def test_perturb_onehot_matches_dense(self, rng):
+        """Sparse one-hot perturbation has the same marginal statistics as dense."""
+        mechanism = UnaryEncoding(0.6, 0.2)
+        n, m = 100_000, 4
+        indices = rng.integers(0, m, size=n)
+        sparse_reports = mechanism.perturb_onehot_indices(indices, m, rng=rng)
+
+        dense = np.zeros((n, m), dtype=np.int8)
+        dense[np.arange(n), indices] = 1
+        dense_reports = mechanism.perturb_bits(dense, rng=rng)
+
+        np.testing.assert_allclose(
+            sparse_reports.mean(axis=0), dense_reports.mean(axis=0), atol=0.01
+        )
+
+    def test_one_bit_kept_with_p(self, rng):
+        mechanism = UnaryEncoding(0.7, 0.1)
+        n = 100_000
+        indices = np.zeros(n, dtype=np.int64)
+        reports = mechanism.perturb_onehot_indices(indices, 4, rng=rng)
+        assert reports[:, 0].mean() == pytest.approx(0.7, abs=0.01)
+        assert reports[:, 1].mean() == pytest.approx(0.1, abs=0.01)
+
+
+class TestUnbiasing:
+    def test_unbias_mean_exact_inverse(self):
+        mechanism = UnaryEncoding(0.5, 0.25)
+        for frequency in (0.0, 0.1, 0.5, 1.0):
+            observed = frequency * 0.5 + (1 - frequency) * 0.25
+            assert mechanism.unbias_mean(observed) == pytest.approx(frequency)
+
+    def test_end_to_end_frequency_recovery(self, rng):
+        mechanism = UnaryEncoding.optimized(PrivacyBudget(math.log(3)))
+        n, m = 200_000, 8
+        probabilities = np.array([0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05])
+        indices = rng.choice(m, size=n, p=probabilities)
+        reports = mechanism.perturb_onehot_indices(indices, m, rng=rng)
+        estimates = mechanism.unbias_mean(reports.mean(axis=0))
+        np.testing.assert_allclose(estimates, probabilities, atol=0.02)
+
+    def test_optimized_variance_not_worse_than_symmetric(self):
+        budget = PrivacyBudget(1.1)
+        symmetric = UnaryEncoding.symmetric(budget).variance_per_report(0.0)
+        optimized = UnaryEncoding.optimized(budget).variance_per_report(0.0)
+        assert optimized <= symmetric * 1.0001

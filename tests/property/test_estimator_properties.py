@@ -1,0 +1,103 @@
+"""Property-based tests for mechanism unbiasedness and protocol invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.direct_encoding import DirectEncoding
+from repro.mechanisms.randomized_response import (
+    BitRandomizedResponse,
+    SignRandomizedResponse,
+)
+from repro.mechanisms.unary_encoding import UnaryEncoding
+
+epsilons = st.floats(min_value=0.2, max_value=4.0, allow_nan=False)
+frequencies = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestExactUnbiasingIdentities:
+    """The de-biasing transforms invert the perturbation *in expectation*,
+    which is an algebraic identity we can check without sampling."""
+
+    @given(epsilons, frequencies)
+    def test_bit_rr_identity(self, epsilon, frequency):
+        mechanism = BitRandomizedResponse.from_budget(PrivacyBudget(epsilon))
+        p = mechanism.keep_probability
+        expected_observed = p * frequency + (1 - p) * (1 - frequency)
+        assert np.isclose(mechanism.unbias_mean(expected_observed), frequency)
+
+    @given(epsilons, st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
+    def test_sign_rr_identity(self, epsilon, value):
+        mechanism = SignRandomizedResponse.from_budget(PrivacyBudget(epsilon))
+        expected_observed = mechanism.attenuation * value
+        assert np.isclose(mechanism.unbias_mean(expected_observed), value)
+
+    @given(epsilons, frequencies, st.booleans())
+    def test_unary_encoding_identity(self, epsilon, frequency, optimized):
+        mechanism = UnaryEncoding.from_budget(PrivacyBudget(epsilon), optimized=optimized)
+        p = mechanism.probability_keep_one
+        q = mechanism.probability_zero_to_one
+        expected_observed = frequency * p + (1 - frequency) * q
+        assert np.isclose(mechanism.unbias_mean(expected_observed), frequency)
+
+    @given(epsilons, frequencies, st.integers(min_value=2, max_value=64))
+    def test_direct_encoding_identity(self, epsilon, frequency, domain_size):
+        mechanism = DirectEncoding.from_budget(PrivacyBudget(epsilon), domain_size)
+        p = mechanism.keep_probability
+        q = mechanism.lie_probability
+        expected_observed = frequency * p + (1 - frequency) * q
+        assert np.isclose(
+            mechanism.unbias_frequencies(np.array([expected_observed]))[0], frequency
+        )
+
+    @given(epsilons)
+    def test_mechanism_epsilon_roundtrip(self, epsilon):
+        budget = PrivacyBudget(epsilon)
+        assert np.isclose(BitRandomizedResponse.from_budget(budget).epsilon, epsilon)
+        assert np.isclose(SignRandomizedResponse.from_budget(budget).epsilon, epsilon)
+        assert np.isclose(UnaryEncoding.optimized(budget).epsilon, epsilon)
+        assert np.isclose(UnaryEncoding.symmetric(budget).epsilon, epsilon)
+        assert np.isclose(
+            DirectEncoding.from_budget(budget, 10).epsilon, epsilon
+        )
+
+
+class TestProtocolInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from(["InpHT", "InpPS", "MargPS", "MargHT", "MargRR"]),
+        st.integers(min_value=3, max_value=6),
+        epsilons,
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_released_marginals_are_finite_and_near_normalised(
+        self, name, dimension, epsilon, seed
+    ):
+        from repro.datasets.synthetic import uniform_dataset
+        from repro.protocols.registry import make_protocol
+
+        rng = np.random.default_rng(seed)
+        dataset = uniform_dataset(512, dimension, rng=rng)
+        protocol = make_protocol(name, PrivacyBudget(epsilon), 2)
+        estimator = protocol.run(dataset, rng=rng)
+        table = estimator.query(dataset.attribute_names[:2])
+        assert np.isfinite(table.values).all()
+        # Unbiased estimates need not be exact distributions, but their total
+        # mass stays bounded around 1 even at tiny populations.
+        assert abs(table.values.sum() - 1.0) < 1.5
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_normalized_query_is_a_distribution(self, dimension, seed):
+        from repro.datasets.synthetic import uniform_dataset
+        from repro.protocols.inp_ht import InpHT
+
+        rng = np.random.default_rng(seed)
+        dataset = uniform_dataset(256, dimension, rng=rng)
+        estimator = InpHT(PrivacyBudget(1.0), 2).run(dataset, rng=rng)
+        table = estimator.query(dataset.attribute_names[:2]).normalized()
+        assert table.values.min() >= 0
+        assert np.isclose(table.values.sum(), 1.0)

@@ -1,0 +1,105 @@
+"""Property-based tests for the Hadamard/bit-algebra substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitops, hadamard
+from repro.core.domain import Domain
+from repro.core.marginals import marginal_operator
+
+dimensions = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def mask_pairs(draw):
+    d = draw(dimensions)
+    alpha = draw(st.integers(min_value=0, max_value=(1 << d) - 1))
+    beta = draw(st.integers(min_value=0, max_value=(1 << d) - 1))
+    return d, alpha, beta
+
+
+@st.composite
+def distributions(draw):
+    d = draw(dimensions)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1 << d,
+            max_size=1 << d,
+        )
+    )
+    values = np.asarray(weights, dtype=np.float64)
+    if values.sum() <= 0:
+        values = np.ones(1 << d)
+    return d, values / values.sum()
+
+
+class TestBitopsProperties:
+    @given(mask_pairs())
+    def test_subset_iff_and_equals(self, data):
+        _, alpha, beta = data
+        assert bitops.is_subset(alpha, beta) == ((alpha & beta) == alpha)
+
+    @given(mask_pairs())
+    def test_compress_expand_consistency(self, data):
+        _, alpha, beta = data
+        compact = bitops.compress_index(alpha & beta, beta)
+        assert bitops.expand_index(compact, beta) == (alpha & beta)
+        assert 0 <= compact < (1 << bitops.popcount(beta))
+
+    @given(mask_pairs())
+    def test_inner_product_sign_multiplicative_on_disjoint_parts(self, data):
+        d, alpha, beta = data
+        j = alpha  # arbitrary index
+        low = beta & 0b0101010101
+        high = beta & ~0b0101010101
+        product = bitops.inner_product_sign(j, low) * bitops.inner_product_sign(j, high)
+        assert bitops.inner_product_sign(j, low | high) == product
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_submasks_count_matches_popcount(self, beta):
+        count = sum(1 for _ in bitops.submasks(beta))
+        assert count == (1 << bitops.popcount(beta))
+
+
+class TestHadamardProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(distributions())
+    def test_transform_roundtrip(self, data):
+        _, distribution = data
+        coefficients = hadamard.scaled_coefficients(distribution)
+        recovered = hadamard.distribution_from_scaled_coefficients(coefficients)
+        np.testing.assert_allclose(recovered, distribution, atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distributions())
+    def test_coefficients_bounded_by_one(self, data):
+        _, distribution = data
+        coefficients = hadamard.scaled_coefficients(distribution)
+        assert np.all(np.abs(coefficients) <= 1.0 + 1e-9)
+        assert coefficients[0] == 1.0 or np.isclose(coefficients[0], 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distributions(), st.data())
+    def test_lemma_3_7_reconstruction(self, data, picker):
+        """Any marginal equals its Barak-et-al. coefficient reconstruction."""
+        d, distribution = data
+        beta = picker.draw(st.integers(min_value=1, max_value=(1 << d) - 1))
+        domain = Domain.binary(d)
+        coefficients = hadamard.scaled_coefficients(distribution)
+        expected = marginal_operator(distribution, beta, domain).values
+        reconstructed = hadamard.marginal_from_scaled_coefficients(beta, coefficients)
+        np.testing.assert_allclose(reconstructed, expected, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distributions())
+    def test_transform_linearity(self, data):
+        _, distribution = data
+        other = np.roll(distribution, 1)
+        combined = 0.5 * distribution + 0.5 * other
+        lhs = hadamard.scaled_coefficients(combined)
+        rhs = 0.5 * hadamard.scaled_coefficients(distribution) + 0.5 * hadamard.scaled_coefficients(other)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)

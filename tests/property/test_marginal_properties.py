@@ -1,0 +1,73 @@
+"""Property-based tests for marginal-algebra invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitops
+from repro.core.domain import Domain
+from repro.core.marginals import marginal_operator, total_variation_distance
+
+
+@st.composite
+def distributions_with_masks(draw):
+    d = draw(st.integers(min_value=2, max_value=6))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1 << d,
+            max_size=1 << d,
+        )
+    )
+    values = np.asarray(weights, dtype=np.float64)
+    if values.sum() <= 0:
+        values = np.ones(1 << d)
+    distribution = values / values.sum()
+    beta = draw(st.integers(min_value=1, max_value=(1 << d) - 1))
+    return d, distribution, beta
+
+
+class TestMarginalOperatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(distributions_with_masks())
+    def test_mass_preservation(self, data):
+        d, distribution, beta = data
+        table = marginal_operator(distribution, beta, Domain.binary(d))
+        assert np.isclose(table.values.sum(), 1.0)
+        assert np.all(table.values >= -1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(distributions_with_masks(), st.data())
+    def test_marginalisation_commutes(self, data, picker):
+        """C_{beta'}(t) == marginalise(C_beta(t)) for any beta' ⪯ beta."""
+        d, distribution, beta = data
+        domain = Domain.binary(d)
+        submasks = [m for m in bitops.submasks(beta) if m not in (0,)]
+        sub = picker.draw(st.sampled_from(submasks))
+        direct = marginal_operator(distribution, sub, domain)
+        via_parent = marginal_operator(distribution, beta, domain).marginalize(sub)
+        np.testing.assert_allclose(direct.values, via_parent.values, atol=1e-10)
+
+    @settings(max_examples=60, deadline=None)
+    @given(distributions_with_masks())
+    def test_marginalisation_is_contraction_in_tv(self, data):
+        """Post-processing (marginalising) never increases TV distance."""
+        d, distribution, beta = data
+        domain = Domain.binary(d)
+        other = np.roll(distribution, 3)
+        full_distance = total_variation_distance(distribution, other)
+        table_first = marginal_operator(distribution, beta, domain)
+        table_second = marginal_operator(other, beta, domain)
+        marginal_distance = table_first.total_variation_distance(table_second)
+        assert marginal_distance <= full_distance + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(distributions_with_masks())
+    def test_normalized_is_idempotent(self, data):
+        d, distribution, beta = data
+        table = marginal_operator(distribution, beta, Domain.binary(d))
+        once = table.normalized()
+        twice = once.normalized()
+        np.testing.assert_allclose(once.values, twice.values, atol=1e-12)

@@ -1,0 +1,147 @@
+"""Unit tests for the protocol/estimator base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import (
+    AggregationError,
+    MarginalQueryError,
+    ProtocolConfigurationError,
+)
+from repro.core.hadamard import scaled_coefficients
+from repro.core.marginals import MarginalWorkload, marginal_operator
+from repro.core.privacy import PrivacyBudget
+from repro.protocols.base import (
+    CoefficientEstimator,
+    DistributionEstimator,
+    PerMarginalEstimator,
+)
+from repro.protocols.inp_ht import InpHT
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain(["a", "b", "c", "d"])
+
+
+@pytest.fixture
+def workload(domain) -> MarginalWorkload:
+    return MarginalWorkload(domain, 2)
+
+
+@pytest.fixture
+def distribution(rng) -> np.ndarray:
+    values = rng.random(16)
+    return values / values.sum()
+
+
+class TestDistributionEstimator:
+    def test_query_matches_marginal_operator(self, workload, domain, distribution):
+        estimator = DistributionEstimator(workload, distribution)
+        for beta in (0b0011, 0b1000, 0b0101):
+            expected = marginal_operator(distribution, beta, domain).values
+            np.testing.assert_allclose(estimator.query(beta).values, expected)
+
+    def test_query_by_names(self, workload, distribution):
+        estimator = DistributionEstimator(workload, distribution)
+        assert estimator.query(["a", "c"]).attribute_names == ["a", "c"]
+
+    def test_rejects_out_of_workload_queries(self, workload, distribution):
+        estimator = DistributionEstimator(workload, distribution)
+        with pytest.raises(MarginalQueryError):
+            estimator.query(0b0111)  # width 3 > workload width 2
+        with pytest.raises(MarginalQueryError):
+            estimator.query(0)
+
+    def test_rejects_wrong_distribution_length(self, workload):
+        with pytest.raises(AggregationError):
+            DistributionEstimator(workload, np.ones(8))
+
+    def test_query_all(self, workload, distribution):
+        estimator = DistributionEstimator(workload, distribution)
+        all_tables = estimator.query_all()
+        assert len(all_tables) == 4 + 6
+        only_pairs = estimator.query_all(width=2)
+        assert len(only_pairs) == 6
+
+
+class TestCoefficientEstimator:
+    def test_exact_coefficients_reproduce_marginals(self, workload, domain, distribution):
+        coefficients = scaled_coefficients(distribution)
+        mapping = {alpha: coefficients[alpha] for alpha in range(16)}
+        estimator = CoefficientEstimator(workload, mapping)
+        for beta in (0b0011, 0b1010, 0b0100):
+            expected = marginal_operator(distribution, beta, domain).values
+            np.testing.assert_allclose(
+                estimator.query(beta).values, expected, atol=1e-10
+            )
+
+    def test_constant_coefficient_defaults_to_one(self, workload):
+        estimator = CoefficientEstimator(workload, {1: 0.5})
+        assert estimator.coefficient(0) == 1.0
+
+    def test_missing_coefficient_raises(self, workload):
+        estimator = CoefficientEstimator(workload, {1: 0.5, 2: 0.1, 3: 0.0})
+        with pytest.raises(MarginalQueryError):
+            estimator.query(0b1100)
+
+
+class TestPerMarginalEstimator:
+    def test_direct_and_derived_queries(self, workload, domain, distribution):
+        tables = {
+            beta: marginal_operator(distribution, beta, domain).values
+            for beta in domain.all_marginals(2)
+        }
+        estimator = PerMarginalEstimator(workload, tables)
+        # Width-2 queries are answered directly.
+        np.testing.assert_allclose(
+            estimator.query(0b0011).values, tables[0b0011]
+        )
+        # Width-1 queries are derived by averaging superset marginalisations
+        # and must agree with the exact answer because inputs are exact.
+        expected = marginal_operator(distribution, 0b0001, domain).values
+        np.testing.assert_allclose(
+            estimator.query(0b0001).values, expected, atol=1e-12
+        )
+
+    def test_rejects_mixed_widths(self, workload, domain, distribution):
+        tables = {
+            0b0011: marginal_operator(distribution, 0b0011, domain).values,
+            0b0100: marginal_operator(distribution, 0b0100, domain).values,
+        }
+        with pytest.raises(AggregationError):
+            PerMarginalEstimator(workload, tables)
+
+    def test_rejects_empty(self, workload):
+        with pytest.raises(AggregationError):
+            PerMarginalEstimator(workload, {})
+
+    def test_rejects_wrong_cell_count(self, workload):
+        with pytest.raises(AggregationError):
+            PerMarginalEstimator(workload, {0b0011: np.ones(8)})
+
+    def test_table_width_property(self, workload, domain, distribution):
+        tables = {
+            beta: marginal_operator(distribution, beta, domain).values
+            for beta in domain.all_marginals(2)
+        }
+        assert PerMarginalEstimator(workload, tables).table_width == 2
+
+
+class TestProtocolValidation:
+    def test_budget_coercion_from_float(self):
+        protocol = InpHT(1.0, 2)
+        assert isinstance(protocol.budget, PrivacyBudget)
+        assert protocol.epsilon == pytest.approx(1.0)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ProtocolConfigurationError):
+            InpHT(PrivacyBudget(1.0), 0)
+
+    def test_workload_for_checks_dimension(self, domain):
+        protocol = InpHT(PrivacyBudget(1.0), 6)
+        with pytest.raises(ProtocolConfigurationError):
+            protocol.workload_for(domain)

@@ -1,0 +1,64 @@
+"""Unit tests for the frequency-oracle protocols (InpOLH, InpHTCMS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.synthetic import independent_dataset, skewed_dataset
+from repro.experiments.metrics import mean_total_variation
+from repro.protocols.base import DistributionEstimator
+from repro.protocols.inp_htcms import InpHTCMS
+from repro.protocols.inp_olh import InpOLH
+
+
+@pytest.fixture
+def dataset(rng):
+    return skewed_dataset(20_000, 5, skew=1.2, rng=rng)
+
+
+class TestInpOLH:
+    def test_estimator_type(self, dataset, budget, rng):
+        estimator = InpOLH(budget, 2).run(dataset, rng=rng)
+        assert isinstance(estimator, DistributionEstimator)
+
+    def test_reasonable_accuracy_small_d(self, dataset, budget, rng):
+        estimator = InpOLH(budget, 2).run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[1, 2]) < 0.15
+
+    def test_explicit_bucket_count(self, dataset, budget, rng):
+        protocol = InpOLH(budget, 2, num_buckets=8)
+        assert protocol.oracle(5).num_buckets == 8
+        estimator = protocol.run(dataset, rng=rng)
+        assert np.isfinite(estimator.distribution).all()
+
+    def test_communication_includes_hash_seed(self, budget):
+        assert InpOLH(budget, 2).communication_bits(8) >= 64
+
+
+class TestInpHTCMS:
+    def test_estimator_type(self, dataset, budget, rng):
+        estimator = InpHTCMS(budget, 2, width=64).run(dataset, rng=rng)
+        assert isinstance(estimator, DistributionEstimator)
+
+    def test_runs_and_is_finite(self, dataset, budget, rng):
+        estimator = InpHTCMS(budget, 2, num_hashes=5, width=128).run(dataset, rng=rng)
+        assert np.isfinite(estimator.distribution).all()
+        assert estimator.distribution.sum() == pytest.approx(1.0, abs=0.5)
+
+    def test_communication_is_small(self, budget):
+        bits = InpHTCMS(budget, 2, num_hashes=5, width=256).communication_bits(16)
+        assert bits <= 3 + 8 + 1
+
+    def test_less_accurate_than_olh_on_flat_data(self, budget, rng):
+        """The paper's observation: the sketch is tuned for heavy hitters and
+        loses to OLH/InpHT on near-uniform marginals."""
+        flat = independent_dataset(20_000, [0.5] * 5, rng=rng)
+        olh_error = mean_total_variation(
+            flat, InpOLH(budget, 2).run(flat, rng=rng), widths=[2]
+        )
+        cms_error = mean_total_variation(
+            flat, InpHTCMS(budget, 2, width=64).run(flat, rng=rng), widths=[2]
+        )
+        assert olh_error < cms_error * 1.5

@@ -1,0 +1,106 @@
+"""Unit tests for the EM-decoding baseline (InpEM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.synthetic import latent_class_dataset
+from repro.experiments.metrics import mean_total_variation
+from repro.protocols.inp_em import EMEstimator, InpEM
+
+
+@pytest.fixture
+def dataset(rng):
+    return latent_class_dataset(
+        20_000,
+        class_probabilities=[0.5, 0.5],
+        conditional_probabilities=np.array(
+            [[0.85, 0.8, 0.4, 0.5], [0.2, 0.25, 0.45, 0.5]]
+        ),
+        rng=rng,
+    )
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        protocol = InpEM(PrivacyBudget(1.0))
+        assert protocol.max_width == 2
+        assert protocol.convergence_threshold == pytest.approx(1e-5)
+
+    def test_rejects_bad_threshold_or_iterations(self):
+        with pytest.raises(ProtocolConfigurationError):
+            InpEM(PrivacyBudget(1.0), convergence_threshold=0)
+        with pytest.raises(ProtocolConfigurationError):
+            InpEM(PrivacyBudget(1.0), max_iterations=0)
+
+    def test_per_attribute_budget_split(self):
+        protocol = InpEM(PrivacyBudget(2.0))
+        mechanism = protocol.per_attribute_mechanism(4)
+        assert mechanism.epsilon == pytest.approx(0.5)
+
+    def test_communication_bits(self):
+        assert InpEM(PrivacyBudget(1.0)).communication_bits(12) == 12
+
+
+class TestDecoding:
+    def test_estimator_type(self, dataset, rng):
+        estimator = InpEM(PrivacyBudget(2.0)).run(dataset, rng=rng)
+        assert isinstance(estimator, EMEstimator)
+
+    def test_high_budget_recovers_marginal(self, dataset, rng):
+        # With a very generous budget the per-attribute RR barely perturbs and
+        # EM should converge close to the truth.
+        estimator = InpEM(PrivacyBudget(24.0)).run(dataset, rng=rng)
+        error = mean_total_variation(dataset, estimator, widths=[2])
+        assert error < 0.05
+
+    def test_diagnostics_reported(self, dataset, rng):
+        estimator = InpEM(PrivacyBudget(2.0)).run(dataset, rng=rng)
+        result = estimator.query_with_diagnostics(["attr0", "attr1"])
+        assert result.iterations >= 1
+        assert result.table.values.sum() == pytest.approx(1.0, abs=1e-6)
+        assert result.table.values.min() >= 0
+
+    def test_output_is_probability_distribution(self, dataset, rng):
+        estimator = InpEM(PrivacyBudget(1.0)).run(dataset, rng=rng)
+        for beta in (["attr0", "attr1"], ["attr2", "attr3"]):
+            values = estimator.query(beta).values
+            assert values.min() >= -1e-9
+            assert values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_tiny_epsilon_tends_to_fail(self, rng):
+        # The paper's Table 3 behaviour: at very small eps the EM loop often
+        # stops immediately at the uniform prior; at a generous eps it never
+        # should.  (The paper reports 19/66 failures at d=12 and small eps.)
+        dataset = latent_class_dataset(
+            8192,
+            class_probabilities=[0.5, 0.5],
+            conditional_probabilities=np.array(
+                [[0.8] * 12, [0.2] * 12]
+            ),
+            rng=rng,
+        )
+        marginals = dataset.domain.all_marginals(2)
+
+        def failure_count(epsilon: float) -> int:
+            protocol = InpEM(PrivacyBudget(epsilon), convergence_threshold=1e-5)
+            estimator = protocol.run(dataset, rng=np.random.default_rng(0))
+            return sum(
+                estimator.query_with_diagnostics(beta).failed for beta in marginals
+            )
+
+        tiny_failures = failure_count(0.1)
+        generous_failures = failure_count(6.0)
+        assert tiny_failures / len(marginals) > 0.1
+        assert generous_failures == 0
+        assert tiny_failures > generous_failures
+
+    def test_less_noise_means_lower_error(self, dataset, rng):
+        noisy = InpEM(PrivacyBudget(0.5)).run(dataset, rng=np.random.default_rng(1))
+        clean = InpEM(PrivacyBudget(8.0)).run(dataset, rng=np.random.default_rng(1))
+        error_noisy = mean_total_variation(dataset, noisy, widths=[2])
+        error_clean = mean_total_variation(dataset, clean, widths=[2])
+        assert error_clean < error_noisy

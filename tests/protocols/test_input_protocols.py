@@ -1,0 +1,146 @@
+"""Unit tests for the input-perturbation protocols (InpRR, InpPS, InpHT)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.synthetic import independent_dataset
+from repro.experiments.metrics import mean_total_variation
+from repro.protocols.base import CoefficientEstimator, DistributionEstimator
+from repro.protocols.inp_ht import InpHT
+from repro.protocols.inp_ps import InpPS
+from repro.protocols.inp_rr import InpRR
+
+HIGH_BUDGET = PrivacyBudget(8.0)
+
+
+@pytest.fixture
+def dataset(rng):
+    """Six correlated-free attributes with varied biases."""
+    return independent_dataset(
+        30_000, [0.7, 0.5, 0.3, 0.2, 0.6, 0.4], rng=rng
+    )
+
+
+class TestInpRR:
+    def test_estimator_type_and_workload(self, dataset, budget, rng):
+        estimator = InpRR(budget, 2).run(dataset, rng=rng)
+        assert isinstance(estimator, DistributionEstimator)
+        assert estimator.workload.max_width == 2
+
+    def test_high_budget_recovers_marginals(self, dataset, rng):
+        estimator = InpRR(HIGH_BUDGET, 2).run(dataset, rng=rng)
+        error = mean_total_variation(dataset, estimator, widths=[1, 2])
+        assert error < 0.03
+
+    def test_distribution_sums_to_roughly_one(self, dataset, budget, rng):
+        estimator = InpRR(budget, 2).run(dataset, rng=rng)
+        assert estimator.distribution.sum() == pytest.approx(1.0, abs=0.3)
+
+    def test_communication_cost(self, budget):
+        assert InpRR(budget, 2).communication_bits(8) == 256
+        assert InpRR(budget, 3).communication_bits(4) == 16
+
+    def test_vanilla_probabilities_also_work(self, dataset, rng):
+        protocol = InpRR(HIGH_BUDGET, 2, optimized_probabilities=False)
+        assert not protocol.optimized_probabilities
+        estimator = protocol.run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[2]) < 0.05
+
+    def test_mechanism_epsilon_matches_budget(self, budget):
+        assert InpRR(budget, 2).mechanism().epsilon == pytest.approx(budget.epsilon)
+
+
+class TestInpPS:
+    def test_estimator_type(self, dataset, budget, rng):
+        estimator = InpPS(budget, 2).run(dataset, rng=rng)
+        assert isinstance(estimator, DistributionEstimator)
+
+    def test_high_budget_recovers_marginals(self, dataset, rng):
+        estimator = InpPS(HIGH_BUDGET, 2).run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[1, 2]) < 0.05
+
+    def test_communication_cost(self, budget):
+        assert InpPS(budget, 2).communication_bits(10) == 10
+
+    def test_mechanism_domain_size(self, budget):
+        assert InpPS(budget, 2).mechanism(6).domain_size == 64
+
+    def test_degrades_for_large_d_at_small_budget(self, rng):
+        """InpPS collapses when 2^d dwarfs e^eps (the paper's observation)."""
+        wide = independent_dataset(8000, [0.5] * 12, rng=rng)
+        narrow = independent_dataset(8000, [0.5] * 4, rng=rng)
+        budget = PrivacyBudget(math.log(3))
+        error_wide = mean_total_variation(
+            wide, InpPS(budget, 2).run(wide, rng=rng), widths=[2]
+        )
+        error_narrow = mean_total_variation(
+            narrow, InpPS(budget, 2).run(narrow, rng=rng), widths=[2]
+        )
+        assert error_wide > error_narrow
+
+
+class TestInpHT:
+    def test_estimator_type_and_coefficients(self, dataset, budget, rng):
+        protocol = InpHT(budget, 2)
+        estimator = protocol.run(dataset, rng=rng)
+        assert isinstance(estimator, CoefficientEstimator)
+        # The coefficient set excludes 0 but the estimator knows Theta_0 = 1.
+        assert estimator.coefficient(0) == 1.0
+        expected_size = 6 + 15  # C(6,1) + C(6,2)
+        assert protocol.coefficient_indices(6).size == expected_size
+
+    def test_high_budget_recovers_marginals(self, dataset, rng):
+        estimator = InpHT(HIGH_BUDGET, 2).run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[1, 2]) < 0.05
+
+    def test_moderate_budget_reasonable_error(self, dataset, budget, rng):
+        estimator = InpHT(budget, 2).run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[1, 2]) < 0.1
+
+    def test_coefficients_bounded(self, dataset, budget, rng):
+        estimator = InpHT(budget, 2).run(dataset, rng=rng)
+        values = np.array(list(estimator.coefficients.values()))
+        # Unbiased estimates can exceed [-1, 1] slightly but not wildly.
+        assert np.abs(values).max() < 3.0
+
+    def test_communication_cost(self, budget):
+        assert InpHT(budget, 2).communication_bits(16) == 17
+
+    def test_marginal_values_near_simplex(self, dataset, budget, rng):
+        estimator = InpHT(budget, 2).run(dataset, rng=rng)
+        table = estimator.query(["attr0", "attr1"])
+        assert table.values.sum() == pytest.approx(1.0, abs=0.05)
+
+    def test_unsupported_width_query_rejected(self, dataset, budget, rng):
+        estimator = InpHT(budget, 2).run(dataset, rng=rng)
+        from repro.core.exceptions import MarginalQueryError
+
+        with pytest.raises(MarginalQueryError):
+            estimator.query(["attr0", "attr1", "attr2"])
+
+    def test_more_users_means_lower_error(self, rng):
+        budget = PrivacyBudget(math.log(3))
+        small = independent_dataset(2000, [0.6] * 6, rng=rng)
+        large = independent_dataset(64_000, [0.6] * 6, rng=rng)
+        error_small = np.mean(
+            [
+                mean_total_variation(
+                    small, InpHT(budget, 2).run(small, rng=np.random.default_rng(i)), widths=[2]
+                )
+                for i in range(3)
+            ]
+        )
+        error_large = np.mean(
+            [
+                mean_total_variation(
+                    large, InpHT(budget, 2).run(large, rng=np.random.default_rng(i)), widths=[2]
+                )
+                for i in range(3)
+            ]
+        )
+        assert error_large < error_small

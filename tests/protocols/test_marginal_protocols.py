@@ -1,0 +1,120 @@
+"""Unit tests for the marginal-perturbation protocols (MargRR, MargPS, MargHT)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyBudget
+from repro.datasets.synthetic import independent_dataset, latent_class_dataset
+from repro.experiments.metrics import mean_total_variation
+from repro.protocols.base import PerMarginalEstimator
+from repro.protocols.marg_ht import MargHT
+from repro.protocols.marg_ps import MargPS
+from repro.protocols.marg_rr import MargRR
+
+HIGH_BUDGET = PrivacyBudget(8.0)
+PROTOCOL_CLASSES = (MargRR, MargPS, MargHT)
+
+
+@pytest.fixture
+def dataset(rng):
+    """Five attributes with one strongly correlated pair planted."""
+    return latent_class_dataset(
+        40_000,
+        class_probabilities=[0.4, 0.6],
+        conditional_probabilities=np.array(
+            [[0.9, 0.85, 0.3, 0.5, 0.2], [0.15, 0.2, 0.35, 0.5, 0.25]]
+        ),
+        rng=rng,
+    )
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("protocol_class", PROTOCOL_CLASSES)
+    def test_estimator_type_and_tables(self, protocol_class, dataset, budget, rng):
+        estimator = protocol_class(budget, 2).run(dataset, rng=rng)
+        assert isinstance(estimator, PerMarginalEstimator)
+        assert estimator.table_width == 2
+        assert len(estimator.tables) == math.comb(5, 2)
+
+    @pytest.mark.parametrize("protocol_class", PROTOCOL_CLASSES)
+    def test_high_budget_recovers_marginals(self, protocol_class, dataset, rng):
+        estimator = protocol_class(HIGH_BUDGET, 2).run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[2]) < 0.05
+
+    @pytest.mark.parametrize("protocol_class", PROTOCOL_CLASSES)
+    def test_moderate_budget_reasonable(self, protocol_class, dataset, budget, rng):
+        estimator = protocol_class(budget, 2).run(dataset, rng=rng)
+        assert mean_total_variation(dataset, estimator, widths=[2]) < 0.25
+
+    @pytest.mark.parametrize("protocol_class", PROTOCOL_CLASSES)
+    def test_lower_width_queries_supported(self, protocol_class, dataset, budget, rng):
+        estimator = protocol_class(budget, 2).run(dataset, rng=rng)
+        table = estimator.query(["attr0"])
+        assert table.values.shape == (2,)
+        assert table.values.sum() == pytest.approx(1.0, abs=0.2)
+
+    @pytest.mark.parametrize("protocol_class", PROTOCOL_CLASSES)
+    def test_width_above_table_width_rejected(self, protocol_class, dataset, budget, rng):
+        from repro.core.exceptions import MarginalQueryError
+
+        estimator = protocol_class(budget, 2).run(dataset, rng=rng)
+        with pytest.raises(MarginalQueryError):
+            estimator.query(["attr0", "attr1", "attr2"])
+
+
+class TestCommunication:
+    def test_marg_rr_bits(self, budget):
+        assert MargRR(budget, 2).communication_bits(8) == 8 + 4
+        assert MargRR(budget, 3).communication_bits(8) == 8 + 8
+
+    def test_marg_ps_bits(self, budget):
+        assert MargPS(budget, 2).communication_bits(8) == 10
+
+    def test_marg_ht_bits(self, budget):
+        assert MargHT(budget, 2).communication_bits(8) == 11
+
+
+class TestMechanisms:
+    def test_marg_rr_optimized_flag(self, budget):
+        assert MargRR(budget, 2).optimized_probabilities
+        assert not MargRR(budget, 2, optimized_probabilities=False).optimized_probabilities
+
+    def test_marg_ps_mechanism_domain(self, budget):
+        assert MargPS(budget, 3).mechanism().domain_size == 8
+
+    def test_marg_ht_mechanism_budget(self, budget):
+        assert MargHT(budget, 2).mechanism().epsilon == pytest.approx(budget.epsilon)
+
+
+class TestStatisticalBehaviour:
+    def test_planted_correlation_preserved(self, dataset, rng):
+        # attr0 and attr1 were planted to be strongly positively correlated;
+        # a released 2-way marginal should reflect that at a decent budget.
+        estimator = MargPS(PrivacyBudget(2.0), 2).run(dataset, rng=rng)
+        table = estimator.query(["attr0", "attr1"]).normalized()
+        p_both = table.cell({"attr0": 1, "attr1": 1})
+        p_first = p_both + table.cell({"attr0": 1, "attr1": 0})
+        p_second = p_both + table.cell({"attr0": 0, "attr1": 1})
+        assert p_both > p_first * p_second + 0.03
+
+    def test_small_population_falls_back_to_uniform_tables(self, budget, rng):
+        # With a handful of users over many marginals, some marginals receive
+        # no reports and must fall back to the uniform prior without crashing.
+        tiny = independent_dataset(5, [0.5] * 8, rng=rng)
+        for protocol_class in PROTOCOL_CLASSES:
+            estimator = protocol_class(budget, 2).run(tiny, rng=rng)
+            table = estimator.query(["attr6", "attr7"])
+            assert np.isfinite(table.values).all()
+
+    def test_marg_ht_tables_match_coefficient_reconstruction(self, dataset, rng):
+        # At a very high budget MargHT's reconstructed tables approach the
+        # exact marginals, confirming the coefficient-space reconstruction.
+        estimator = MargHT(HIGH_BUDGET, 2).run(dataset, rng=rng)
+        exact = dataset.marginal(["attr0", "attr2"])
+        np.testing.assert_allclose(
+            estimator.query(["attr0", "attr2"]).values, exact.values, atol=0.05
+        )

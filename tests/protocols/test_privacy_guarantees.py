@@ -1,0 +1,118 @@
+"""Empirical checks that the per-user reports respect the LDP guarantee.
+
+LDP is a property of the local randomiser's output distribution.  These tests
+drive each protocol's *client-side* mechanism with two adjacent inputs many
+times and check that the empirical probability ratio of any observed report
+(or report component) stays within e^eps (plus sampling slack).  They are not
+proofs, but they catch the classic implementation mistakes (wrong probability
+constant, forgetting to halve the budget for parallel RR, ...).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyBudget
+from repro.mechanisms.direct_encoding import DirectEncoding
+from repro.mechanisms.randomized_response import SignRandomizedResponse
+from repro.mechanisms.unary_encoding import UnaryEncoding
+
+EPSILON = 1.0
+BUDGET = PrivacyBudget(EPSILON)
+TRIALS = 120_000
+SLACK = 1.12  # allowance for Monte Carlo noise
+
+
+def empirical_ratio(counts_a: np.ndarray, counts_b: np.ndarray) -> float:
+    """Largest ratio of outcome probabilities between two report samples."""
+    fractions_a = counts_a / counts_a.sum()
+    fractions_b = counts_b / counts_b.sum()
+    mask = (fractions_a > 5e-4) & (fractions_b > 5e-4)
+    return float(np.max(fractions_a[mask] / fractions_b[mask]))
+
+
+class TestDirectEncodingLDP:
+    def test_report_distribution_ratio(self, rng):
+        mechanism = DirectEncoding.from_budget(BUDGET, 16)
+        reports_a = mechanism.perturb(np.zeros(TRIALS, dtype=int), rng=rng)
+        reports_b = mechanism.perturb(np.full(TRIALS, 7), rng=rng)
+        counts_a = np.bincount(reports_a, minlength=16).astype(float)
+        counts_b = np.bincount(reports_b, minlength=16).astype(float)
+        assert empirical_ratio(counts_a, counts_b) <= math.exp(EPSILON) * SLACK
+
+
+class TestSignRRLDP:
+    def test_report_distribution_ratio(self, rng):
+        mechanism = SignRandomizedResponse.from_budget(BUDGET)
+        reports_a = mechanism.perturb(np.ones(TRIALS), rng=rng)
+        reports_b = mechanism.perturb(-np.ones(TRIALS), rng=rng)
+        counts_a = np.array([(reports_a == 1).sum(), (reports_a == -1).sum()], dtype=float)
+        counts_b = np.array([(reports_b == 1).sum(), (reports_b == -1).sum()], dtype=float)
+        assert empirical_ratio(counts_a, counts_b) <= math.exp(EPSILON) * SLACK
+
+
+class TestUnaryEncodingLDP:
+    def test_symmetric_variant_per_position_ratio(self, rng):
+        """For the symmetric (eps/2 per bit) variant, each of the two positions
+        where adjacent one-hot inputs differ contributes at most e^{eps/2}."""
+        mechanism = UnaryEncoding.from_budget(BUDGET, optimized=False)
+        m = 8
+        reports_a = mechanism.perturb_onehot_indices(
+            np.zeros(TRIALS, dtype=int), m, rng=rng
+        )
+        reports_b = mechanism.perturb_onehot_indices(
+            np.full(TRIALS, 3), m, rng=rng
+        )
+        worst = 1.0
+        # Only positions 0 and 3 differ between the adjacent inputs, so only
+        # they contribute to the likelihood ratio; both output values count.
+        for position in (0, 3):
+            for value in (0, 1):
+                p_a = max((reports_a[:, position] == value).mean(), 1e-6)
+                p_b = max((reports_b[:, position] == value).mean(), 1e-6)
+                ratio = max(p_a / p_b, p_b / p_a)
+                worst = max(worst, ratio)
+        assert worst <= math.exp(EPSILON / 2) * SLACK
+
+    @pytest.mark.parametrize("optimized", [True, False])
+    def test_product_of_two_positions_within_budget(self, rng, optimized):
+        """The full likelihood ratio factorises over the two differing
+        positions and must stay within e^eps for both probability variants
+        (for OUE the split is asymmetric, so only the product is bounded)."""
+        mechanism = UnaryEncoding.from_budget(BUDGET, optimized=optimized)
+        m = 4
+        reports_a = mechanism.perturb_onehot_indices(
+            np.zeros(TRIALS, dtype=int), m, rng=rng
+        )
+        reports_b = mechanism.perturb_onehot_indices(
+            np.ones(TRIALS, dtype=int), m, rng=rng
+        )
+        # Likelihood ratio of the most distinguishing outcome (1 at position 0,
+        # 0 at position 1) factorises over the two differing positions.
+        p_a = max((reports_a[:, 0] == 1).mean(), 1e-6) * max(
+            (reports_a[:, 1] == 0).mean(), 1e-6
+        )
+        p_b = max((reports_b[:, 0] == 1).mean(), 1e-6) * max(
+            (reports_b[:, 1] == 0).mean(), 1e-6
+        )
+        assert max(p_a / p_b, p_b / p_a) <= math.exp(EPSILON) * SLACK
+
+
+class TestBudgetSplittingLDP:
+    def test_per_attribute_rr_uses_split_budget(self, rng):
+        from repro.protocols.inp_em import InpEM
+
+        d = 5
+        protocol = InpEM(PrivacyBudget(EPSILON), max_width=2)
+        mechanism = protocol.per_attribute_mechanism(d)
+        assert mechanism.epsilon == pytest.approx(EPSILON / d)
+        # Empirically, flipping one attribute changes each bit's report
+        # distribution by at most e^{eps/d}.
+        bits_a = mechanism.perturb(np.zeros(TRIALS, dtype=np.int8), rng=rng)
+        bits_b = mechanism.perturb(np.ones(TRIALS, dtype=np.int8), rng=rng)
+        p_a = (bits_a == 1).mean()
+        p_b = (bits_b == 1).mean()
+        assert max(p_a / p_b, p_b / p_a) <= math.exp(EPSILON / d) * SLACK

@@ -1,0 +1,71 @@
+"""Unit tests for the protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.protocols.registry import (
+    BASELINE_PROTOCOL_NAMES,
+    CORE_PROTOCOL_NAMES,
+    PROTOCOL_CLASSES,
+    available_protocols,
+    make_protocol,
+)
+
+
+class TestRegistry:
+    def test_all_nine_protocols_registered(self):
+        assert len(PROTOCOL_CLASSES) == 9
+        assert set(CORE_PROTOCOL_NAMES) | set(BASELINE_PROTOCOL_NAMES) == set(
+            PROTOCOL_CLASSES
+        )
+
+    def test_core_names_match_paper(self):
+        assert CORE_PROTOCOL_NAMES == [
+            "InpRR",
+            "InpPS",
+            "InpHT",
+            "MargRR",
+            "MargPS",
+            "MargHT",
+        ]
+
+    def test_available_protocols_sorted(self):
+        names = available_protocols()
+        assert names == sorted(names)
+        assert "InpHT" in names
+
+    def test_class_names_agree_with_keys(self):
+        for name, cls in PROTOCOL_CLASSES.items():
+            assert cls.name == name
+
+
+class TestFactory:
+    def test_make_protocol_with_budget_object(self):
+        protocol = make_protocol("InpHT", PrivacyBudget(1.2), 2)
+        assert protocol.name == "InpHT"
+        assert protocol.epsilon == pytest.approx(1.2)
+        assert protocol.max_width == 2
+
+    def test_make_protocol_with_float_budget(self):
+        protocol = make_protocol("MargPS", 0.8, 3)
+        assert protocol.epsilon == pytest.approx(0.8)
+
+    def test_make_protocol_forwards_options(self):
+        protocol = make_protocol(
+            "InpRR", 1.0, 2, optimized_probabilities=False
+        )
+        assert not protocol.optimized_probabilities
+        sketch_protocol = make_protocol("InpHTCMS", 1.0, 2, width=64)
+        assert sketch_protocol.oracle(6).width == 64
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(ProtocolConfigurationError):
+            make_protocol("InpMagic", 1.0, 2)
+
+    def test_every_registered_protocol_constructible(self):
+        for name in available_protocols():
+            protocol = make_protocol(name, 1.0, 2)
+            assert protocol.communication_bits(8) > 0

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+        assert "Figure 4" in output
+
+
+class TestRun:
+    def test_run_table2_quick(self, capsys):
+        assert main(["run", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "InpHT" in output
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "fig3.txt"
+        assert main(["run", "fig3", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert "Figure 3" in target.read_text()
+
+    def test_run_sweep_writes_json(self, tmp_path, capsys, monkeypatch):
+        # Shrink the fig10 quick preset further so the CLI test stays fast.
+        from repro.experiments import fig10_freq_oracles
+        from repro.experiments.config import SweepConfig
+
+        def tiny_config(quick=True):
+            return SweepConfig(
+                protocols=("InpHT", "InpHTCMS"),
+                dataset="skewed",
+                population_sizes=(1024,),
+                dimensions=(4,),
+                widths=(2,),
+                epsilons=(1.0,),
+                repetitions=1,
+            )
+
+        monkeypatch.setattr(fig10_freq_oracles, "default_config", tiny_config)
+        target = tmp_path / "fig10.json"
+        assert main(["run", "fig10", "--json", str(target)]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["config"]["dataset"] == "skewed"
+        assert payload["points"]
+
+    def test_json_rejected_for_non_sweep_experiment(self, tmp_path, capsys):
+        assert main(["run", "fig3", "--json", str(tmp_path / "x.json")]) == 2
+        capsys.readouterr()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figZZ"])

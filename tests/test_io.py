@@ -1,0 +1,73 @@
+"""Unit tests for sweep-result serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ReproError
+from repro.experiments.config import SweepConfig
+from repro.experiments.harness import run_sweep
+from repro.io import load_sweep_json, save_sweep_csv, save_sweep_json
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    config = SweepConfig(
+        protocols=("InpHT", "MargPS"),
+        dataset="uniform",
+        population_sizes=(1024,),
+        dimensions=(4,),
+        widths=(1, 2),
+        epsilons=(1.0,),
+        repetitions=2,
+        seed=5,
+    )
+    return run_sweep(config)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self, sweep_result, tmp_path):
+        path = save_sweep_json(sweep_result, tmp_path / "result.json")
+        loaded = load_sweep_json(path)
+        assert loaded.config == sweep_result.config
+        assert len(loaded.points) == len(sweep_result.points)
+        for original, restored in zip(sweep_result.points, loaded.points):
+            assert restored == original
+
+    def test_creates_parent_directories(self, sweep_result, tmp_path):
+        path = save_sweep_json(sweep_result, tmp_path / "nested" / "dir" / "r.json")
+        assert path.exists()
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_sweep_json(tmp_path / "absent.json")
+
+    def test_rejects_wrong_format_version(self, sweep_result, tmp_path):
+        path = save_sweep_json(sweep_result, tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError):
+            load_sweep_json(path)
+
+    def test_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_sweep_json(path)
+
+
+class TestCsv:
+    def test_writes_one_row_per_point(self, sweep_result, tmp_path):
+        path = save_sweep_csv(sweep_result, tmp_path / "result.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(sweep_result.points)
+        assert lines[0].split(",")[:4] == ["protocol", "N", "d", "k"]
+
+    def test_loaded_series_still_usable(self, sweep_result, tmp_path):
+        # The JSON round trip keeps the analysis helpers working.
+        loaded = load_sweep_json(save_sweep_json(sweep_result, tmp_path / "r.json"))
+        series = loaded.series("InpHT", "width", population=1024)
+        assert [x for x, *_ in series] == [1.0, 2.0]

@@ -1,0 +1,111 @@
+"""Unit tests for marginal post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import MarginalQueryError
+from repro.core.privacy import PrivacyBudget
+from repro.experiments.metrics import mean_total_variation
+from repro.postprocess import (
+    SimplexProjectedEstimator,
+    clip_and_normalize,
+    project_to_simplex,
+)
+from repro.protocols.inp_ht import InpHT
+
+
+class TestClipAndNormalize:
+    def test_already_valid_distribution_unchanged(self):
+        values = np.array([0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(clip_and_normalize(values), values)
+
+    def test_negative_cells_removed(self):
+        result = clip_and_normalize(np.array([-0.2, 0.6, 0.6]))
+        assert result.min() >= 0
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_all_nonpositive_falls_back_to_uniform(self):
+        np.testing.assert_allclose(
+            clip_and_normalize(np.array([-1.0, -2.0])), [0.5, 0.5]
+        )
+
+
+class TestProjectToSimplex:
+    def test_valid_distribution_is_fixed_point(self):
+        values = np.array([0.25, 0.25, 0.5])
+        np.testing.assert_allclose(project_to_simplex(values), values, atol=1e-12)
+
+    def test_output_is_distribution(self):
+        result = project_to_simplex(np.array([0.9, -0.3, 0.5, -0.1]))
+        assert result.min() >= 0
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_known_example(self):
+        # Projection of (1.2, 0.2) onto the simplex is (1, 0).
+        np.testing.assert_allclose(
+            project_to_simplex(np.array([1.2, 0.2])), [1.0, 0.2 - 0.2], atol=1e-12
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(MarginalQueryError):
+            project_to_simplex(np.array([]))
+        with pytest.raises(MarginalQueryError):
+            project_to_simplex(np.array([[0.5, 0.5]]))
+        with pytest.raises(MarginalQueryError):
+            project_to_simplex(np.array([np.nan, 0.5]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-3, max_value=3, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_projection_properties(self, raw):
+        values = np.asarray(raw)
+        projected = project_to_simplex(values)
+        assert projected.min() >= -1e-12
+        assert projected.sum() == pytest.approx(1.0, abs=1e-9)
+        # Optimality: no coordinate-wise perturbation of the projection that
+        # stays on the simplex is closer to the input (spot check vs uniform).
+        uniform = np.full_like(values, 1.0 / values.size)
+        assert np.linalg.norm(projected - values) <= np.linalg.norm(
+            uniform - values
+        ) + 1e-9
+
+
+class TestSimplexProjectedEstimator:
+    @pytest.fixture
+    def raw_estimator(self, tiny_dataset, rng):
+        return InpHT(PrivacyBudget(0.5), 2).run(tiny_dataset, rng=rng)
+
+    @pytest.mark.parametrize("method", ["euclidean", "clip"])
+    def test_every_query_is_a_distribution(self, raw_estimator, method):
+        wrapped = SimplexProjectedEstimator(raw_estimator, method=method)
+        for beta, table in wrapped.query_all().items():
+            assert table.values.min() >= -1e-12
+            assert table.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_projection_does_not_hurt_accuracy_much(self, tiny_dataset, raw_estimator):
+        raw_error = mean_total_variation(tiny_dataset, raw_estimator, widths=[2])
+        projected_error = mean_total_variation(
+            tiny_dataset,
+            SimplexProjectedEstimator(raw_estimator),
+            widths=[2],
+        )
+        assert projected_error <= raw_error * 1.1 + 1e-9
+
+    def test_unknown_method_rejected(self, raw_estimator):
+        with pytest.raises(MarginalQueryError):
+            SimplexProjectedEstimator(raw_estimator, method="magic")
+
+    def test_wrapped_and_workload_exposed(self, raw_estimator):
+        wrapped = SimplexProjectedEstimator(raw_estimator)
+        assert wrapped.wrapped is raw_estimator
+        assert wrapped.workload is raw_estimator.workload
+        assert wrapped.method == "euclidean"

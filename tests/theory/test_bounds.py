@@ -1,0 +1,138 @@
+"""Unit tests for the analytic bounds of Table 2."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.privacy import PrivacyBudget
+from repro.theory.bounds import (
+    BoundSummary,
+    communication_bits,
+    error_bound,
+    error_exponent_factor,
+    master_theorem_deviation_bound,
+    table2_summary,
+)
+
+METHODS = ("InpRR", "InpPS", "InpHT", "MargRR", "MargPS", "MargHT")
+
+
+class TestCommunication:
+    def test_table2_bit_counts(self):
+        d, k = 8, 2
+        assert communication_bits("InpRR", d, k) == 2**d
+        assert communication_bits("InpPS", d, k) == d
+        assert communication_bits("InpHT", d, k) == d + 1
+        assert communication_bits("MargRR", d, k) == d + 2**k
+        assert communication_bits("MargPS", d, k) == d + k
+        assert communication_bits("MargHT", d, k) == d + k + 1
+
+    def test_matches_protocol_implementations(self):
+        from repro.protocols.registry import make_protocol
+
+        for method in METHODS:
+            for d, k in ((6, 2), (10, 3)):
+                protocol = make_protocol(method, 1.0, k)
+                assert protocol.communication_bits(d) == communication_bits(
+                    method, d, k
+                )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ProtocolConfigurationError):
+            communication_bits("Nope", 8, 2)
+
+
+class TestErrorFactors:
+    def test_inp_ht_beats_input_methods_for_small_k(self):
+        for d in (8, 16, 24):
+            assert error_exponent_factor("InpHT", d, 2) < error_exponent_factor(
+                "InpRR", d, 2
+            )
+            assert error_exponent_factor("InpHT", d, 2) < error_exponent_factor(
+                "InpPS", d, 2
+            )
+
+    def test_inp_ht_beats_marginal_methods_for_small_k(self):
+        for d in (8, 16):
+            assert error_exponent_factor("InpHT", d, 2) < error_exponent_factor(
+                "MargPS", d, 2
+            )
+
+    def test_marg_rr_below_marg_ps(self):
+        # 2^k d^{k/2} < 2^{3k/2} d^{k/2}.
+        assert error_exponent_factor("MargRR", 8, 2) < error_exponent_factor(
+            "MargPS", 8, 2
+        )
+
+    def test_input_methods_grow_exponentially_in_d(self):
+        small = error_exponent_factor("InpRR", 8, 2)
+        large = error_exponent_factor("InpRR", 16, 2)
+        assert large / small == pytest.approx(2**8)
+
+    def test_inp_ht_factor_formula(self):
+        # 2^{k/2} * sqrt(C(d,1) + C(d,2)) at d=8, k=2.
+        expected = 2.0 * math.sqrt(8 + 28)
+        assert error_exponent_factor("InpHT", 8, 2) == pytest.approx(expected)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProtocolConfigurationError):
+            error_exponent_factor("InpHT", 4, 5)
+        with pytest.raises(ProtocolConfigurationError):
+            error_exponent_factor("InpHT", 0, 0)
+
+
+class TestErrorBound:
+    def test_scaling_with_population_and_epsilon(self):
+        base = error_bound("InpHT", 8, 2, 1.0, 10_000)
+        assert error_bound("InpHT", 8, 2, 1.0, 40_000) == pytest.approx(base / 2)
+        assert error_bound("InpHT", 8, 2, 2.0, 10_000) == pytest.approx(base / 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ProtocolConfigurationError):
+            error_bound("InpHT", 8, 2, 0.0, 100)
+        with pytest.raises(ProtocolConfigurationError):
+            error_bound("InpHT", 8, 2, 1.0, 0)
+
+
+class TestTable2Summary:
+    def test_all_methods_present(self):
+        rows = table2_summary(8, 2)
+        assert [row.method for row in rows] == list(METHODS)
+        for row in rows:
+            assert isinstance(row, BoundSummary)
+            assert row.communication_bits > 0
+            assert row.error_factor > 0
+
+    def test_error_at_helper(self):
+        row = table2_summary(8, 2)[2]
+        assert row.error_at(1.0, 10_000) == pytest.approx(
+            row.error_factor / math.sqrt(10_000)
+        )
+        with pytest.raises(ProtocolConfigurationError):
+            row.error_at(0.0, 10)
+
+
+class TestMasterTheorem:
+    def test_probability_bound_properties(self):
+        budget = PrivacyBudget(1.0)
+        loose = master_theorem_deviation_bound(budget, 0.1, 1000, 0.05)
+        tight = master_theorem_deviation_bound(budget, 0.1, 100_000, 0.05)
+        assert 0 < tight < loose <= 1.0
+
+    def test_bound_decreases_with_deviation(self):
+        budget = PrivacyBudget(1.0)
+        small_c = master_theorem_deviation_bound(budget, 1.0, 10_000, 0.01)
+        large_c = master_theorem_deviation_bound(budget, 1.0, 10_000, 0.1)
+        assert large_c < small_c
+
+    def test_rejects_bad_inputs(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(ProtocolConfigurationError):
+            master_theorem_deviation_bound(budget, 0.0, 100, 0.1)
+        with pytest.raises(ProtocolConfigurationError):
+            master_theorem_deviation_bound(budget, 0.5, 0, 0.1)
+        with pytest.raises(ProtocolConfigurationError):
+            master_theorem_deviation_bound(budget, 0.5, 100, 0.0)
