@@ -1,8 +1,9 @@
 """Quickstart: release 2-way marginals of taxi-like data under epsilon-LDP.
 
 Runs the paper's preferred protocol (InpHT) over a synthetic NYC-taxi-style
-population, reconstructs a couple of marginals, and compares them against the
-exact (non-private) tables.
+population through the streaming client/aggregator pipeline, reconstructs a
+couple of marginals, and compares them against the exact (non-private)
+tables.
 
 Run with:  python examples/quickstart.py
 """
@@ -28,8 +29,20 @@ def main() -> None:
         f"{protocol.communication_bits(data.dimension)} bits per user"
     )
 
-    # 3. Simulate collection and aggregation.
-    estimator = protocol.run(data, rng=rng)
+    # 3. Simulate collection with the streaming pipeline: clients encode
+    #    record batches, two aggregator shards fold the report batches into
+    #    mergeable accumulators, and the merged state finalises into the
+    #    estimator.  (protocol.run(data, rng=rng) is the one-shot shorthand,
+    #    and run_streaming(...) drives this loop for you.)
+    shards = [protocol.accumulator(data.domain) for _ in range(2)]
+    for position, batch in enumerate(data.iter_batches(25_000)):
+        reports = protocol.encode_batch(batch, rng=rng)   # client side
+        shards[position % len(shards)].update(reports)    # aggregator side
+    merged = shards[0].merge(shards[1])
+    print(
+        f"aggregated {merged.num_reports} reports across {len(shards)} shards"
+    )
+    estimator = merged.finalize()
 
     # 4. Query any 1- or 2-way marginal on demand and compare with the truth.
     for attributes in (["CC", "Tip"], ["M_pick", "M_drop"], ["Night_pick"]):

@@ -60,6 +60,7 @@ from .datasets import (
     uniform_dataset,
 )
 from .protocols import (
+    Accumulator,
     BASELINE_PROTOCOL_NAMES,
     CORE_PROTOCOL_NAMES,
     InpEM,
@@ -108,6 +109,7 @@ __all__ = [
     "skewed_dataset",
     # protocols
     "MarginalReleaseProtocol",
+    "Accumulator",
     "MarginalEstimator",
     "InpRR",
     "InpPS",

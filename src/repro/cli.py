@@ -15,6 +15,7 @@ for later analysis or plotting.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -31,6 +32,7 @@ from .experiments import (
     table2_bounds,
     table3_em_failures,
 )
+from .experiments.config import SweepConfig
 from .experiments.harness import SweepResult
 from .io import save_sweep_json
 
@@ -83,12 +85,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         help="for sweep experiments, also write the raw results to this JSON file",
     )
+    run_parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="for sweep experiments, stream the dataset through the "
+        "client/accumulator pipeline in record batches of this size",
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="S",
+        help="for sweep experiments, spread streamed batches over this many "
+        "mergeable accumulator shards (estimates are shard-invariant)",
+    )
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
 
 
 def _run_experiment(arguments: argparse.Namespace) -> int:
     module, _ = EXPERIMENTS[arguments.experiment]
     config = module.default_config(quick=not arguments.full)
+    streaming_overrides = {}
+    if arguments.batch_size is not None:
+        streaming_overrides["batch_size"] = arguments.batch_size
+    if arguments.shards is not None:
+        streaming_overrides["shards"] = arguments.shards
+    if (
+        arguments.shards is not None
+        and arguments.shards > 1
+        and arguments.batch_size is None
+    ):
+        print(
+            "--shards > 1 requires --batch-size: without batching the whole "
+            "dataset is a single report batch and only one shard would be used",
+            file=sys.stderr,
+        )
+        return 2
+    if streaming_overrides:
+        if not isinstance(config, SweepConfig):
+            print(
+                f"--batch-size/--shards only apply to sweep experiments; "
+                f"{arguments.experiment} is not one",
+                file=sys.stderr,
+            )
+            return 2
+        config = dataclasses.replace(config, **streaming_overrides)
     result = module.run(config)
     rendered = module.render(result)
     print(rendered)

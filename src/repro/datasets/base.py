@@ -24,7 +24,17 @@ from ..core.marginals import (
 )
 from ..core.rng import RngLike, ensure_rng
 
-__all__ = ["BinaryDataset"]
+__all__ = ["BinaryDataset", "record_indices"]
+
+
+def record_indices(records: np.ndarray) -> np.ndarray:
+    """Per-row one-hot positions in ``{0,1}^d`` of an ``(n, d)`` 0/1 matrix.
+
+    The single source of truth for the record -> index packing, shared by
+    :meth:`BinaryDataset.indices` and the protocols' batch encoders.
+    """
+    weights = 1 << np.arange(records.shape[1], dtype=np.int64)
+    return records.astype(np.int64) @ weights
 
 
 @dataclass(frozen=True)
@@ -116,8 +126,7 @@ class BinaryDataset:
 
     def indices(self) -> np.ndarray:
         """Per-user one-hot positions ``j_i`` in ``{0,1}^d``."""
-        weights = (1 << np.arange(self.dimension, dtype=np.int64))
-        return self.records.astype(np.int64) @ weights
+        return record_indices(self.records)
 
     def full_distribution(self) -> np.ndarray:
         """The exact normalised histogram over ``{0,1}^d``."""
@@ -131,6 +140,31 @@ class BinaryDataset:
     def attribute_column(self, attribute: str) -> np.ndarray:
         """The 0/1 column of a named attribute."""
         return self.records[:, self.domain.index_of(attribute)].astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Chunked iteration (the streaming pipeline's record source)
+    # ------------------------------------------------------------------ #
+    def num_batches(self, batch_size: Optional[int] = None) -> int:
+        """Number of chunks :meth:`iter_batches` will yield."""
+        if batch_size is None:
+            return 1
+        if batch_size < 1:
+            raise DatasetError(f"batch size must be >= 1, got {batch_size}")
+        return -(-self.size // batch_size)
+
+    def iter_batches(self, batch_size: Optional[int] = None):
+        """Yield contiguous ``(<=batch_size, d)`` record chunks, in order.
+
+        Chunks are views into the record matrix (no copies), so protocols
+        can stream arbitrarily large populations in constant memory.  With
+        ``batch_size=None`` the whole record matrix is yielded as one chunk.
+        """
+        self.num_batches(batch_size)  # validate batch_size
+        if batch_size is None:
+            yield self.records
+            return
+        for start in range(0, self.size, batch_size):
+            yield self.records[start : start + batch_size]
 
     # ------------------------------------------------------------------ #
     # Resampling

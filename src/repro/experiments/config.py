@@ -47,6 +47,15 @@ class SweepConfig:
         Master seed for reproducibility.
     protocol_options:
         Extra keyword arguments per protocol name.
+    batch_size:
+        When set, protocols run through the streaming pipeline
+        (:meth:`~repro.protocols.base.MarginalReleaseProtocol.run_streaming`)
+        consuming the dataset in record batches of this size; ``None`` keeps
+        the one-shot ``run()`` path.
+    shards:
+        Number of accumulator shards the streaming pipeline spreads batches
+        over.  For a fixed seed the estimates depend only on ``batch_size``,
+        never on ``shards``.
     """
 
     protocols: Tuple[str, ...]
@@ -58,6 +67,8 @@ class SweepConfig:
     repetitions: int = 3
     seed: int = 20180610
     protocol_options: Dict[str, Dict] = field(default_factory=dict)
+    batch_size: Optional[int] = None
+    shards: int = 1
 
     def __post_init__(self):
         if not self.protocols:
@@ -65,6 +76,19 @@ class SweepConfig:
         if self.repetitions < 1:
             raise ProtocolConfigurationError(
                 f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ProtocolConfigurationError(
+                f"batch size must be >= 1 or None, got {self.batch_size}"
+            )
+        if self.shards < 1:
+            raise ProtocolConfigurationError(
+                f"shard count must be >= 1, got {self.shards}"
+            )
+        if self.shards > 1 and self.batch_size is None:
+            raise ProtocolConfigurationError(
+                "shards > 1 requires a batch_size: without batching the whole "
+                "dataset is one report batch and only one shard would be used"
             )
         if any(n < 1 for n in self.population_sizes):
             raise ProtocolConfigurationError("population sizes must be positive")

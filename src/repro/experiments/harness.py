@@ -155,7 +155,15 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                         for name in config.protocols:
                             options = config.protocol_options.get(name, {})
                             protocol = make_protocol(name, budget, width, **options)
-                            estimator = protocol.run(dataset, rng=repetition_rng)
+                            if config.batch_size is None and config.shards == 1:
+                                estimator = protocol.run(dataset, rng=repetition_rng)
+                            else:
+                                estimator = protocol.run_streaming(
+                                    dataset,
+                                    rng=repetition_rng,
+                                    batch_size=config.batch_size,
+                                    shards=config.shards,
+                                )
                             error = mean_total_variation(
                                 dataset, estimator, widths=[width]
                             )

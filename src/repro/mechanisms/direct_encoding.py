@@ -89,6 +89,26 @@ class DirectEncoding:
         q = self.lie_probability
         return (fractions - q) / (p - q)
 
+    def count_reports(self, reports: np.ndarray) -> np.ndarray:
+        """Per-category report counts — the mergeable aggregation state.
+
+        Counts from different report batches add exactly, so sharded
+        aggregation and single-pass aggregation agree bit-for-bit.
+        """
+        reports = np.asarray(reports, dtype=np.int64)
+        if reports.size and (reports.min() < 0 or reports.max() >= self.domain_size):
+            raise ProtocolConfigurationError(
+                f"reports must lie in [0, {self.domain_size})"
+            )
+        return np.bincount(reports, minlength=self.domain_size)
+
+    def unbias_counts(self, counts: np.ndarray, num_users: int) -> np.ndarray:
+        """Unbiased per-category frequencies from accumulated report counts."""
+        if num_users < 1:
+            raise ProtocolConfigurationError("cannot aggregate zero reports")
+        counts = np.asarray(counts, dtype=np.float64)
+        return self.unbias_frequencies(counts / num_users)
+
     def report_histogram(self, reports: np.ndarray) -> np.ndarray:
         """Fraction of reports landing on each category."""
         reports = np.asarray(reports, dtype=np.int64)

@@ -113,16 +113,15 @@ class OptimizedLocalHashing:
     # ------------------------------------------------------------------ #
     # Aggregator side
     # ------------------------------------------------------------------ #
-    def estimate_frequencies(
+    def support_counts(
         self, seeds: np.ndarray, noisy_buckets: np.ndarray, batch_size: int = 256
     ) -> np.ndarray:
-        """Estimate the frequency of every domain element.
+        """Per-element support counts — OLH's mergeable aggregation state.
 
         The support count of element ``x`` is the number of users whose noisy
-        bucket equals their hash of ``x``; the standard OLH de-biasing
-        ``(support/N - 1/g) / (p - 1/g)`` yields unbiased frequencies.  The
-        domain is processed in batches to keep the ``N x batch`` intermediate
-        small.
+        bucket equals their hash of ``x``.  It is a per-user sum, so supports
+        computed on disjoint report batches add exactly.  The domain is
+        processed in batches to keep the ``N x batch`` intermediate small.
         """
         seeds = np.asarray(seeds, dtype=np.int64)
         noisy_buckets = np.asarray(noisy_buckets, dtype=np.int64)
@@ -130,18 +129,33 @@ class OptimizedLocalHashing:
             raise ProtocolConfigurationError(
                 "seeds and noisy buckets must be 1-D arrays of the same length"
             )
-        n = seeds.shape[0]
-        p = self.encoder.keep_probability
-        uniform = 1.0 / self.num_buckets
         support = np.zeros(self.domain_size, dtype=np.float64)
         for start in range(0, self.domain_size, batch_size):
             stop = min(start + batch_size, self.domain_size)
             candidates = np.arange(start, stop, dtype=np.int64)
-            # hashes[i, j] = h_{seed_i}(candidate_j)
-            hashes = _hash(
-                candidates[None, :].repeat(n, axis=0),
-                seeds[:, None].repeat(stop - start, axis=1),
-                self.num_buckets,
-            )
+            # hashes[i, j] = h_{seed_i}(candidate_j), by broadcasting.
+            hashes = _hash(candidates[None, :], seeds[:, None], self.num_buckets)
             support[start:stop] = (hashes == noisy_buckets[:, None]).sum(axis=0)
-        return (support / n - uniform) / (p - uniform)
+        return support
+
+    def estimate_from_support(
+        self, support: np.ndarray, num_users: int
+    ) -> np.ndarray:
+        """De-bias accumulated support counts into frequency estimates.
+
+        The standard OLH de-biasing ``(support/N - 1/g) / (p - 1/g)`` yields
+        unbiased frequencies.
+        """
+        if num_users < 1:
+            raise ProtocolConfigurationError("cannot aggregate zero reports")
+        support = np.asarray(support, dtype=np.float64)
+        p = self.encoder.keep_probability
+        uniform = 1.0 / self.num_buckets
+        return (support / num_users - uniform) / (p - uniform)
+
+    def estimate_frequencies(
+        self, seeds: np.ndarray, noisy_buckets: np.ndarray, batch_size: int = 256
+    ) -> np.ndarray:
+        """Estimate the frequency of every domain element in one pass."""
+        support = self.support_counts(seeds, noisy_buckets, batch_size=batch_size)
+        return self.estimate_from_support(support, np.asarray(seeds).shape[0])

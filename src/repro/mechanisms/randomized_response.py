@@ -131,6 +131,21 @@ class SignRandomizedResponse:
         """Divide an averaged report by the attenuation factor ``2p - 1``."""
         return np.asarray(observed_mean, dtype=np.float64) / self.attenuation
 
+    def unbias_sums(self, sign_sums: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Unbiased per-group values from sums of noisy signs and group sizes.
+
+        This is the mergeable-accumulator form of :meth:`unbias_mean`: sums
+        of ``+/-1`` reports add exactly across shards.  Groups nobody
+        reported to are estimated as 0 (their prior under a uniform
+        distribution).
+        """
+        sums = np.asarray(sign_sums, dtype=np.float64)
+        counts = np.asarray(counts)
+        means = np.zeros_like(sums)
+        seen = counts > 0
+        means[seen] = sums[seen] / counts[seen]
+        return self.unbias_mean(means)
+
     def variance_per_report(self) -> float:
         """Variance of one unbiased per-user estimate (independent of the value).
 

@@ -140,13 +140,18 @@ class HadamardCountMeanSketch:
     # ------------------------------------------------------------------ #
     # Aggregator side
     # ------------------------------------------------------------------ #
-    def build_sketch(
+    def sign_sums(
         self,
         hash_indices: np.ndarray,
         coefficient_indices: np.ndarray,
         noisy_signs: np.ndarray,
     ) -> np.ndarray:
-        """Assemble the de-biased ``g x w`` sketch of *counts* in data space."""
+        """Per-(hash, coefficient) sums of noisy signs — the mergeable state.
+
+        Each entry is a sum of ``+/-1`` reports, so sums over disjoint report
+        batches add exactly and shard-then-merge aggregation reproduces the
+        single-pass sketch bit-for-bit.
+        """
         hash_indices = np.asarray(hash_indices, dtype=np.int64)
         coefficient_indices = np.asarray(coefficient_indices, dtype=np.int64)
         noisy_signs = np.asarray(noisy_signs, dtype=np.float64)
@@ -154,35 +159,38 @@ class HadamardCountMeanSketch:
             hash_indices.shape == coefficient_indices.shape == noisy_signs.shape
         ):
             raise ProtocolConfigurationError("report arrays must share one shape")
-        n = hash_indices.shape[0]
-        if n == 0:
-            raise ProtocolConfigurationError("cannot aggregate zero reports")
-
-        attenuation = self.mechanism.attenuation
-        sketch_hadamard = np.zeros((self.num_hashes, self.width), dtype=np.float64)
-        # Each user contributes an unbiased estimate of g * w * (their
-        # coefficient) to the sampled (hash, coefficient) entry: the factors
-        # undo the 1/g and 1/w sampling probabilities.
-        contributions = noisy_signs / attenuation * self.num_hashes * self.width
-        np.add.at(
-            sketch_hadamard,
-            (hash_indices, coefficient_indices),
-            contributions,
+        flat = hash_indices * self.width + coefficient_indices
+        sums = np.bincount(
+            flat, weights=noisy_signs, minlength=self.num_hashes * self.width
         )
-        sketch_hadamard /= n
+        return sums.reshape(self.num_hashes, self.width)
+
+    def sketch_from_sums(self, sign_sums: np.ndarray, num_users: int) -> np.ndarray:
+        """De-bias accumulated sign sums into the ``g x w`` count-space sketch."""
+        if num_users < 1:
+            raise ProtocolConfigurationError("cannot aggregate zero reports")
+        sign_sums = np.asarray(sign_sums, dtype=np.float64)
+        # Each user's report is an unbiased estimate of g * w * (their
+        # coefficient) once divided by the RR attenuation: the factors undo
+        # the 1/g and 1/w sampling probabilities.
+        scale = self.num_hashes * self.width / self.mechanism.attenuation
+        sketch_hadamard = sign_sums * scale / num_users
         # Invert the (unnormalised) transform row by row to get per-bucket
         # frequency estimates: counts[l, b] = (1/w) sum_m (-1)^{<m,b>} coeff.
-        sketch = np.stack([fwht(row) / self.width for row in sketch_hadamard])
-        return sketch
+        return np.stack([fwht(row) / self.width for row in sketch_hadamard])
 
-    def estimate_frequencies(
+    def build_sketch(
         self,
         hash_indices: np.ndarray,
         coefficient_indices: np.ndarray,
         noisy_signs: np.ndarray,
     ) -> np.ndarray:
-        """Estimate the frequency of every domain element from the sketch."""
-        sketch = self.build_sketch(hash_indices, coefficient_indices, noisy_signs)
+        """Assemble the de-biased ``g x w`` sketch of *counts* in data space."""
+        sums = self.sign_sums(hash_indices, coefficient_indices, noisy_signs)
+        return self.sketch_from_sums(sums, np.asarray(hash_indices).shape[0])
+
+    def frequencies_from_sketch(self, sketch: np.ndarray) -> np.ndarray:
+        """Estimate the frequency of every domain element from a sketch."""
         salts = self._salts()
         candidates = np.arange(self.domain_size, dtype=np.int64)
         hashes = _hash_matrix(candidates, salts, self.width)  # (domain, g)
@@ -192,3 +200,13 @@ class HadamardCountMeanSketch:
         # collides with probability 1/w.
         w = self.width
         return (w / (w - 1.0)) * (mean - 1.0 / w)
+
+    def estimate_frequencies(
+        self,
+        hash_indices: np.ndarray,
+        coefficient_indices: np.ndarray,
+        noisy_signs: np.ndarray,
+    ) -> np.ndarray:
+        """Estimate the frequency of every domain element from the reports."""
+        sketch = self.build_sketch(hash_indices, coefficient_indices, noisy_signs)
+        return self.frequencies_from_sketch(sketch)

@@ -160,3 +160,17 @@ class UnaryEncoding:
         p = self.probability_keep_one
         q = self.probability_zero_to_one
         return (observed - q) / (p - q)
+
+    def unbias_sums(self, report_sums: np.ndarray, num_users: int) -> np.ndarray:
+        """Unbiased frequencies from per-cell report *sums* over ``num_users``.
+
+        The sum form is what mergeable accumulators carry: per-cell bit sums
+        add exactly across shards, and only the final estimate divides by the
+        total user count.
+        """
+        if num_users < 1:
+            raise ProtocolConfigurationError(
+                f"need at least one report to unbias sums, got {num_users}"
+            )
+        sums = np.asarray(report_sums, dtype=np.float64)
+        return self.unbias_mean(sums / num_users)

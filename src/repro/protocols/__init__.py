@@ -1,11 +1,14 @@
 """Marginal-release protocols under local differential privacy."""
 
 from .base import (
+    Accumulator,
     CoefficientEstimator,
     DistributionEstimator,
     MarginalEstimator,
     MarginalReleaseProtocol,
     PerMarginalEstimator,
+    as_record_matrix,
+    record_indices,
 )
 from .inp_em import EMDecodingResult, EMEstimator, InpEM
 from .inp_ht import InpHT
@@ -26,6 +29,9 @@ from .registry import (
 
 __all__ = [
     "MarginalReleaseProtocol",
+    "Accumulator",
+    "as_record_matrix",
+    "record_indices",
     "MarginalEstimator",
     "DistributionEstimator",
     "CoefficientEstimator",

@@ -8,10 +8,21 @@ Every method in the paper follows the same life-cycle:
    collection of noisy marginals), and
 3. any k-way marginal is *queried* on demand from that summary.
 
-:class:`MarginalReleaseProtocol` captures steps 1–2 behind a single
-``run(dataset, rng)`` call and step 3 behind the returned
-:class:`MarginalEstimator`.  Three concrete estimator kinds cover the design
-space:
+:class:`MarginalReleaseProtocol` exposes that life-cycle as a streaming
+pipeline:
+
+* :meth:`~MarginalReleaseProtocol.encode_batch` — the client side, perturbing
+  a whole batch of records into a protocol-specific report batch with
+  vectorised NumPy operations;
+* :class:`Accumulator` — the aggregator side: per-shard mergeable state fed
+  through ``update(reports)``, combined associatively with ``merge(other)``;
+* :meth:`Accumulator.finalize` — produces the protocol's
+  :class:`MarginalEstimator`, behind which step 3 happens on demand.
+
+``run(dataset, rng)`` remains as a one-shot convenience wrapper over the
+pipeline, and :meth:`~MarginalReleaseProtocol.run_streaming` drives the same
+pipeline over record batches spread across any number of shards.  Three
+concrete estimator kinds cover the design space:
 
 * :class:`DistributionEstimator` — a reconstructed full distribution over
   ``{0,1}^d`` (``InpRR``, ``InpPS`` and the frequency-oracle baselines);
@@ -25,7 +36,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -39,16 +50,53 @@ from ..core.exceptions import (
 from ..core.hadamard import marginal_from_scaled_coefficients
 from ..core.marginals import MarginalTable, MarginalWorkload, marginal_operator
 from ..core.privacy import PrivacyBudget
-from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
+from ..core.rng import RngLike, ensure_rng, spawn_rngs
+from ..datasets.base import BinaryDataset, record_indices
 
 __all__ = [
     "MarginalEstimator",
     "DistributionEstimator",
     "CoefficientEstimator",
     "PerMarginalEstimator",
+    "Accumulator",
     "MarginalReleaseProtocol",
+    "as_record_matrix",
+    "record_indices",
+    "sampled_marginal_cells",
 ]
+
+
+def as_record_matrix(records) -> np.ndarray:
+    """Coerce a :class:`BinaryDataset` or array-like into an ``(n, d)`` matrix.
+
+    Client-side encoders accept either form so callers can stream raw record
+    chunks without wrapping each one in a dataset object.
+    """
+    if isinstance(records, BinaryDataset):
+        return records.records
+    array = np.asarray(records)
+    if array.ndim != 2:
+        raise ProtocolConfigurationError(
+            f"a record batch must be a 2-D (n, d) array, got shape {array.shape}"
+        )
+    return array
+
+
+def sampled_marginal_cells(
+    indices: np.ndarray, choices: np.ndarray, marginals: Sequence[int]
+) -> np.ndarray:
+    """Each user's compact cell within their sampled marginal.
+
+    ``indices[i]`` is user ``i``'s one-hot position and ``choices[i]`` the
+    position (into ``marginals``) of the k-way marginal that user sampled;
+    the result is the user's cell index within that ``2^k``-cell table.
+    """
+    cells = np.empty(indices.shape[0], dtype=np.int64)
+    for position, beta in enumerate(marginals):
+        members = choices == position
+        if members.any():
+            cells[members] = bitops.compress_indices(indices[members] & beta, beta)
+    return cells
 
 
 class MarginalEstimator(abc.ABC):
@@ -200,6 +248,98 @@ class PerMarginalEstimator(MarginalEstimator):
         return MarginalTable(self.domain, mask, np.mean(estimates, axis=0))
 
 
+class Accumulator(abc.ABC):
+    """Mergeable aggregation state for one protocol (the aggregator side).
+
+    An accumulator ingests report batches produced by
+    :meth:`MarginalReleaseProtocol.encode_batch` through :meth:`update`, can
+    absorb the state of a peer accumulator (e.g. one per worker shard)
+    through :meth:`merge`, and finalises into the protocol's
+    :class:`MarginalEstimator`.  ``update`` and ``merge`` are associative and
+    commutative: any shard/merge tree over the same report batches produces
+    the same estimates as a single-pass aggregation.
+    """
+
+    def __init__(self, workload: MarginalWorkload):
+        self._workload = workload
+        self._num_reports = 0
+
+    @property
+    def workload(self) -> MarginalWorkload:
+        return self._workload
+
+    @property
+    def domain(self) -> Domain:
+        return self._workload.domain
+
+    @property
+    def num_reports(self) -> int:
+        """Number of user reports folded in so far (including merges)."""
+        return self._num_reports
+
+    def update(self, reports) -> "Accumulator":
+        """Fold one batch of client reports into this state; returns ``self``."""
+        users = int(reports.num_users)
+        if users < 0:
+            raise AggregationError(f"report batch has negative size {users}")
+        self._ingest(reports)
+        self._num_reports += users
+        return self
+
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Absorb another shard's state into this one; returns ``self``.
+
+        Both accumulators must come from identically configured protocols
+        over the same workload.
+        """
+        if type(other) is not type(self):
+            raise AggregationError(
+                f"cannot merge a {type(other).__name__} into a "
+                f"{type(self).__name__}"
+            )
+        if other._workload != self._workload:
+            raise AggregationError(
+                "cannot merge accumulators built over different workloads"
+            )
+        if other._merge_signature() != self._merge_signature():
+            raise AggregationError(
+                "cannot merge accumulators from differently configured "
+                "protocols (mechanism parameters differ)"
+            )
+        self._absorb(other)
+        self._num_reports += other._num_reports
+        return self
+
+    @abc.abstractmethod
+    def finalize(self) -> MarginalEstimator:
+        """Produce the estimator from the accumulated reports."""
+
+    @abc.abstractmethod
+    def _ingest(self, reports) -> None:
+        """Protocol-specific part of :meth:`update`."""
+
+    @abc.abstractmethod
+    def _absorb(self, other: "Accumulator") -> None:
+        """Protocol-specific part of :meth:`merge`."""
+
+    @abc.abstractmethod
+    def _merge_signature(self):
+        """The mechanism configuration that must match for merging.
+
+        De-biasing at :meth:`finalize` uses *this* accumulator's mechanism
+        parameters, so merging state produced under different parameters
+        (a different epsilon, sketch shape, hash range, ...) would silently
+        bias the estimates; :meth:`merge` compares signatures to refuse it.
+        """
+
+    def _require_reports(self) -> int:
+        if self._num_reports < 1:
+            raise AggregationError(
+                "cannot finalize an accumulator that has seen no reports"
+            )
+        return self._num_reports
+
+
 class MarginalReleaseProtocol(abc.ABC):
     """A complete marginal-release method under epsilon-LDP.
 
@@ -247,8 +387,70 @@ class MarginalReleaseProtocol(abc.ABC):
         return MarginalWorkload(domain, self._max_width)
 
     @abc.abstractmethod
+    def encode_batch(self, records, rng: RngLike = None):
+        """Client side: perturb a batch of records into a report batch.
+
+        ``records`` is a :class:`BinaryDataset` or an ``(n, d)`` 0/1 array.
+        The returned object is protocol-specific but always carries a
+        ``num_users`` attribute; feed it to :meth:`Accumulator.update`.
+        Perturbation is vectorised over the whole batch.
+        """
+
+    @abc.abstractmethod
+    def accumulator(self, domain: Domain) -> Accumulator:
+        """A fresh, empty aggregation state for this protocol over ``domain``."""
+
     def run(self, dataset: BinaryDataset, rng: RngLike = None) -> MarginalEstimator:
-        """Simulate the whole protocol on a dataset and return the estimator."""
+        """Simulate the whole protocol on a dataset and return the estimator.
+
+        Compatibility wrapper over the streaming pipeline: the dataset is
+        encoded as a single batch and aggregated by one accumulator.
+        """
+        return self.run_streaming(dataset, rng=rng)
+
+    def run_streaming(
+        self,
+        dataset: BinaryDataset,
+        rng: RngLike = None,
+        batch_size: Optional[int] = None,
+        shards: int = 1,
+    ) -> MarginalEstimator:
+        """Run the protocol as a batched, shardable pipeline.
+
+        The dataset is consumed in record batches of ``batch_size`` (the
+        whole dataset when ``None``); each batch is encoded client-side and
+        folded into one of ``shards`` accumulators round-robin, and the
+        shards are merged before finalising.  Each batch perturbs with its
+        own child generator spawned from ``rng``, so for a fixed seed the
+        estimates depend only on ``batch_size`` — never on ``shards`` —
+        which is what makes the aggregation embarrassingly parallel.  A
+        single batch is encoded with the caller's generator directly, so
+        ``run()`` is exactly the ``batch_size=None`` special case.
+        """
+        if shards < 1:
+            raise ProtocolConfigurationError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        generator = ensure_rng(rng)
+        num_batches = dataset.num_batches(batch_size)
+        if num_batches == 1:
+            batch_rngs = [generator]
+        else:
+            batch_rngs = spawn_rngs(generator, num_batches)
+        accumulators = [
+            self.accumulator(dataset.domain)
+            for _ in range(min(shards, num_batches))
+        ]
+        for position, (chunk, chunk_rng) in enumerate(
+            zip(dataset.iter_batches(batch_size), batch_rngs)
+        ):
+            accumulators[position % len(accumulators)].update(
+                self.encode_batch(chunk, rng=chunk_rng)
+            )
+        merged = accumulators[0]
+        for other in accumulators[1:]:
+            merged.merge(other)
+        return merged.finalize()
 
     @abc.abstractmethod
     def communication_bits(self, dimension: int) -> int:

@@ -18,20 +18,25 @@ practical failure modes which this implementation surfaces explicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core import bitops
+from ..core.domain import Domain
 from ..core.exceptions import ProtocolConfigurationError
 from ..core.marginals import MarginalTable, MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.randomized_response import BitRandomizedResponse
-from .base import MarginalEstimator, MarginalReleaseProtocol
+from .base import (
+    Accumulator,
+    MarginalEstimator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+)
 
-__all__ = ["EMDecodingResult", "EMEstimator", "InpEM"]
+__all__ = ["EMDecodingResult", "EMEstimator", "InpEM", "InpEMReports", "InpEMAccumulator"]
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,71 @@ class EMEstimator(MarginalEstimator):
         )
 
 
+@dataclass(frozen=True)
+class InpEMReports:
+    """One encoded batch: the per-attribute RR-perturbed record rows."""
+
+    noisy_records: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.noisy_records.shape[0])
+
+
+class InpEMAccumulator(Accumulator):
+    """Collects noisy record batches for later EM decoding.
+
+    EM is a decoding loop over the *pattern histogram* of the noisy records,
+    which is order-invariant, so concatenating shards in any merge order
+    finalises to identical estimates.  Unlike the closed-form protocols the
+    state grows with the number of users — an intrinsic cost of the EM
+    baseline, which needs the joint noisy patterns at query time.
+    """
+
+    def __init__(
+        self,
+        workload: MarginalWorkload,
+        keep_probability: float,
+        convergence_threshold: float,
+        max_iterations: int,
+    ):
+        super().__init__(workload)
+        self._keep_probability = float(keep_probability)
+        self._threshold = float(convergence_threshold)
+        self._max_iterations = int(max_iterations)
+        self._chunks: List[np.ndarray] = []
+
+    def _ingest(self, reports: InpEMReports) -> None:
+        noisy = np.asarray(reports.noisy_records, dtype=np.int8)
+        if noisy.ndim != 2 or noisy.shape[1] != self._workload.dimension:
+            raise ProtocolConfigurationError(
+                f"noisy records must have shape (n, {self._workload.dimension}), "
+                f"got {noisy.shape}"
+            )
+        self._chunks.append(noisy)
+
+    def _absorb(self, other: "InpEMAccumulator") -> None:
+        self._chunks.extend(other._chunks)
+
+    def _merge_signature(self):
+        return (self._keep_probability, self._threshold, self._max_iterations)
+
+    def finalize(self) -> "EMEstimator":
+        self._require_reports()
+        noisy = (
+            self._chunks[0]
+            if len(self._chunks) == 1
+            else np.concatenate(self._chunks, axis=0)
+        )
+        return EMEstimator(
+            self._workload,
+            noisy,
+            keep_probability=self._keep_probability,
+            convergence_threshold=self._threshold,
+            max_iterations=self._max_iterations,
+        )
+
+
 class InpEM(MarginalReleaseProtocol):
     """Budget-split per-attribute RR with EM decoding (Fanti et al. baseline)."""
 
@@ -168,14 +238,17 @@ class InpEM(MarginalReleaseProtocol):
         """The eps/d randomized response applied to every attribute bit."""
         return BitRandomizedResponse.from_budget(self.budget.split(dimension))
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> EMEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> InpEMReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.per_attribute_mechanism(dataset.dimension)
-        noisy = mechanism.perturb(dataset.records, rng=generator)
-        return EMEstimator(
-            workload,
-            noisy,
+        records = as_record_matrix(records)
+        mechanism = self.per_attribute_mechanism(records.shape[1])
+        noisy = mechanism.perturb(records, rng=generator)
+        return InpEMReports(noisy_records=noisy)
+
+    def accumulator(self, domain: Domain) -> InpEMAccumulator:
+        mechanism = self.per_attribute_mechanism(domain.dimension)
+        return InpEMAccumulator(
+            self.workload_for(domain),
             keep_probability=mechanism.keep_probability,
             convergence_threshold=self._threshold,
             max_iterations=self._max_iterations,

@@ -21,19 +21,89 @@ better in ``d`` than the other input-based methods for small ``k``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
 
+from ..core.domain import Domain
 from ..core.exceptions import AggregationError
 from ..core.hadamard import coefficient_index_set, user_coefficient_values
-from ..core.privacy import PrivacyBudget
+from ..core.marginals import MarginalWorkload
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.randomized_response import SignRandomizedResponse
-from .base import CoefficientEstimator, MarginalReleaseProtocol
+from .base import (
+    Accumulator,
+    CoefficientEstimator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+    record_indices,
+)
 
-__all__ = ["InpHT"]
+__all__ = ["InpHT", "InpHTReports", "InpHTAccumulator"]
+
+
+@dataclass(frozen=True)
+class InpHTReports:
+    """One encoded batch: sampled coefficient positions and noisy values.
+
+    ``choices[i]`` is user ``i``'s sampled position into the shared
+    coefficient set ``T`` and ``noisy_values[i]`` the sign-RR-perturbed
+    coefficient value in ``{-1, +1}``.
+    """
+
+    choices: np.ndarray
+    noisy_values: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.choices.shape[0])
+
+
+class InpHTAccumulator(Accumulator):
+    """Mergeable per-coefficient sums and counts over the index set ``T``."""
+
+    def __init__(
+        self,
+        workload: MarginalWorkload,
+        mechanism: SignRandomizedResponse,
+        alphas: np.ndarray,
+    ):
+        super().__init__(workload)
+        self._mechanism = mechanism
+        self._alphas = alphas
+        self._sums = np.zeros(alphas.size, dtype=np.float64)
+        self._counts = np.zeros(alphas.size, dtype=np.int64)
+
+    def _ingest(self, reports: InpHTReports) -> None:
+        choices = np.asarray(reports.choices, dtype=np.int64)
+        if choices.size and (choices.min() < 0 or choices.max() >= self._alphas.size):
+            raise AggregationError(
+                f"coefficient choices must lie in [0, {self._alphas.size})"
+            )
+        self._sums += np.bincount(
+            choices, weights=reports.noisy_values, minlength=self._alphas.size
+        )
+        self._counts += np.bincount(choices, minlength=self._alphas.size)
+
+    def _absorb(self, other: "InpHTAccumulator") -> None:
+        self._sums += other._sums
+        self._counts += other._counts
+
+    def _merge_signature(self):
+        return self._mechanism
+
+    def finalize(self) -> CoefficientEstimator:
+        self._require_reports()
+        # Per-coefficient mean of the users who sampled it, de-biased by the
+        # RR attenuation.  Coefficients nobody sampled are estimated as 0
+        # (their prior under a uniform distribution).
+        seen = self._counts > 0
+        unbiased = self._mechanism.unbias_sums(self._sums, self._counts)
+        coefficients: Dict[int, float] = {}
+        for alpha, value, sampled in zip(self._alphas, unbiased, seen):
+            coefficients[int(alpha)] = float(value) if sampled else 0.0
+        return CoefficientEstimator(self._workload, coefficients)
 
 
 class InpHT(MarginalReleaseProtocol):
@@ -49,39 +119,25 @@ class InpHT(MarginalReleaseProtocol):
         """The sampled-from coefficient set ``T = {alpha : 1 <= |alpha| <= k}``."""
         return coefficient_index_set(dimension, self.max_width)
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> CoefficientEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> InpHTReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.mechanism()
-
-        alphas = self.coefficient_indices(dataset.dimension)
+        records = as_record_matrix(records)
+        alphas = self.coefficient_indices(records.shape[1])
         if alphas.size == 0:
             raise AggregationError("the coefficient set T is empty")
-
-        indices = dataset.indices()
-        n = indices.shape[0]
+        indices = record_indices(records)
         # Each user samples one coefficient index uniformly from T.
-        choices = generator.integers(0, alphas.size, size=n)
-        sampled_alphas = alphas[choices]
-        true_values = user_coefficient_values(indices, sampled_alphas)
-        noisy_values = mechanism.perturb(true_values, rng=generator)
+        choices = generator.integers(0, alphas.size, size=indices.shape[0])
+        true_values = user_coefficient_values(indices, alphas[choices])
+        noisy_values = self.mechanism().perturb(true_values, rng=generator)
+        return InpHTReports(choices=choices, noisy_values=noisy_values)
 
-        # Aggregate: per-coefficient mean of the users who sampled it,
-        # de-biased by the RR attenuation.  Coefficients nobody sampled are
-        # estimated as 0 (their prior under a uniform distribution).
-        sums = np.zeros(alphas.size, dtype=np.float64)
-        counts = np.zeros(alphas.size, dtype=np.int64)
-        np.add.at(sums, choices, noisy_values)
-        np.add.at(counts, choices, 1)
-
-        coefficients: Dict[int, float] = {}
-        nonzero = counts > 0
-        means = np.zeros(alphas.size, dtype=np.float64)
-        means[nonzero] = sums[nonzero] / counts[nonzero]
-        unbiased = mechanism.unbias_mean(means)
-        for alpha, value, seen in zip(alphas, unbiased, nonzero):
-            coefficients[int(alpha)] = float(value) if seen else 0.0
-        return CoefficientEstimator(workload, coefficients)
+    def accumulator(self, domain: Domain) -> InpHTAccumulator:
+        return InpHTAccumulator(
+            self.workload_for(domain),
+            self.mechanism(),
+            self.coefficient_indices(domain.dimension),
+        )
 
     def communication_bits(self, dimension: int) -> int:
         """``d`` bits for the coefficient index plus 1 bit for its noisy value."""

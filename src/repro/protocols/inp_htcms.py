@@ -10,13 +10,65 @@ the behaviour the paper reports.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.marginals import MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.sketch import HadamardCountMeanSketch
-from .base import DistributionEstimator, MarginalReleaseProtocol
+from .base import (
+    Accumulator,
+    DistributionEstimator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+    record_indices,
+)
 
-__all__ = ["InpHTCMS"]
+__all__ = ["InpHTCMS", "InpHTCMSReports", "InpHTCMSAccumulator"]
+
+
+@dataclass(frozen=True)
+class InpHTCMSReports:
+    """One encoded batch: sampled (hash, coefficient) indices + noisy signs."""
+
+    hash_indices: np.ndarray
+    coefficient_indices: np.ndarray
+    noisy_signs: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.hash_indices.shape[0])
+
+
+class InpHTCMSAccumulator(Accumulator):
+    """Mergeable ``g x w`` sums of noisy signs (the sketch's raw state)."""
+
+    def __init__(self, workload: MarginalWorkload, oracle: HadamardCountMeanSketch):
+        super().__init__(workload)
+        self._oracle = oracle
+        self._sign_sums = np.zeros(
+            (oracle.num_hashes, oracle.width), dtype=np.float64
+        )
+
+    def _ingest(self, reports: InpHTCMSReports) -> None:
+        self._sign_sums += self._oracle.sign_sums(
+            reports.hash_indices, reports.coefficient_indices, reports.noisy_signs
+        )
+
+    def _absorb(self, other: "InpHTCMSAccumulator") -> None:
+        self._sign_sums += other._sign_sums
+
+    def _merge_signature(self):
+        return self._oracle
+
+    def finalize(self) -> DistributionEstimator:
+        total = self._require_reports()
+        sketch = self._oracle.sketch_from_sums(self._sign_sums, total)
+        distribution = self._oracle.frequencies_from_sketch(sketch)
+        return DistributionEstimator(self._workload, distribution)
 
 
 class InpHTCMS(MarginalReleaseProtocol):
@@ -44,17 +96,23 @@ class InpHTCMS(MarginalReleaseProtocol):
             width=self._width,
         )
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> DistributionEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> InpHTCMSReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        oracle = self.oracle(dataset.dimension)
+        records = as_record_matrix(records)
+        oracle = self.oracle(records.shape[1])
         hash_indices, coefficient_indices, noisy = oracle.perturb(
-            dataset.indices(), rng=generator
+            record_indices(records), rng=generator
         )
-        distribution = oracle.estimate_frequencies(
-            hash_indices, coefficient_indices, noisy
+        return InpHTCMSReports(
+            hash_indices=hash_indices,
+            coefficient_indices=coefficient_indices,
+            noisy_signs=noisy,
         )
-        return DistributionEstimator(workload, distribution)
+
+    def accumulator(self, domain: Domain) -> InpHTCMSAccumulator:
+        return InpHTCMSAccumulator(
+            self.workload_for(domain), self.oracle(domain.dimension)
+        )
 
     def communication_bits(self, dimension: int) -> int:
         """Hash index + coefficient index + one noisy sign bit."""

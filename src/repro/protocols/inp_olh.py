@@ -10,13 +10,66 @@ Wang et al.'s OLH oracle, which the paper evaluates in Appendix B.2
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.marginals import MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.local_hashing import OptimizedLocalHashing
-from .base import DistributionEstimator, MarginalReleaseProtocol
+from .base import (
+    Accumulator,
+    DistributionEstimator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+    record_indices,
+)
 
-__all__ = ["InpOLH"]
+__all__ = ["InpOLH", "InpOLHReports", "InpOLHAccumulator"]
+
+
+@dataclass(frozen=True)
+class InpOLHReports:
+    """One encoded batch: per-user hash seeds and noisy buckets."""
+
+    seeds: np.ndarray
+    noisy_buckets: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.seeds.shape[0])
+
+
+class InpOLHAccumulator(Accumulator):
+    """Mergeable per-element support counts (constant ``O(2^d)`` memory).
+
+    Decoding each report batch into support counts at ``update`` time keeps
+    the accumulator's size independent of the number of users — the reports
+    themselves are dropped once folded in.
+    """
+
+    def __init__(self, workload: MarginalWorkload, oracle: OptimizedLocalHashing):
+        super().__init__(workload)
+        self._oracle = oracle
+        self._support = np.zeros(workload.domain.size, dtype=np.float64)
+
+    def _ingest(self, reports: InpOLHReports) -> None:
+        self._support += self._oracle.support_counts(
+            reports.seeds, reports.noisy_buckets
+        )
+
+    def _absorb(self, other: "InpOLHAccumulator") -> None:
+        self._support += other._support
+
+    def _merge_signature(self):
+        return self._oracle
+
+    def finalize(self) -> DistributionEstimator:
+        total = self._require_reports()
+        distribution = self._oracle.estimate_from_support(self._support, total)
+        return DistributionEstimator(self._workload, distribution)
 
 
 class InpOLH(MarginalReleaseProtocol):
@@ -36,13 +89,17 @@ class InpOLH(MarginalReleaseProtocol):
             num_buckets=self._num_buckets,
         )
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> DistributionEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> InpOLHReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        oracle = self.oracle(dataset.dimension)
-        seeds, noisy = oracle.perturb(dataset.indices(), rng=generator)
-        distribution = oracle.estimate_frequencies(seeds, noisy)
-        return DistributionEstimator(workload, distribution)
+        records = as_record_matrix(records)
+        oracle = self.oracle(records.shape[1])
+        seeds, noisy = oracle.perturb(record_indices(records), rng=generator)
+        return InpOLHReports(seeds=seeds, noisy_buckets=noisy)
+
+    def accumulator(self, domain: Domain) -> InpOLHAccumulator:
+        return InpOLHAccumulator(
+            self.workload_for(domain), self.oracle(domain.dimension)
+        )
 
     def communication_bits(self, dimension: int) -> int:
         """A hash-function identifier (64 bits in this implementation) plus

@@ -14,13 +14,57 @@ dwarfs ``e^eps`` — exactly the behaviour the paper's Figure 4 documents.
 
 from __future__ import annotations
 
-from ..core.privacy import PrivacyBudget
-from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
-from ..mechanisms.direct_encoding import DirectEncoding
-from .base import DistributionEstimator, MarginalReleaseProtocol
+from dataclasses import dataclass
 
-__all__ = ["InpPS"]
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.marginals import MarginalWorkload
+from ..core.rng import RngLike, ensure_rng
+from ..mechanisms.direct_encoding import DirectEncoding
+from .base import (
+    Accumulator,
+    DistributionEstimator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+    record_indices,
+)
+
+__all__ = ["InpPS", "InpPSReports", "InpPSAccumulator"]
+
+
+@dataclass(frozen=True)
+class InpPSReports:
+    """One encoded batch: each user's noisy one-hot index in ``{0,1}^d``."""
+
+    noisy_indices: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.noisy_indices.shape[0])
+
+
+class InpPSAccumulator(Accumulator):
+    """Mergeable histogram of reported indices over ``{0,1}^d``."""
+
+    def __init__(self, workload: MarginalWorkload, mechanism: DirectEncoding):
+        super().__init__(workload)
+        self._mechanism = mechanism
+        self._counts = np.zeros(workload.domain.size, dtype=np.int64)
+
+    def _ingest(self, reports: InpPSReports) -> None:
+        self._counts += self._mechanism.count_reports(reports.noisy_indices)
+
+    def _absorb(self, other: "InpPSAccumulator") -> None:
+        self._counts += other._counts
+
+    def _merge_signature(self):
+        return self._mechanism
+
+    def finalize(self) -> DistributionEstimator:
+        total = self._require_reports()
+        distribution = self._mechanism.unbias_counts(self._counts, total)
+        return DistributionEstimator(self._workload, distribution)
 
 
 class InpPS(MarginalReleaseProtocol):
@@ -32,14 +76,17 @@ class InpPS(MarginalReleaseProtocol):
         """The generalised-RR mechanism over the full domain ``{0,1}^d``."""
         return DirectEncoding.from_budget(self.budget, 1 << dimension)
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> DistributionEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> InpPSReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.mechanism(dataset.dimension)
+        records = as_record_matrix(records)
+        mechanism = self.mechanism(records.shape[1])
+        noisy = mechanism.perturb(record_indices(records), rng=generator)
+        return InpPSReports(noisy_indices=noisy)
 
-        reports = mechanism.perturb(dataset.indices(), rng=generator)
-        distribution = mechanism.estimate_frequencies(reports)
-        return DistributionEstimator(workload, distribution)
+    def accumulator(self, domain: Domain) -> InpPSAccumulator:
+        return InpPSAccumulator(
+            self.workload_for(domain), self.mechanism(domain.dimension)
+        )
 
     def communication_bits(self, dimension: int) -> int:
         """Each user sends one index from ``{0,1}^d``: ``d`` bits."""

@@ -13,15 +13,67 @@ cost and error blow up exponentially with the number of attributes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from ..core.domain import Domain
+from ..core.exceptions import AggregationError
+from ..core.marginals import MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.unary_encoding import UnaryEncoding
-from .base import DistributionEstimator, MarginalReleaseProtocol
+from .base import (
+    Accumulator,
+    DistributionEstimator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+    record_indices,
+)
 
-__all__ = ["InpRR"]
+__all__ = ["InpRR", "InpRRReports", "InpRRAccumulator"]
+
+
+@dataclass(frozen=True)
+class InpRRReports:
+    """One encoded batch: per-cell sums of the perturbed one-hot bits.
+
+    Only the column sums of the ``n x 2^d`` report matrix matter for
+    aggregation, so the client-side simulation samples them directly
+    (``O(2^d)`` memory per batch, see
+    :meth:`UnaryEncoding.simulate_onehot_report_sums`).
+    """
+
+    report_sums: np.ndarray
+    num_users: int
+
+
+class InpRRAccumulator(Accumulator):
+    """Mergeable per-cell bit sums over ``{0,1}^d``."""
+
+    def __init__(self, workload: MarginalWorkload, mechanism: UnaryEncoding):
+        super().__init__(workload)
+        self._mechanism = mechanism
+        self._sums = np.zeros(workload.domain.size, dtype=np.float64)
+
+    def _ingest(self, reports: InpRRReports) -> None:
+        sums = np.asarray(reports.report_sums, dtype=np.float64)
+        if sums.shape != self._sums.shape:
+            raise AggregationError(
+                f"report sums must have shape {self._sums.shape}, got {sums.shape}"
+            )
+        self._sums += sums
+
+    def _absorb(self, other: "InpRRAccumulator") -> None:
+        self._sums += other._sums
+
+    def _merge_signature(self):
+        return self._mechanism
+
+    def finalize(self) -> DistributionEstimator:
+        total = self._require_reports()
+        distribution = self._mechanism.unbias_sums(self._sums, total)
+        return DistributionEstimator(self._workload, distribution)
 
 
 class InpRR(MarginalReleaseProtocol):
@@ -47,20 +99,19 @@ class InpRR(MarginalReleaseProtocol):
         """The per-bit perturbation mechanism at this protocol's budget."""
         return UnaryEncoding.from_budget(self.budget, optimized=self._optimized)
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> DistributionEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> InpRRReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.mechanism()
-
-        # Only the per-cell sums of the perturbed one-hot matrix matter for
-        # aggregation, so they are sampled directly (O(2^d) memory) instead
-        # of materialising the N x 2^d report matrix.
-        true_counts = np.bincount(dataset.indices(), minlength=dataset.domain.size)
-        report_sums = mechanism.simulate_onehot_report_sums(
-            true_counts, dataset.size, rng=generator
+        records = as_record_matrix(records)
+        true_counts = np.bincount(
+            record_indices(records), minlength=1 << records.shape[1]
         )
-        distribution = mechanism.unbias_mean(report_sums / dataset.size)
-        return DistributionEstimator(workload, distribution)
+        report_sums = self.mechanism().simulate_onehot_report_sums(
+            true_counts, records.shape[0], rng=generator
+        )
+        return InpRRReports(report_sums=report_sums, num_users=records.shape[0])
+
+    def accumulator(self, domain: Domain) -> InpRRAccumulator:
+        return InpRRAccumulator(self.workload_for(domain), self.mechanism())
 
     def communication_bits(self, dimension: int) -> int:
         """Each user sends the whole perturbed one-hot vector: ``2^d`` bits."""

@@ -15,19 +15,91 @@ users who sampled ``beta`` — which is why its bound carries the extra
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
 
 from ..core import bitops
+from ..core.domain import Domain
 from ..core.hadamard import fwht
-from ..core.privacy import PrivacyBudget
+from ..core.marginals import MarginalWorkload
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.randomized_response import SignRandomizedResponse
-from .base import MarginalReleaseProtocol, PerMarginalEstimator
+from .base import (
+    Accumulator,
+    MarginalReleaseProtocol,
+    PerMarginalEstimator,
+    as_record_matrix,
+    record_indices,
+    sampled_marginal_cells,
+)
 
-__all__ = ["MargHT"]
+__all__ = ["MargHT", "MargHTReports", "MargHTAccumulator"]
+
+
+@dataclass(frozen=True)
+class MargHTReports:
+    """One encoded batch: sampled (marginal, coefficient) pairs + noisy signs."""
+
+    marginal_choices: np.ndarray
+    coefficient_choices: np.ndarray
+    noisy_values: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.marginal_choices.shape[0])
+
+
+class MargHTAccumulator(Accumulator):
+    """Mergeable per-(marginal, coefficient) sign sums and report counts."""
+
+    def __init__(self, workload: MarginalWorkload, mechanism: SignRandomizedResponse):
+        super().__init__(workload)
+        self._mechanism = mechanism
+        self._marginals: List[int] = workload.domain.all_marginals(
+            workload.max_width
+        )
+        self._cells = 1 << workload.max_width
+        shape = (len(self._marginals), self._cells)
+        self._sums = np.zeros(shape, dtype=np.float64)
+        self._counts = np.zeros(shape, dtype=np.int64)
+
+    def _ingest(self, reports: MargHTReports) -> None:
+        marginal_choices = np.asarray(reports.marginal_choices, dtype=np.int64)
+        coefficient_choices = np.asarray(reports.coefficient_choices, dtype=np.int64)
+        flat = marginal_choices * self._cells + coefficient_choices
+        length = len(self._marginals) * self._cells
+        self._sums += np.bincount(
+            flat, weights=reports.noisy_values, minlength=length
+        ).reshape(self._sums.shape)
+        self._counts += np.bincount(flat, minlength=length).reshape(
+            self._counts.shape
+        )
+
+    def _absorb(self, other: "MargHTAccumulator") -> None:
+        self._sums += other._sums
+        self._counts += other._counts
+
+    def _merge_signature(self):
+        return self._mechanism
+
+    def finalize(self) -> PerMarginalEstimator:
+        self._require_reports()
+        tables: Dict[int, np.ndarray] = {}
+        for position, beta in enumerate(self._marginals):
+            coefficients = np.zeros(self._cells, dtype=np.float64)
+            coefficients[0] = 1.0
+            seen = self._counts[position] > 0
+            seen[0] = False
+            if seen.any():
+                unbiased = self._mechanism.unbias_sums(
+                    self._sums[position], self._counts[position]
+                )
+                coefficients[seen] = unbiased[seen]
+            # Reconstruct the marginal from its compact coefficient vector.
+            tables[beta] = fwht(coefficients) / self._cells
+        return PerMarginalEstimator(self._workload, tables)
 
 
 class MargHT(MarginalReleaseProtocol):
@@ -38,60 +110,33 @@ class MargHT(MarginalReleaseProtocol):
     def mechanism(self) -> SignRandomizedResponse:
         return SignRandomizedResponse.from_budget(self.budget)
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> PerMarginalEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> MargHTReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.mechanism()
+        records = as_record_matrix(records)
+        marginals = bitops.masks_of_weight(records.shape[1], self.max_width)
+        cells = 1 << self.max_width
 
-        marginals: List[int] = dataset.domain.all_marginals(self.max_width)
-        marginal_array = np.asarray(marginals, dtype=np.int64)
-        k = self.max_width
-        cells = 1 << k
-
-        indices = dataset.indices()
+        indices = record_indices(records)
         n = indices.shape[0]
-        marginal_choices = generator.integers(0, marginal_array.size, size=n)
+        marginal_choices = generator.integers(0, len(marginals), size=n)
         # Sample a non-constant coefficient of the size-2^k marginal: indices
         # 1 .. 2^k - 1 in the compact coefficient space (Theta_0 = 1 is known).
         coefficient_choices = generator.integers(1, cells, size=n, dtype=np.int64)
 
-        # The user's compact cell inside their sampled marginal.
-        user_cells = np.empty(n, dtype=np.int64)
-        for position, beta in enumerate(marginals):
-            members = marginal_choices == position
-            if members.any():
-                user_cells[members] = bitops.compress_indices(
-                    indices[members] & beta, beta
-                )
-
+        user_cells = sampled_marginal_cells(indices, marginal_choices, marginals)
         # Scaled coefficient value of a one-hot marginal: (-1)^{<alpha, cell>}.
         true_values = bitops.inner_product_sign(
             user_cells, coefficient_choices
         ).astype(np.float64)
-        noisy_values = mechanism.perturb(true_values, rng=generator)
+        noisy_values = self.mechanism().perturb(true_values, rng=generator)
+        return MargHTReports(
+            marginal_choices=marginal_choices,
+            coefficient_choices=coefficient_choices,
+            noisy_values=noisy_values,
+        )
 
-        # Accumulate per (marginal, coefficient) sums and counts.
-        flat = marginal_choices * cells + coefficient_choices
-        sums = np.zeros(marginal_array.size * cells, dtype=np.float64)
-        counts = np.zeros(marginal_array.size * cells, dtype=np.int64)
-        np.add.at(sums, flat, noisy_values)
-        np.add.at(counts, flat, 1)
-        sums = sums.reshape(marginal_array.size, cells)
-        counts = counts.reshape(marginal_array.size, cells)
-
-        tables: Dict[int, np.ndarray] = {}
-        for position, beta in enumerate(marginals):
-            coefficients = np.zeros(cells, dtype=np.float64)
-            coefficients[0] = 1.0
-            seen = counts[position] > 0
-            seen[0] = False
-            if seen.any():
-                means = np.zeros(cells, dtype=np.float64)
-                means[seen] = sums[position][seen] / counts[position][seen]
-                coefficients[seen] = mechanism.unbias_mean(means[seen])
-            # Reconstruct the marginal from its compact coefficient vector.
-            tables[beta] = fwht(coefficients) / cells
-        return PerMarginalEstimator(workload, tables)
+    def accumulator(self, domain: Domain) -> MargHTAccumulator:
+        return MargHTAccumulator(self.workload_for(domain), self.mechanism())
 
     def communication_bits(self, dimension: int) -> int:
         """``d`` bits for the marginal, ``k`` for the coefficient, 1 for its value."""

@@ -13,18 +13,83 @@ experiments the second-best method after InpHT.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
 
 from ..core import bitops
-from ..core.privacy import PrivacyBudget
+from ..core.domain import Domain
+from ..core.marginals import MarginalWorkload
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.direct_encoding import DirectEncoding
-from .base import MarginalReleaseProtocol, PerMarginalEstimator
+from .base import (
+    Accumulator,
+    MarginalReleaseProtocol,
+    PerMarginalEstimator,
+    as_record_matrix,
+    record_indices,
+    sampled_marginal_cells,
+)
 
-__all__ = ["MargPS"]
+__all__ = ["MargPS", "MargPSReports", "MargPSAccumulator"]
+
+
+@dataclass(frozen=True)
+class MargPSReports:
+    """One encoded batch: sampled marginal positions + noisy cell indices."""
+
+    choices: np.ndarray
+    noisy_cells: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.choices.shape[0])
+
+
+class MargPSAccumulator(Accumulator):
+    """Mergeable per-(marginal, cell) report counts."""
+
+    def __init__(self, workload: MarginalWorkload, mechanism: DirectEncoding):
+        super().__init__(workload)
+        self._mechanism = mechanism
+        self._marginals: List[int] = workload.domain.all_marginals(
+            workload.max_width
+        )
+        self._cells = 1 << workload.max_width
+        self._cell_counts = np.zeros(
+            (len(self._marginals), self._cells), dtype=np.int64
+        )
+        self._user_counts = np.zeros(len(self._marginals), dtype=np.int64)
+
+    def _ingest(self, reports: MargPSReports) -> None:
+        choices = np.asarray(reports.choices, dtype=np.int64)
+        noisy = np.asarray(reports.noisy_cells, dtype=np.int64)
+        size = len(self._marginals)
+        flat = np.bincount(
+            choices * self._cells + noisy, minlength=size * self._cells
+        )
+        self._cell_counts += flat.reshape(size, self._cells)
+        self._user_counts += np.bincount(choices, minlength=size)
+
+    def _absorb(self, other: "MargPSAccumulator") -> None:
+        self._cell_counts += other._cell_counts
+        self._user_counts += other._user_counts
+
+    def _merge_signature(self):
+        return self._mechanism
+
+    def finalize(self) -> PerMarginalEstimator:
+        self._require_reports()
+        tables: Dict[int, np.ndarray] = {}
+        for position, beta in enumerate(self._marginals):
+            if self._user_counts[position] == 0:
+                tables[beta] = np.full(self._cells, 1.0 / self._cells)
+                continue
+            tables[beta] = self._mechanism.unbias_counts(
+                self._cell_counts[position], int(self._user_counts[position])
+            )
+        return PerMarginalEstimator(self._workload, tables)
 
 
 class MargPS(MarginalReleaseProtocol):
@@ -36,41 +101,19 @@ class MargPS(MarginalReleaseProtocol):
         """The GRR mechanism over the ``2^k`` cells of the sampled marginal."""
         return DirectEncoding.from_budget(self.budget, 1 << self.max_width)
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> PerMarginalEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> MargPSReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.mechanism()
+        records = as_record_matrix(records)
+        marginals = bitops.masks_of_weight(records.shape[1], self.max_width)
 
-        marginals: List[int] = dataset.domain.all_marginals(self.max_width)
-        marginal_array = np.asarray(marginals, dtype=np.int64)
-        cells = 1 << self.max_width
+        indices = record_indices(records)
+        choices = generator.integers(0, len(marginals), size=indices.shape[0])
+        user_cells = sampled_marginal_cells(indices, choices, marginals)
+        noisy_cells = self.mechanism().perturb(user_cells, rng=generator)
+        return MargPSReports(choices=choices, noisy_cells=noisy_cells)
 
-        indices = dataset.indices()
-        n = indices.shape[0]
-        choices = generator.integers(0, marginal_array.size, size=n)
-
-        user_cells = np.empty(n, dtype=np.int64)
-        for position, beta in enumerate(marginals):
-            members = choices == position
-            if members.any():
-                user_cells[members] = bitops.compress_indices(
-                    indices[members] & beta, beta
-                )
-
-        noisy_cells = mechanism.perturb(user_cells, rng=generator)
-
-        tables: Dict[int, np.ndarray] = {}
-        for position, beta in enumerate(marginals):
-            members = choices == position
-            if not members.any():
-                tables[beta] = np.full(cells, 1.0 / cells)
-                continue
-            fractions = (
-                np.bincount(noisy_cells[members], minlength=cells).astype(np.float64)
-                / members.sum()
-            )
-            tables[beta] = mechanism.unbias_frequencies(fractions)
-        return PerMarginalEstimator(workload, tables)
+    def accumulator(self, domain: Domain) -> MargPSAccumulator:
+        return MargPSAccumulator(self.workload_for(domain), self.mechanism())
 
     def communication_bits(self, dimension: int) -> int:
         """``d`` bits to name the marginal plus ``k`` bits for the noisy cell."""

@@ -11,19 +11,88 @@ Table 2 summary: error behaviour ``2^k d^{k/2} / (eps sqrt(N))``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
 
 from ..core import bitops
-from ..core.exceptions import AggregationError
+from ..core.domain import Domain
+from ..core.marginals import MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
-from ..datasets.base import BinaryDataset
 from ..mechanisms.unary_encoding import UnaryEncoding
-from .base import MarginalReleaseProtocol, PerMarginalEstimator
+from .base import (
+    Accumulator,
+    MarginalReleaseProtocol,
+    PerMarginalEstimator,
+    as_record_matrix,
+    record_indices,
+    sampled_marginal_cells,
+)
 
-__all__ = ["MargRR"]
+__all__ = ["MargRR", "MargRRReports", "MargRRAccumulator"]
+
+
+@dataclass(frozen=True)
+class MargRRReports:
+    """One encoded batch: sampled marginal positions + perturbed cell bits.
+
+    ``choices[i]`` indexes the shared ``C(d, k)`` marginal list;
+    ``cell_bits[i]`` is user ``i``'s PRR-perturbed one-hot row of ``2^k``
+    bits over their sampled marginal's cells.
+    """
+
+    choices: np.ndarray
+    cell_bits: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.choices.shape[0])
+
+
+class MargRRAccumulator(Accumulator):
+    """Mergeable per-(marginal, cell) bit sums and per-marginal user counts."""
+
+    def __init__(self, workload: MarginalWorkload, mechanism: UnaryEncoding):
+        super().__init__(workload)
+        self._mechanism = mechanism
+        self._marginals: List[int] = workload.domain.all_marginals(
+            workload.max_width
+        )
+        self._cells = 1 << workload.max_width
+        self._sums = np.zeros((len(self._marginals), self._cells), dtype=np.float64)
+        self._counts = np.zeros(len(self._marginals), dtype=np.int64)
+
+    def _ingest(self, reports: MargRRReports) -> None:
+        choices = np.asarray(reports.choices, dtype=np.int64)
+        bits = np.asarray(reports.cell_bits)
+        size = len(self._marginals)
+        for cell in range(self._cells):
+            self._sums[:, cell] += np.bincount(
+                choices, weights=bits[:, cell], minlength=size
+            )
+        self._counts += np.bincount(choices, minlength=size)
+
+    def _absorb(self, other: "MargRRAccumulator") -> None:
+        self._sums += other._sums
+        self._counts += other._counts
+
+    def _merge_signature(self):
+        return self._mechanism
+
+    def finalize(self) -> PerMarginalEstimator:
+        self._require_reports()
+        tables: Dict[int, np.ndarray] = {}
+        for position, beta in enumerate(self._marginals):
+            if self._counts[position] == 0:
+                # Nobody sampled this marginal; fall back to the uniform prior.
+                tables[beta] = np.full(self._cells, 1.0 / self._cells)
+                continue
+            tables[beta] = self._mechanism.unbias_sums(
+                self._sums[position], int(self._counts[position])
+            )
+        return PerMarginalEstimator(self._workload, tables)
 
 
 class MargRR(MarginalReleaseProtocol):
@@ -48,46 +117,23 @@ class MargRR(MarginalReleaseProtocol):
         """The per-cell perturbation applied to the sampled marginal."""
         return UnaryEncoding.from_budget(self.budget, optimized=self._optimized)
 
-    def run(self, dataset: BinaryDataset, rng: RngLike = None) -> PerMarginalEstimator:
+    def encode_batch(self, records, rng: RngLike = None) -> MargRRReports:
         generator = ensure_rng(rng)
-        workload = self.workload_for(dataset.domain)
-        mechanism = self.mechanism()
-
-        marginals: List[int] = dataset.domain.all_marginals(self.max_width)
-        marginal_array = np.asarray(marginals, dtype=np.int64)
+        records = as_record_matrix(records)
+        marginals = bitops.masks_of_weight(records.shape[1], self.max_width)
         cells = 1 << self.max_width
 
-        indices = dataset.indices()
-        n = indices.shape[0]
-        choices = generator.integers(0, marginal_array.size, size=n)
-        sampled_betas = marginal_array[choices]
+        indices = record_indices(records)
+        choices = generator.integers(0, len(marginals), size=indices.shape[0])
+        user_cells = sampled_marginal_cells(indices, choices, marginals)
+        # Perturb every cell of the sampled marginal with PRR.
+        cell_bits = self.mechanism().perturb_onehot_indices(
+            user_cells, cells, rng=generator
+        )
+        return MargRRReports(choices=choices, cell_bits=cell_bits)
 
-        # Each user's one-hot cell within their sampled marginal.
-        user_cells = np.empty(n, dtype=np.int64)
-        for position, beta in enumerate(marginals):
-            members = choices == position
-            if members.any():
-                user_cells[members] = bitops.compress_indices(
-                    indices[members] & beta, beta
-                )
-
-        # Perturb every cell of the sampled marginal with PRR, then accumulate
-        # per-marginal bit sums and per-marginal user counts.
-        reports = mechanism.perturb_onehot_indices(user_cells, cells, rng=generator)
-        sums = np.zeros((marginal_array.size, cells), dtype=np.float64)
-        counts = np.zeros(marginal_array.size, dtype=np.int64)
-        np.add.at(sums, choices, reports.astype(np.float64))
-        np.add.at(counts, choices, 1)
-
-        tables: Dict[int, np.ndarray] = {}
-        for position, beta in enumerate(marginals):
-            if counts[position] == 0:
-                # Nobody sampled this marginal; fall back to the uniform prior.
-                tables[beta] = np.full(cells, 1.0 / cells)
-                continue
-            observed_mean = sums[position] / counts[position]
-            tables[beta] = mechanism.unbias_mean(observed_mean)
-        return PerMarginalEstimator(workload, tables)
+    def accumulator(self, domain: Domain) -> MargRRAccumulator:
+        return MargRRAccumulator(self.workload_for(domain), self.mechanism())
 
     def communication_bits(self, dimension: int) -> int:
         """``d`` bits to name the marginal plus ``2^k`` perturbed cells."""

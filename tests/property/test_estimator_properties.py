@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -86,8 +88,14 @@ class TestProtocolInvariants:
         table = estimator.query(dataset.attribute_names[:2])
         assert np.isfinite(table.values).all()
         # Unbiased estimates need not be exact distributions, but their total
-        # mass stays bounded around 1 even at tiny populations.
-        assert abs(table.values.sum() - 1.0) < 1.5
+        # mass stays bounded around 1.  The spread grows as epsilon shrinks
+        # and as the N=512 users are split over the C(d, 2) marginals (the
+        # Marg* protocols' per-cell noise scales like 1/(eps sqrt(users per
+        # marginal)) for small eps), so the tolerance must scale the same
+        # way or sampling finds legitimate >1.5 deviations at eps ~ 0.5.
+        users_per_marginal = 512 / math.comb(dimension, 2)
+        tolerance = 1.0 + 25.0 / (epsilon * math.sqrt(users_per_marginal))
+        assert abs(table.values.sum() - 1.0) < tolerance
 
     @settings(max_examples=10, deadline=None)
     @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=2**31 - 1))

@@ -1,0 +1,117 @@
+"""Property tests: streaming accumulators are mergeable and shard-invariant.
+
+For every registered protocol the aggregation state must behave like a
+mergeable summary: folding report batches ``x`` and ``y`` into two separate
+accumulators and merging them has to finalise into *exactly* the estimates of
+a single accumulator fed ``x`` then ``y``, and the number of shards used by
+``run_streaming`` must be invisible in the estimates.  All accumulated
+statistics are integer-valued sums (counts, 0/1 bit sums, ``+/-1`` sign
+sums), so these equalities hold bit-for-bit, not just approximately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyBudget
+from repro.datasets import BinaryDataset
+from repro.protocols.registry import PROTOCOL_CLASSES, make_protocol
+
+LN3 = float(np.log(3.0))
+
+#: Smaller sketch so the InpHTCMS cases stay fast at test scale.
+PROTOCOL_OPTIONS = {"InpHTCMS": {"num_hashes": 3, "width": 32}}
+
+ALL_PROTOCOLS = sorted(PROTOCOL_CLASSES)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> BinaryDataset:
+    rng = np.random.default_rng(97)
+    marginals_prob = rng.random(5) * 0.6 + 0.2
+    records = (rng.random((1536, 5)) < marginals_prob).astype(np.int8)
+    return BinaryDataset.from_records(records)
+
+
+def build(name: str):
+    options = PROTOCOL_OPTIONS.get(name, {})
+    return make_protocol(name, PrivacyBudget(LN3), 2, **options)
+
+
+def all_tables(estimator):
+    return {beta: table.values for beta, table in estimator.query_all().items()}
+
+
+def assert_identical_estimates(left, right):
+    left_tables, right_tables = all_tables(left), all_tables(right)
+    assert left_tables.keys() == right_tables.keys()
+    for beta in left_tables:
+        np.testing.assert_array_equal(left_tables[beta], right_tables[beta])
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_merge_matches_single_pass_aggregation(name, dataset):
+    """merge(A.update(x), B.update(y)).finalize() == single pass over x + y."""
+    protocol = build(name)
+    rng = np.random.default_rng(20180610)
+    half = dataset.size // 2
+    x = protocol.encode_batch(dataset.records[:half], rng=rng)
+    y = protocol.encode_batch(dataset.records[half:], rng=rng)
+
+    single = protocol.accumulator(dataset.domain).update(x).update(y).finalize()
+    shard_a = protocol.accumulator(dataset.domain).update(x)
+    shard_b = protocol.accumulator(dataset.domain).update(y)
+    merged = shard_a.merge(shard_b).finalize()
+
+    assert shard_a.num_reports == dataset.size
+    assert_identical_estimates(single, merged)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_merge_is_commutative(name, dataset):
+    """merge(B, A) finalises to the same estimates as merge(A, B)."""
+    protocol = build(name)
+    rng = np.random.default_rng(4)
+    third = dataset.size // 3
+    x = protocol.encode_batch(dataset.records[:third], rng=rng)
+    y = protocol.encode_batch(dataset.records[third:], rng=rng)
+
+    ab = (
+        protocol.accumulator(dataset.domain)
+        .update(x)
+        .merge(protocol.accumulator(dataset.domain).update(y))
+        .finalize()
+    )
+    ba = (
+        protocol.accumulator(dataset.domain)
+        .update(y)
+        .merge(protocol.accumulator(dataset.domain).update(x))
+        .finalize()
+    )
+    assert_identical_estimates(ab, ba)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_sharded_streaming_reproduces_run(name, dataset):
+    """Explicit encode -> update -> finalize equals the legacy run() path."""
+    protocol = build(name)
+    legacy = protocol.run(dataset, rng=np.random.default_rng(11))
+
+    rng = np.random.default_rng(11)
+    reports = protocol.encode_batch(dataset.records, rng=rng)
+    streamed = protocol.accumulator(dataset.domain).update(reports).finalize()
+    assert_identical_estimates(legacy, streamed)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_shard_count_does_not_change_estimates(name, dataset):
+    """For a fixed seed and batch size, shards are invisible in the output."""
+    protocol = build(name)
+    one = protocol.run_streaming(
+        dataset, rng=np.random.default_rng(5), batch_size=256, shards=1
+    )
+    many = protocol.run_streaming(
+        dataset, rng=np.random.default_rng(5), batch_size=256, shards=4
+    )
+    assert_identical_estimates(one, many)

@@ -1,0 +1,146 @@
+"""Unit tests for the streaming pipeline plumbing (batches, accumulators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import (
+    AggregationError,
+    DatasetError,
+    ProtocolConfigurationError,
+)
+from repro.core.privacy import PrivacyBudget
+from repro.datasets import BinaryDataset
+from repro.protocols import InpHT, InpPS, MargPS
+from repro.protocols.base import as_record_matrix, record_indices
+
+
+@pytest.fixture
+def dataset(rng) -> BinaryDataset:
+    records = (rng.random((100, 4)) < 0.5).astype(np.int8)
+    return BinaryDataset.from_records(records)
+
+
+class TestBatchIteration:
+    def test_iter_batches_covers_all_records_in_order(self, dataset):
+        chunks = list(dataset.iter_batches(32))
+        assert [len(chunk) for chunk in chunks] == [32, 32, 32, 4]
+        np.testing.assert_array_equal(np.concatenate(chunks), dataset.records)
+
+    def test_none_batch_size_yields_one_chunk(self, dataset):
+        chunks = list(dataset.iter_batches(None))
+        assert len(chunks) == 1
+        assert chunks[0] is dataset.records
+
+    def test_num_batches(self, dataset):
+        assert dataset.num_batches(None) == 1
+        assert dataset.num_batches(32) == 4
+        assert dataset.num_batches(100) == 1
+        assert dataset.num_batches(1) == 100
+
+    def test_rejects_non_positive_batch_size(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.num_batches(0)
+        with pytest.raises(DatasetError):
+            list(dataset.iter_batches(-3))
+
+    def test_batches_are_views(self, dataset):
+        chunk = next(dataset.iter_batches(10))
+        assert chunk.base is dataset.records
+
+
+class TestRecordCoercion:
+    def test_accepts_dataset_and_array(self, dataset):
+        np.testing.assert_array_equal(as_record_matrix(dataset), dataset.records)
+        np.testing.assert_array_equal(
+            as_record_matrix(dataset.records), dataset.records
+        )
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ProtocolConfigurationError):
+            as_record_matrix(np.zeros(4))
+
+    def test_record_indices_match_dataset_indices(self, dataset):
+        np.testing.assert_array_equal(
+            record_indices(dataset.records), dataset.indices()
+        )
+
+
+class TestAccumulatorContracts:
+    def test_update_and_merge_chain(self, dataset, budget, rng):
+        protocol = InpPS(budget, 2)
+        reports = protocol.encode_batch(dataset, rng=rng)
+        accumulator = protocol.accumulator(dataset.domain)
+        assert accumulator.update(reports) is accumulator
+        other = protocol.accumulator(dataset.domain)
+        assert accumulator.merge(other) is accumulator
+        assert accumulator.num_reports == dataset.size
+
+    def test_merge_rejects_other_protocol_state(self, dataset, budget):
+        left = InpPS(budget, 2).accumulator(dataset.domain)
+        right = InpHT(budget, 2).accumulator(dataset.domain)
+        with pytest.raises(AggregationError):
+            left.merge(right)
+
+    def test_merge_rejects_different_protocol_configurations(self, dataset):
+        left = InpPS(PrivacyBudget(0.5), 2).accumulator(dataset.domain)
+        right = InpPS(PrivacyBudget(2.0), 2).accumulator(dataset.domain)
+        with pytest.raises(AggregationError):
+            left.merge(right)
+
+    def test_merge_rejects_different_workloads(self, dataset, budget):
+        protocol = MargPS(budget, 2)
+        left = protocol.accumulator(dataset.domain)
+        right = protocol.accumulator(Domain(["w", "x", "y", "z"]))
+        with pytest.raises(AggregationError):
+            left.merge(right)
+
+    def test_finalize_without_reports_raises(self, dataset, budget):
+        accumulator = InpPS(budget, 2).accumulator(dataset.domain)
+        with pytest.raises(AggregationError):
+            accumulator.finalize()
+
+    def test_merging_empty_shard_is_a_no_op(self, dataset, budget, rng):
+        protocol = InpPS(budget, 2)
+        reports = protocol.encode_batch(dataset, rng=rng)
+        loaded = protocol.accumulator(dataset.domain).update(reports)
+        empty = protocol.accumulator(dataset.domain)
+        merged = loaded.merge(empty).finalize()
+
+        direct = (
+            protocol.accumulator(dataset.domain).update(reports).finalize()
+        )
+        for beta in (0b0011, 0b1000):
+            np.testing.assert_array_equal(
+                merged.query(beta).values, direct.query(beta).values
+            )
+
+
+class TestRunStreaming:
+    def test_rejects_bad_shard_count(self, dataset, budget):
+        with pytest.raises(ProtocolConfigurationError):
+            InpPS(budget, 2).run_streaming(dataset, shards=0)
+
+    def test_more_shards_than_batches(self, dataset, budget):
+        protocol = InpPS(budget, 2)
+        baseline = protocol.run_streaming(
+            dataset, rng=np.random.default_rng(2), batch_size=40, shards=2
+        )
+        oversharded = protocol.run_streaming(
+            dataset, rng=np.random.default_rng(2), batch_size=40, shards=16
+        )
+        np.testing.assert_array_equal(
+            baseline.query(0b0011).values, oversharded.query(0b0011).values
+        )
+
+    def test_single_batch_matches_run(self, dataset, budget):
+        protocol = InpHT(budget, 2)
+        via_run = protocol.run(dataset, rng=np.random.default_rng(9))
+        via_stream = protocol.run_streaming(
+            dataset, rng=np.random.default_rng(9), batch_size=dataset.size
+        )
+        np.testing.assert_array_equal(
+            via_run.query(0b0011).values, via_stream.query(0b0011).values
+        )
