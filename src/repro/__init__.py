@@ -77,6 +77,14 @@ from .protocols import (
     available_protocols,
     make_protocol,
 )
+from .execution import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    make_executor,
+)
 from .extensions import InpES
 from .postprocess import (
     SimplexProjectedEstimator,
@@ -137,6 +145,13 @@ __all__ = [
     "fit_chow_liu_tree",
     "TreeBayesianModel",
     "fit_tree_model",
+    # execution backends
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "available_executors",
     # extensions and post-processing
     "InpES",
     "SimplexProjectedEstimator",

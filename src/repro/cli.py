@@ -32,6 +32,7 @@ from .experiments import (
     table2_bounds,
     table3_em_failures,
 )
+from .execution import available_executors
 from .experiments.config import SweepConfig
 from .experiments.harness import SweepResult
 from .io import save_sweep_json
@@ -101,6 +102,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="for sweep experiments, spread streamed batches over this many "
         "mergeable accumulator shards (estimates are shard-invariant)",
     )
+    run_parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default=None,
+        help="for sweep experiments, evaluate accumulator shards on this "
+        "execution backend (estimates are identical across backends)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="W",
+        help="worker count for the thread/process executors",
+    )
     return parser
 
 
@@ -119,6 +134,10 @@ def _run_experiment(arguments: argparse.Namespace) -> int:
         streaming_overrides["batch_size"] = arguments.batch_size
     if arguments.shards is not None:
         streaming_overrides["shards"] = arguments.shards
+    if arguments.executor is not None:
+        streaming_overrides["executor"] = arguments.executor
+    if arguments.workers is not None:
+        streaming_overrides["workers"] = arguments.workers
     if (
         arguments.shards is not None
         and arguments.shards > 1
@@ -130,11 +149,33 @@ def _run_experiment(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (
+        arguments.workers is not None
+        and arguments.workers > 1
+        and (arguments.executor or "serial") == "serial"
+    ):
+        print(
+            "--workers > 1 has no effect with the serial executor; add "
+            "--executor thread or --executor process",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        arguments.workers is not None
+        and arguments.workers > 1
+        and (arguments.shards or 1) < 2
+    ):
+        print(
+            "--workers > 1 requires --shards > 1: parallelism is per-shard, "
+            "so extra workers would idle on a single shard",
+            file=sys.stderr,
+        )
+        return 2
     if streaming_overrides:
         if not isinstance(config, SweepConfig):
             print(
-                f"--batch-size/--shards only apply to sweep experiments; "
-                f"{arguments.experiment} is not one",
+                f"--batch-size/--shards/--executor/--workers only apply to "
+                f"sweep experiments; {arguments.experiment} is not one",
                 file=sys.stderr,
             )
             return 2

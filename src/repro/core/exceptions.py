@@ -32,6 +32,10 @@ class AggregationError(ReproError):
     """Aggregation failed, e.g. reports are missing or have the wrong shape."""
 
 
+class ExecutionError(ReproError):
+    """A parallel execution backend failed or was driven incorrectly."""
+
+
 class DatasetError(ReproError):
     """A dataset is malformed (wrong dtype, wrong width, empty...)."""
 

@@ -1,0 +1,24 @@
+"""The in-process reference backend: one shard at a time, no pool."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Executor, ShardWork, execute_shard
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Evaluates every shard sequentially in the calling thread.
+
+    This is the default backend and the semantic reference the parallel
+    backends are tested against; ``workers`` is accepted for interface
+    uniformity but a serial executor never runs more than one shard at a
+    time.
+    """
+
+    name = "serial"
+
+    def _run(self, works: List[ShardWork]) -> List:
+        return [execute_shard(work) for work in works]

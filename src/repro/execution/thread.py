@@ -1,0 +1,40 @@
+"""Thread-pool backend: shared-memory parallelism under the GIL.
+
+Threads share the interpreter, so nothing is pickled — record batches stay
+views into the dataset's record matrix and the per-shard accumulators are
+returned directly.  Pure-Python encoding steps serialise on the GIL, but the
+protocols spend most of their time inside NumPy kernels (bit packing,
+``bincount``, binomial sampling) which release it, so threads recover a
+useful fraction of the available cores without any serialisation cost.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+from .base import Executor, ShardWork, execute_shard
+
+__all__ = ["ThreadExecutor"]
+
+
+class ThreadExecutor(Executor):
+    """Evaluates shards on a lazily created, reusable thread pool."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _run(self, works: List[ShardWork]) -> List:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-shard"
+            )
+        return list(self._pool.map(execute_shard, works))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import ProtocolConfigurationError
+from ..execution import available_executors
 
 __all__ = ["SweepConfig", "LN3"]
 
@@ -56,6 +57,15 @@ class SweepConfig:
         Number of accumulator shards the streaming pipeline spreads batches
         over.  For a fixed seed the estimates depend only on ``batch_size``,
         never on ``shards``.
+    executor:
+        Execution backend evaluating the shards: ``"serial"`` (default),
+        ``"thread"`` or ``"process"``.  Estimates are bit-for-bit identical
+        across backends; only wall-clock time changes.
+    workers:
+        Worker count for the parallel backends; must stay 1 for the serial
+        backend (extra workers could never run) and requires ``shards > 1``
+        (parallelism is per-shard, so a single shard keeps extra workers
+        idle).
     """
 
     protocols: Tuple[str, ...]
@@ -69,6 +79,8 @@ class SweepConfig:
     protocol_options: Dict[str, Dict] = field(default_factory=dict)
     batch_size: Optional[int] = None
     shards: int = 1
+    executor: str = "serial"
+    workers: int = 1
 
     def __post_init__(self):
         if not self.protocols:
@@ -89,6 +101,25 @@ class SweepConfig:
             raise ProtocolConfigurationError(
                 "shards > 1 requires a batch_size: without batching the whole "
                 "dataset is one report batch and only one shard would be used"
+            )
+        if self.executor not in available_executors():
+            raise ProtocolConfigurationError(
+                f"unknown executor {self.executor!r}; "
+                f"available: {available_executors()}"
+            )
+        if self.workers < 1:
+            raise ProtocolConfigurationError(
+                f"worker count must be >= 1, got {self.workers}"
+            )
+        if self.workers > 1 and self.executor == "serial":
+            raise ProtocolConfigurationError(
+                "workers > 1 has no effect with the serial executor; "
+                "pick executor='thread' or 'process'"
+            )
+        if self.workers > 1 and self.shards < 2:
+            raise ProtocolConfigurationError(
+                "workers > 1 requires shards > 1: parallelism is per-shard, "
+                "so extra workers would idle on a single shard"
             )
         if any(n < 1 for n in self.population_sizes):
             raise ProtocolConfigurationError("population sizes must be positive")

@@ -24,6 +24,7 @@ from ..datasets import (
     skewed_dataset,
     uniform_dataset,
 )
+from ..execution import make_executor
 from ..protocols.registry import make_protocol
 from .config import SweepConfig
 from .metrics import mean_total_variation
@@ -134,7 +135,31 @@ class SweepResult:
 
 
 def run_sweep(config: SweepConfig) -> SweepResult:
-    """Execute a sweep and aggregate the per-repetition errors."""
+    """Execute a sweep and aggregate the per-repetition errors.
+
+    When any streaming/parallelism knob is set the protocols run through
+    ``run_streaming`` on one shared executor (worker pools are reused
+    across the whole grid and released at the end); otherwise the one-shot
+    ``run()`` path is kept.
+    """
+    # workers > 1 implies a parallel executor (SweepConfig validation), so
+    # the executor check alone covers it.
+    streaming = (
+        config.batch_size is not None
+        or config.shards > 1
+        or config.executor != "serial"
+    )
+    executor = (
+        make_executor(config.executor, config.workers) if streaming else None
+    )
+    try:
+        return _run_sweep_grid(config, executor)
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def _run_sweep_grid(config: SweepConfig, executor) -> SweepResult:
     master = np.random.default_rng(config.seed)
     points: List[SweepPoint] = []
     for dimension in config.dimensions:
@@ -155,7 +180,7 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                         for name in config.protocols:
                             options = config.protocol_options.get(name, {})
                             protocol = make_protocol(name, budget, width, **options)
-                            if config.batch_size is None and config.shards == 1:
+                            if executor is None:
                                 estimator = protocol.run(dataset, rng=repetition_rng)
                             else:
                                 estimator = protocol.run_streaming(
@@ -163,6 +188,7 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                                     rng=repetition_rng,
                                     batch_size=config.batch_size,
                                     shards=config.shards,
+                                    executor=executor,
                                 )
                             error = mean_total_variation(
                                 dataset, estimator, widths=[width]

@@ -100,7 +100,9 @@ class OptimizedLocalHashing:
         generator = ensure_rng(rng)
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
-            raise ProtocolConfigurationError("need at least one user value")
+            # An empty report batch is a valid (if trivial) streaming chunk.
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
         if values.min() < 0 or values.max() >= self.domain_size:
             raise ProtocolConfigurationError(
                 f"values must lie in [0, {self.domain_size})"

@@ -116,7 +116,9 @@ class HadamardCountMeanSketch:
         generator = ensure_rng(rng)
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
-            raise ProtocolConfigurationError("need at least one user value")
+            # An empty report batch is a valid (if trivial) streaming chunk.
+            empty_indices = np.zeros(0, dtype=np.int64)
+            return empty_indices, empty_indices.copy(), np.zeros(0, dtype=np.float64)
         if values.min() < 0 or values.max() >= self.domain_size:
             raise ProtocolConfigurationError(
                 f"values must lie in [0, {self.domain_size})"

@@ -140,7 +140,9 @@ class UnaryEncoding:
             raise ProtocolConfigurationError(
                 f"true counts must be 1-D, got shape {true_counts.shape}"
             )
-        if total_users < int(true_counts.max(initial=0)) or total_users < 1:
+        if total_users < int(true_counts.max(initial=0)) or total_users < 0:
+            # total_users == 0 with all-zero counts is a valid empty batch:
+            # both binomials degenerate to zero draws.
             raise ProtocolConfigurationError(
                 "total_users must be at least the largest per-cell count"
             )

@@ -35,8 +35,9 @@ concrete estimator kinds cover the design space:
 from __future__ import annotations
 
 import abc
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -63,7 +64,35 @@ __all__ = [
     "as_record_matrix",
     "record_indices",
     "sampled_marginal_cells",
+    "take_state_array",
 ]
+
+_logger = logging.getLogger(__name__)
+
+
+def take_state_array(
+    state: Mapping[str, Any], key: str, shape, dtype
+) -> np.ndarray:
+    """Extract one validated array from an accumulator state dict.
+
+    Shared by every accumulator's ``_import_state``: the field must be
+    present and coerce to exactly the shape the freshly constructed
+    accumulator expects, otherwise the state came from a differently
+    configured protocol and loading it would corrupt the aggregation.
+    """
+    try:
+        value = state[key]
+    except KeyError:
+        raise AggregationError(
+            f"accumulator state is missing the field {key!r}"
+        ) from None
+    array = np.asarray(value, dtype=dtype)
+    if array.shape != tuple(shape):
+        raise AggregationError(
+            f"accumulator state field {key!r} must have shape {tuple(shape)}, "
+            f"got {array.shape}"
+        )
+    return array.copy()
 
 
 def as_record_matrix(records) -> np.ndarray:
@@ -104,11 +133,23 @@ class MarginalEstimator(abc.ABC):
 
     def __init__(self, workload: MarginalWorkload):
         self._workload = workload
+        self._metadata: Dict[str, Any] = {}
 
     @property
     def workload(self) -> MarginalWorkload:
         """The set of marginals this estimator promises to answer."""
         return self._workload
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Provenance of the aggregation that produced this estimator.
+
+        Populated by :meth:`MarginalReleaseProtocol.run_streaming` with the
+        effective pipeline shape (``num_batches``, ``effective_shards``,
+        executor backend, ...); empty for hand-driven accumulators.  The
+        dict is live — drivers record into it after :meth:`finalize`.
+        """
+        return self._metadata
 
     @property
     def domain(self) -> Domain:
@@ -310,6 +351,48 @@ class Accumulator(abc.ABC):
         self._num_reports += other._num_reports
         return self
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Picklable snapshot of the aggregation state.
+
+        The returned dict holds only plain values (NumPy arrays, ints) —
+        the sufficient statistics plus ``"num_reports"`` — so worker
+        processes can ship their shard's state back to the driver cheaply.
+        The contract is asymmetric on purpose: the state carries *no*
+        mechanism configuration, so it must only be restored (via
+        :meth:`load_state`) into an accumulator built by the identically
+        configured protocol — exactly what the process backend does.
+        """
+        state = self._export_state()
+        state["num_reports"] = self._num_reports
+        return state
+
+    def load_state(self, state: Mapping[str, Any]) -> "Accumulator":
+        """Restore a :meth:`state_dict` snapshot into this fresh accumulator.
+
+        Refuses to overwrite an accumulator that has already seen reports;
+        build a new one with ``protocol.accumulator(domain)`` instead.
+        Returns ``self``.
+        """
+        if self._num_reports != 0:
+            raise AggregationError(
+                "load_state requires a fresh accumulator; this one has "
+                f"already folded in {self._num_reports} reports"
+            )
+        data = dict(state)
+        try:
+            num_reports = int(data.pop("num_reports"))
+        except KeyError:
+            raise AggregationError(
+                "accumulator state is missing the field 'num_reports'"
+            ) from None
+        if num_reports < 0:
+            raise AggregationError(
+                f"accumulator state has negative report count {num_reports}"
+            )
+        self._import_state(data)
+        self._num_reports = num_reports
+        return self
+
     @abc.abstractmethod
     def finalize(self) -> MarginalEstimator:
         """Produce the estimator from the accumulated reports."""
@@ -317,6 +400,14 @@ class Accumulator(abc.ABC):
     @abc.abstractmethod
     def _ingest(self, reports) -> None:
         """Protocol-specific part of :meth:`update`."""
+
+    @abc.abstractmethod
+    def _export_state(self) -> Dict[str, Any]:
+        """Protocol-specific part of :meth:`state_dict` (copies its arrays)."""
+
+    @abc.abstractmethod
+    def _import_state(self, state: Mapping[str, Any]) -> None:
+        """Protocol-specific part of :meth:`load_state` (validates shapes)."""
 
     @abc.abstractmethod
     def _absorb(self, other: "Accumulator") -> None:
@@ -414,43 +505,91 @@ class MarginalReleaseProtocol(abc.ABC):
         rng: RngLike = None,
         batch_size: Optional[int] = None,
         shards: int = 1,
+        executor=None,
     ) -> MarginalEstimator:
-        """Run the protocol as a batched, shardable pipeline.
+        """Run the protocol as a batched, shardable, parallelisable pipeline.
 
         The dataset is consumed in record batches of ``batch_size`` (the
         whole dataset when ``None``); each batch is encoded client-side and
         folded into one of ``shards`` accumulators round-robin, and the
         shards are merged before finalising.  Each batch perturbs with its
         own child generator spawned from ``rng``, so for a fixed seed the
-        estimates depend only on ``batch_size`` — never on ``shards`` —
-        which is what makes the aggregation embarrassingly parallel.  A
-        single batch is encoded with the caller's generator directly, so
-        ``run()`` is exactly the ``batch_size=None`` special case.
+        estimates depend only on ``batch_size`` — never on ``shards``, the
+        execution backend or its worker count — which is what makes the
+        aggregation embarrassingly parallel.  A single batch is encoded with
+        the caller's generator directly, so ``run()`` is exactly the
+        ``batch_size=None`` special case.
+
+        ``executor`` selects who evaluates the shards: ``None`` (in-process
+        serial, the default), a backend name (``"serial"``, ``"thread"``,
+        ``"process"``) or a ready-made
+        :class:`~repro.execution.Executor` instance.  A bare name builds a
+        *single-worker* backend (execution semantics without parallelism);
+        pass an instance — ``make_executor("process", workers=4)`` — to
+        actually fan shards out.  Executors created here from a name are
+        closed before returning; instances are left open for reuse.  ``shards`` beyond ``num_batches`` cannot receive any work
+        and are dropped; the clamp is recorded in the returned estimator's
+        :attr:`~MarginalEstimator.metadata` (``effective_shards``) and
+        logged at DEBUG level.
         """
+        from ..execution import Executor, ShardWork, resolve_executor
+
         if shards < 1:
             raise ProtocolConfigurationError(
                 f"shard count must be >= 1, got {shards}"
             )
-        generator = ensure_rng(rng)
-        num_batches = dataset.num_batches(batch_size)
-        if num_batches == 1:
-            batch_rngs = [generator]
-        else:
-            batch_rngs = spawn_rngs(generator, num_batches)
-        accumulators = [
-            self.accumulator(dataset.domain)
-            for _ in range(min(shards, num_batches))
-        ]
-        for position, (chunk, chunk_rng) in enumerate(
-            zip(dataset.iter_batches(batch_size), batch_rngs)
-        ):
-            accumulators[position % len(accumulators)].update(
-                self.encode_batch(chunk, rng=chunk_rng)
+        owns_executor = not isinstance(executor, Executor)
+        runner = resolve_executor(executor)
+        try:
+            generator = ensure_rng(rng)
+            num_batches = dataset.num_batches(batch_size)
+            if num_batches == 1:
+                batch_rngs = [generator]
+            else:
+                batch_rngs = spawn_rngs(generator, num_batches)
+            effective_shards = min(shards, num_batches)
+            if effective_shards < shards:
+                _logger.debug(
+                    "%s.run_streaming: clamping %d shards to the %d "
+                    "available batches",
+                    self.name,
+                    shards,
+                    num_batches,
+                )
+            assignments: List[List] = [[] for _ in range(effective_shards)]
+            for position, chunk in enumerate(dataset.iter_batches(batch_size)):
+                assignments[position % effective_shards].append(
+                    (chunk, batch_rngs[position])
+                )
+            works = [
+                ShardWork(
+                    protocol=self,
+                    domain=dataset.domain,
+                    batches=tuple(chunk for chunk, _ in assigned),
+                    rngs=tuple(chunk_rng for _, chunk_rng in assigned),
+                )
+                for assigned in assignments
+            ]
+            accumulators = runner.run_shards(works)
+            merged = accumulators[0]
+            for other in accumulators[1:]:
+                merged.merge(other)
+            estimator = merged.finalize()
+            estimator.metadata.update(
+                {
+                    "protocol": self.name,
+                    "batch_size": batch_size,
+                    "num_batches": num_batches,
+                    "requested_shards": shards,
+                    "effective_shards": effective_shards,
+                    "executor": runner.name,
+                    "workers": runner.workers,
+                }
             )
-        merged = accumulators[0]
-        for other in accumulators[1:]:
-            merged.merge(other)
-        return merged.finalize()
+            return estimator
+        finally:
+            if owns_executor:
+                runner.close()
 
     @abc.abstractmethod
     def communication_bits(self, dimension: int) -> int:

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core import bitops
 from ..core.domain import Domain
-from ..core.exceptions import ProtocolConfigurationError
+from ..core.exceptions import AggregationError, ProtocolConfigurationError
 from ..core.marginals import MarginalTable, MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
@@ -185,6 +185,30 @@ class InpEMAccumulator(Accumulator):
 
     def _absorb(self, other: "InpEMAccumulator") -> None:
         self._chunks.extend(other._chunks)
+
+    def _export_state(self):
+        # The chunk arrays are append-only once ingested, so a shallow copy
+        # of the list is a faithful (and cheap) snapshot.
+        return {"noisy_chunks": tuple(self._chunks)}
+
+    def _import_state(self, state) -> None:
+        try:
+            chunks = state["noisy_chunks"]
+        except KeyError:
+            raise AggregationError(
+                "accumulator state is missing the field 'noisy_chunks'"
+            ) from None
+        dimension = self._workload.dimension
+        restored = []
+        for chunk in chunks:
+            chunk = np.asarray(chunk, dtype=np.int8)
+            if chunk.ndim != 2 or chunk.shape[1] != dimension:
+                raise AggregationError(
+                    f"noisy chunks must have shape (n, {dimension}), "
+                    f"got {chunk.shape}"
+                )
+            restored.append(chunk)
+        self._chunks = restored
 
     def _merge_signature(self):
         return (self._keep_probability, self._threshold, self._max_iterations)

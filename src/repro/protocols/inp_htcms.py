@@ -25,6 +25,7 @@ from .base import (
     MarginalReleaseProtocol,
     as_record_matrix,
     record_indices,
+    take_state_array,
 )
 
 __all__ = ["InpHTCMS", "InpHTCMSReports", "InpHTCMSAccumulator"]
@@ -60,6 +61,14 @@ class InpHTCMSAccumulator(Accumulator):
 
     def _absorb(self, other: "InpHTCMSAccumulator") -> None:
         self._sign_sums += other._sign_sums
+
+    def _export_state(self):
+        return {"sign_sums": self._sign_sums.copy()}
+
+    def _import_state(self, state) -> None:
+        self._sign_sums = take_state_array(
+            state, "sign_sums", self._sign_sums.shape, np.float64
+        )
 
     def _merge_signature(self):
         return self._oracle

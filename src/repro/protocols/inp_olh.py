@@ -25,6 +25,7 @@ from .base import (
     MarginalReleaseProtocol,
     as_record_matrix,
     record_indices,
+    take_state_array,
 )
 
 __all__ = ["InpOLH", "InpOLHReports", "InpOLHAccumulator"]
@@ -62,6 +63,14 @@ class InpOLHAccumulator(Accumulator):
 
     def _absorb(self, other: "InpOLHAccumulator") -> None:
         self._support += other._support
+
+    def _export_state(self):
+        return {"support": self._support.copy()}
+
+    def _import_state(self, state) -> None:
+        self._support = take_state_array(
+            state, "support", self._support.shape, np.float64
+        )
 
     def _merge_signature(self):
         return self._oracle

@@ -28,6 +28,7 @@ from .base import (
     MarginalReleaseProtocol,
     as_record_matrix,
     record_indices,
+    take_state_array,
 )
 
 __all__ = ["InpPS", "InpPSReports", "InpPSAccumulator"]
@@ -57,6 +58,14 @@ class InpPSAccumulator(Accumulator):
 
     def _absorb(self, other: "InpPSAccumulator") -> None:
         self._counts += other._counts
+
+    def _export_state(self):
+        return {"counts": self._counts.copy()}
+
+    def _import_state(self, state) -> None:
+        self._counts = take_state_array(
+            state, "counts", self._counts.shape, np.int64
+        )
 
     def _merge_signature(self):
         return self._mechanism

@@ -29,6 +29,7 @@ from .base import (
     MarginalReleaseProtocol,
     as_record_matrix,
     record_indices,
+    take_state_array,
 )
 
 __all__ = ["InpRR", "InpRRReports", "InpRRAccumulator"]
@@ -66,6 +67,14 @@ class InpRRAccumulator(Accumulator):
 
     def _absorb(self, other: "InpRRAccumulator") -> None:
         self._sums += other._sums
+
+    def _export_state(self):
+        return {"sums": self._sums.copy()}
+
+    def _import_state(self, state) -> None:
+        self._sums = take_state_array(
+            state, "sums", self._sums.shape, np.float64
+        )
 
     def _merge_signature(self):
         return self._mechanism

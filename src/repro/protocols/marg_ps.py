@@ -30,6 +30,7 @@ from .base import (
     as_record_matrix,
     record_indices,
     sampled_marginal_cells,
+    take_state_array,
 )
 
 __all__ = ["MargPS", "MargPSReports", "MargPSAccumulator"]
@@ -75,6 +76,20 @@ class MargPSAccumulator(Accumulator):
     def _absorb(self, other: "MargPSAccumulator") -> None:
         self._cell_counts += other._cell_counts
         self._user_counts += other._user_counts
+
+    def _export_state(self):
+        return {
+            "cell_counts": self._cell_counts.copy(),
+            "user_counts": self._user_counts.copy(),
+        }
+
+    def _import_state(self, state) -> None:
+        self._cell_counts = take_state_array(
+            state, "cell_counts", self._cell_counts.shape, np.int64
+        )
+        self._user_counts = take_state_array(
+            state, "user_counts", self._user_counts.shape, np.int64
+        )
 
     def _merge_signature(self):
         return self._mechanism

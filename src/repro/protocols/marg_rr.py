@@ -29,6 +29,7 @@ from .base import (
     as_record_matrix,
     record_indices,
     sampled_marginal_cells,
+    take_state_array,
 )
 
 __all__ = ["MargRR", "MargRRReports", "MargRRAccumulator"]
@@ -77,6 +78,15 @@ class MargRRAccumulator(Accumulator):
     def _absorb(self, other: "MargRRAccumulator") -> None:
         self._sums += other._sums
         self._counts += other._counts
+
+    def _export_state(self):
+        return {"sums": self._sums.copy(), "counts": self._counts.copy()}
+
+    def _import_state(self, state) -> None:
+        self._sums = take_state_array(state, "sums", self._sums.shape, np.float64)
+        self._counts = take_state_array(
+            state, "counts", self._counts.shape, np.int64
+        )
 
     def _merge_signature(self):
         return self._mechanism

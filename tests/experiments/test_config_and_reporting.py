@@ -35,11 +35,27 @@ class TestSweepConfig:
             {"protocols": ("InpHT",), "dimensions": (0,)},
             {"protocols": ("InpHT",), "widths": (0,)},
             {"protocols": ("InpHT",), "epsilons": (0.0,)},
+            {"protocols": ("InpHT",), "executor": "gpu"},
+            {"protocols": ("InpHT",), "workers": 0},
+            {"protocols": ("InpHT",), "executor": "serial", "workers": 4},
+            # workers > 1 with a single shard: the extra workers would idle.
+            {"protocols": ("InpHT",), "executor": "process", "workers": 2},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ProtocolConfigurationError):
             SweepConfig(**kwargs)
+
+    def test_parallel_executor_accepts_workers(self):
+        config = SweepConfig(
+            protocols=("InpHT",),
+            batch_size=256,
+            shards=4,
+            executor="process",
+            workers=4,
+        )
+        assert config.executor == "process"
+        assert config.workers == 4
 
 
 class TestFormatTable:

@@ -85,6 +85,37 @@ class TestRunSweep:
             p.mean_error for p in second.points
         ]
 
+    @pytest.mark.parametrize("batch_size, shards", [(256, 2), (None, 1)])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_executor_backend_is_invisible_in_sweep_errors(
+        self, executor, batch_size, shards
+    ):
+        """A sweep's errors are identical whichever backend runs the shards.
+
+        The unbatched case matters: there the caller's repetition generator
+        itself encodes each protocol's single batch, so backend-identical
+        errors require the process backend to fast-forward it correctly.
+        """
+        import dataclasses
+
+        base = SweepConfig(
+            protocols=("InpHT", "MargPS"),
+            dataset="uniform",
+            population_sizes=(1024,),
+            dimensions=(4,),
+            widths=(2,),
+            epsilons=(1.0,),
+            repetitions=2,
+            seed=13,
+            batch_size=batch_size,
+            shards=shards,
+        )
+        workers = 2 if executor != "serial" and shards > 1 else 1
+        parallel = dataclasses.replace(base, executor=executor, workers=workers)
+        assert [p.errors for p in run_sweep(base).points] == [
+            p.errors for p in run_sweep(parallel).points
+        ]
+
     def test_width_larger_than_dimension_skipped(self):
         config = SweepConfig(
             protocols=("InpHT",),

@@ -66,8 +66,12 @@ class TestEstimation:
         oracle = OptimizedLocalHashing(16, PrivacyBudget(1.0))
         with pytest.raises(ProtocolConfigurationError):
             oracle.perturb(np.array([16]), rng=rng)
-        with pytest.raises(ProtocolConfigurationError):
-            oracle.perturb(np.array([], dtype=int), rng=rng)
+
+    def test_empty_batch_yields_empty_reports(self, rng):
+        oracle = OptimizedLocalHashing(16, PrivacyBudget(1.0))
+        seeds, noisy = oracle.perturb(np.array([], dtype=int), rng=rng)
+        assert seeds.shape == (0,)
+        assert noisy.shape == (0,)
 
     def test_frequency_recovery_on_small_domain(self, rng):
         oracle = OptimizedLocalHashing(8, PrivacyBudget(math.log(3)))

@@ -1,0 +1,154 @@
+"""Regression tests for run_streaming edge cases and pipeline metadata.
+
+PR 1's driver silently ignored ``shards`` greater than the number of
+batches; the executor refactor makes the clamp observable — the effective
+shard count lands in the estimator's metadata and a DEBUG log line — and
+this module pins that, together with the other boundary shapes: a batch
+size larger than the dataset, empty report batches, and empty datasets.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AggregationError, DatasetError
+from repro.core.privacy import PrivacyBudget
+from repro.datasets import BinaryDataset
+from repro.protocols.registry import PROTOCOL_CLASSES, make_protocol
+
+LN3 = float(np.log(3.0))
+
+#: Smaller sketch so the InpHTCMS cases stay fast at test scale.
+PROTOCOL_OPTIONS = {"InpHTCMS": {"num_hashes": 3, "width": 32}}
+
+ALL_PROTOCOLS = sorted(PROTOCOL_CLASSES)
+
+
+def build(name: str):
+    options = PROTOCOL_OPTIONS.get(name, {})
+    return make_protocol(name, PrivacyBudget(LN3), 2, **options)
+
+
+@pytest.fixture
+def dataset(rng) -> BinaryDataset:
+    records = (rng.random((120, 4)) < 0.5).astype(np.int8)
+    return BinaryDataset.from_records(records)
+
+
+class TestShardClamping:
+    def test_metadata_reports_effective_shard_count(self, dataset):
+        estimator = build("InpHT").run_streaming(
+            dataset, rng=np.random.default_rng(3), batch_size=40, shards=8
+        )
+        assert estimator.metadata["requested_shards"] == 8
+        assert estimator.metadata["effective_shards"] == 3
+        assert estimator.metadata["num_batches"] == 3
+        assert estimator.metadata["batch_size"] == 40
+
+    def test_clamp_is_logged_at_debug_level(self, dataset, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.protocols.base"):
+            build("InpPS").run_streaming(
+                dataset, rng=np.random.default_rng(3), batch_size=40, shards=8
+            )
+        assert any(
+            "clamping 8 shards" in record.message for record in caplog.records
+        )
+
+    def test_no_clamp_no_log(self, dataset, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.protocols.base"):
+            estimator = build("InpPS").run_streaming(
+                dataset, rng=np.random.default_rng(3), batch_size=40, shards=3
+            )
+        assert estimator.metadata["effective_shards"] == 3
+        assert not any(
+            "clamping" in record.message for record in caplog.records
+        )
+
+    def test_clamped_run_equals_exact_shard_run(self, dataset):
+        """Requesting more shards than batches changes nothing but metadata."""
+        protocol = build("MargPS")
+        exact = protocol.run_streaming(
+            dataset, rng=np.random.default_rng(9), batch_size=40, shards=3
+        )
+        clamped = protocol.run_streaming(
+            dataset, rng=np.random.default_rng(9), batch_size=40, shards=64
+        )
+        for beta, table in exact.query_all().items():
+            np.testing.assert_array_equal(
+                table.values, clamped.query(beta).values
+            )
+
+
+class TestBatchSizeLargerThanDataset:
+    def test_single_batch_metadata(self, dataset):
+        estimator = build("InpHT").run_streaming(
+            dataset, rng=np.random.default_rng(5), batch_size=10_000, shards=4
+        )
+        assert estimator.metadata["num_batches"] == 1
+        assert estimator.metadata["effective_shards"] == 1
+
+    def test_equals_one_shot_run(self, dataset):
+        """One oversize batch must reproduce run() exactly (same generator)."""
+        protocol = build("MargHT")
+        one_shot = protocol.run(dataset, rng=np.random.default_rng(7))
+        oversize = protocol.run_streaming(
+            dataset, rng=np.random.default_rng(7), batch_size=10_000
+        )
+        for beta, table in one_shot.query_all().items():
+            np.testing.assert_array_equal(
+                table.values, oversize.query(beta).values
+            )
+
+
+class TestEmptyInputs:
+    def test_empty_dataset_is_rejected_at_construction(self):
+        with pytest.raises(DatasetError, match="at least one record"):
+            BinaryDataset.from_records(np.zeros((0, 4), dtype=np.int8))
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_empty_report_batch_is_a_no_op(self, name, dataset):
+        """Encoding zero records works, folds in nothing, finalizes to error."""
+        protocol = build(name)
+        empty = np.zeros((0, 4), dtype=np.int8)
+        reports = protocol.encode_batch(empty, rng=np.random.default_rng(1))
+        assert reports.num_users == 0
+        accumulator = protocol.accumulator(dataset.domain).update(reports)
+        assert accumulator.num_reports == 0
+        with pytest.raises(AggregationError, match="no reports"):
+            accumulator.finalize()
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_empty_batch_then_data_matches_data_alone(self, name, dataset):
+        """An interleaved empty batch must not disturb the aggregation."""
+        protocol = build(name)
+        empty = np.zeros((0, 4), dtype=np.int8)
+        with_empty = protocol.accumulator(dataset.domain)
+        with_empty.update(protocol.encode_batch(empty, rng=np.random.default_rng(2)))
+        with_empty.update(protocol.encode_batch(dataset.records, rng=np.random.default_rng(3)))
+        data_only = protocol.accumulator(dataset.domain).update(
+            protocol.encode_batch(dataset.records, rng=np.random.default_rng(3))
+        )
+        for beta, table in data_only.finalize().query_all().items():
+            np.testing.assert_array_equal(
+                table.values, with_empty.finalize().query(beta).values
+            )
+
+
+class TestRunMetadata:
+    def test_run_records_single_batch_serial_pipeline(self, dataset):
+        estimator = build("InpRR").run(dataset, rng=np.random.default_rng(1))
+        assert estimator.metadata["num_batches"] == 1
+        assert estimator.metadata["executor"] == "serial"
+        assert estimator.metadata["protocol"] == "InpRR"
+
+    def test_hand_driven_accumulator_has_empty_metadata(self, dataset):
+        protocol = build("InpRR")
+        estimator = (
+            protocol.accumulator(dataset.domain)
+            .update(protocol.encode_batch(dataset.records, rng=np.random.default_rng(1)))
+            .finalize()
+        )
+        assert estimator.metadata == {}

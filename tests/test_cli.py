@@ -62,3 +62,97 @@ class TestRun:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "figZZ"])
+
+
+class TestExecutorFlags:
+    """--executor/--workers parsing, forwarding and rejection paths."""
+
+    @pytest.fixture
+    def captured_config(self, monkeypatch):
+        """Stub out fig10's run/render and capture the config it receives."""
+        from repro.experiments import fig10_freq_oracles
+
+        captured = {}
+
+        def fake_run(config):
+            captured["config"] = config
+            return object()
+
+        monkeypatch.setattr(fig10_freq_oracles, "run", fake_run)
+        monkeypatch.setattr(
+            fig10_freq_oracles, "render", lambda result: "rendered"
+        )
+        return captured
+
+    def test_flags_are_forwarded_into_sweep_config(
+        self, captured_config, capsys
+    ):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig10",
+                    "--batch-size",
+                    "256",
+                    "--shards",
+                    "4",
+                    "--executor",
+                    "thread",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        config = captured_config["config"]
+        assert config.batch_size == 256
+        assert config.shards == 4
+        assert config.executor == "thread"
+        assert config.workers == 2
+
+    def test_executor_alone_switches_to_streaming_path(
+        self, captured_config, capsys
+    ):
+        assert main(["run", "fig10", "--executor", "process"]) == 0
+        capsys.readouterr()
+        assert captured_config["config"].executor == "process"
+        assert captured_config["config"].workers == 1
+
+    def test_zero_workers_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig10", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_unknown_executor_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig10", "--executor", "gpu"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_workers_require_a_parallel_executor(self, capsys):
+        assert main(["run", "fig10", "--workers", "4"]) == 2
+        assert "serial executor" in capsys.readouterr().err
+
+    def test_workers_require_multiple_shards(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig10",
+                    "--executor",
+                    "process",
+                    "--workers",
+                    "4",
+                    "--batch-size",
+                    "256",
+                ]
+            )
+            == 2
+        )
+        assert "per-shard" in capsys.readouterr().err
+
+    def test_executor_rejected_for_non_sweep_experiment(self, capsys):
+        assert main(["run", "fig3", "--executor", "thread"]) == 2
+        assert "sweep experiments" in capsys.readouterr().err
