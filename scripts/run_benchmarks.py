@@ -1,0 +1,132 @@
+"""Emit the machine-readable kernel benchmark baseline ``BENCH_kernels.json``.
+
+Wraps ``benchmarks/bench_kernels.py``: runs one profile (``full`` by
+default, ``--smoke`` for the CI-sized run), merges the results into the
+output JSON (other profiles already recorded in the file are preserved,
+so one file can carry both the full acceptance numbers and the smoke
+numbers CI gates on), and — with ``--check`` — compares the fresh run
+against a checked-in baseline.
+
+The regression gate compares *speedups* (fast path vs retained reference,
+measured in the same process), not absolute seconds, so it is portable
+across machines: a kernel fails the gate when its measured speedup drops
+below half of the baseline's recorded speedup (i.e. it regressed >2x
+relative to the reference implementation).
+
+Usage:
+    PYTHONPATH=src python scripts/run_benchmarks.py                 # full run
+    PYTHONPATH=src python scripts/run_benchmarks.py --smoke \\
+        --output BENCH_kernels_ci.json --baseline BENCH_kernels.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_kernels  # noqa: E402  (needs the benchmarks dir on sys.path)
+
+SCHEMA = "bench-kernels/v1"
+
+#: A kernel regresses when its speedup falls below baseline_speedup / 2.
+REGRESSION_FACTOR = 2.0
+
+
+def load_report(path: Path) -> dict:
+    with path.open() as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report
+
+
+def check_regressions(result: dict, baseline_profile: dict) -> list:
+    """Compare one profile's fresh kernel speedups against the baseline."""
+    failures = []
+    for name, entry in result["kernels"].items():
+        recorded = baseline_profile.get("kernels", {}).get(name)
+        if recorded is None:
+            continue
+        floor = recorded["speedup"] / REGRESSION_FACTOR
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {recorded['speedup']:.2f}x / "
+                f"{REGRESSION_FACTOR:g})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the CI-sized smoke profile"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_kernels.json",
+        help="JSON file to write/merge results into",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="checked-in baseline JSON to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if any kernel speedup regressed >2x vs the baseline",
+    )
+    arguments = parser.parse_args(argv)
+
+    profile_name = "smoke" if arguments.smoke else "full"
+
+    # Snapshot the baseline *before* any writing: with the default paths the
+    # output and the baseline are the same file, and gating against the
+    # just-written results would make the check vacuous.
+    baseline_profile = None
+    if arguments.check:
+        baseline_path = arguments.baseline or (REPO_ROOT / "BENCH_kernels.json")
+        baseline = load_report(baseline_path)
+        baseline_profile = baseline["profiles"].get(profile_name)
+        if baseline_profile is None:
+            raise SystemExit(
+                f"{baseline_path} records no {profile_name!r} profile to gate "
+                f"against"
+            )
+
+    print(f"running kernel benchmarks (profile: {profile_name}) ...")
+    result = bench_kernels.run_profile(profile_name)
+    print(bench_kernels.render(result))
+
+    report = {"schema": SCHEMA, "profiles": {}}
+    if arguments.output.exists():
+        report = load_report(arguments.output)
+    report["profiles"][profile_name] = result
+    arguments.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {arguments.output}")
+
+    if arguments.check:
+        failures = check_regressions(result, baseline_profile)
+        if failures:
+            print(
+                "FAIL: kernel speedups regressed >2x vs "
+                f"{baseline_path}:\n  " + "\n  ".join(failures),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"regression gate passed against {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

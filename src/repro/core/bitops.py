@@ -27,7 +27,9 @@ import numpy as np
 
 __all__ = [
     "popcount",
+    "popcount_reference",
     "parity",
+    "parity_reference",
     "inner_product_sign",
     "is_subset",
     "submasks",
@@ -44,11 +46,59 @@ __all__ = [
 ]
 
 
+#: Whether this numpy ships the hardware-popcount ufunc (numpy >= 2.0).
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+# SWAR (SIMD-within-a-register) popcount constants for 64-bit words.
+_SWAR_M1 = np.uint64(0x5555555555555555)
+_SWAR_M2 = np.uint64(0x3333333333333333)
+_SWAR_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_SWAR_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount_swar(words: np.ndarray) -> np.ndarray:
+    """Branch-free popcount of a ``uint64`` array in five vector passes.
+
+    The classic parallel bit-count: fold adjacent 1-, 2- and 4-bit fields
+    into byte-wise counts, then sum the eight bytes with one overflowing
+    multiply.  Used when :data:`HAS_BITWISE_COUNT` is false.
+    """
+    x = words.astype(np.uint64, copy=True)
+    x -= (x >> np.uint64(1)) & _SWAR_M1
+    x = (x & _SWAR_M2) + ((x >> np.uint64(2)) & _SWAR_M2)
+    x = (x + (x >> np.uint64(4))) & _SWAR_M4
+    with np.errstate(over="ignore"):
+        x *= _SWAR_H01
+    return (x >> np.uint64(56)).astype(np.int64)
+
+
 def popcount(values):
     """Number of set bits of ``values`` (scalar int or integer array).
 
-    Works for any non-negative integer width supported by numpy by folding
-    64-bit words; for plain Python ints it defers to ``int.bit_count``.
+    Array inputs take a constant-pass fast path: ``np.bitwise_count`` where
+    available, otherwise a SWAR fold over 64-bit words
+    (:func:`popcount_reference` keeps the original one-bit-per-pass loop for
+    conformance testing).  Plain Python ints defer to ``int.bit_count``.
+    """
+    if np.isscalar(values) and not isinstance(values, np.generic):
+        return int(values).bit_count()
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        return np.vectorize(lambda v: int(v).bit_count(), otypes=[np.int64])(arr)
+    words = arr.astype(np.uint64)
+    if HAS_BITWISE_COUNT:
+        count = np.bitwise_count(words).astype(np.int64)
+    else:
+        count = _popcount_swar(words)
+    return count if count.shape else int(count)
+
+
+def popcount_reference(values):
+    """Reference popcount: shift-and-mask, one bit per full-array pass.
+
+    This is the pre-optimisation implementation, retained as the ground
+    truth the vectorised :func:`popcount` is proven against (and the
+    baseline ``benchmarks/bench_kernels.py`` times the fast path over).
     """
     if np.isscalar(values) and not isinstance(values, np.generic):
         return int(values).bit_count()
@@ -64,11 +114,26 @@ def popcount(values):
 
 
 def parity(values):
-    """Parity (0/1) of the number of set bits in ``values``."""
-    result = popcount(values)
-    if np.isscalar(result):
-        return result & 1
-    return result & 1
+    """Parity (0/1) of the number of set bits in ``values``.
+
+    Arrays are folded with six XOR shifts (no popcount needed); scalars use
+    ``int.bit_count``.
+    """
+    if np.isscalar(values) and not isinstance(values, np.generic):
+        return int(values).bit_count() & 1
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        return popcount(arr) & 1
+    x = arr.astype(np.uint64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        x = x ^ (x >> np.uint64(shift))
+    result = (x & np.uint64(1)).astype(np.int64)
+    return result if result.shape else int(result)
+
+
+def parity_reference(values):
+    """Reference parity via :func:`popcount_reference`, for conformance."""
+    return popcount_reference(values) & 1
 
 
 def inner_product_sign(i, j):

@@ -21,8 +21,9 @@ from typing import Tuple
 
 import numpy as np
 
+from ..core import bitops
 from ..core.exceptions import ProtocolConfigurationError
-from ..core.hadamard import fwht
+from ..core.hadamard import fwht_rows
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
 from .randomized_response import SignRandomizedResponse
@@ -130,12 +131,9 @@ class HadamardCountMeanSketch:
         coefficient_indices = generator.integers(0, self.width, size=n, dtype=np.int64)
         # The Hadamard coefficient of a one-hot bucket vector is just the sign
         # (-1)^{<m, bucket>} (unnormalised transform).
-        parity = np.zeros(n, dtype=np.int64)
-        masked = buckets & coefficient_indices
-        while masked.any():
-            parity ^= masked & 1
-            masked >>= 1
-        signs = (1.0 - 2.0 * parity).astype(np.float64)
+        signs = (
+            1.0 - 2.0 * bitops.parity(buckets & coefficient_indices)
+        ).astype(np.float64)
         noisy = self.mechanism.perturb(signs, rng=generator)
         return hash_indices, coefficient_indices, noisy
 
@@ -177,9 +175,9 @@ class HadamardCountMeanSketch:
         # the 1/g and 1/w sampling probabilities.
         scale = self.num_hashes * self.width / self.mechanism.attenuation
         sketch_hadamard = sign_sums * scale / num_users
-        # Invert the (unnormalised) transform row by row to get per-bucket
-        # frequency estimates: counts[l, b] = (1/w) sum_m (-1)^{<m,b>} coeff.
-        return np.stack([fwht(row) / self.width for row in sketch_hadamard])
+        # Invert the (unnormalised) transform across all g rows in one
+        # batched pass: counts[l, b] = (1/w) sum_m (-1)^{<m,b>} coeff.
+        return fwht_rows(sketch_hadamard) / self.width
 
     def build_sketch(
         self,

@@ -18,13 +18,13 @@ practical failure modes which this implementation surfaces explicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
 from ..core import bitops
 from ..core.domain import Domain
-from ..core.exceptions import AggregationError, ProtocolConfigurationError
+from ..core.exceptions import ProtocolConfigurationError
 from ..core.marginals import MarginalTable, MarginalWorkload
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
@@ -34,6 +34,8 @@ from .base import (
     MarginalEstimator,
     MarginalReleaseProtocol,
     as_record_matrix,
+    record_indices,
+    take_state_array,
 )
 
 __all__ = ["EMDecodingResult", "EMEstimator", "InpEM", "InpEMReports", "InpEMAccumulator"]
@@ -63,32 +65,91 @@ class EMDecodingResult:
 
 
 class EMEstimator(MarginalEstimator):
-    """Answers marginal queries by running EM on the noisy per-attribute bits."""
+    """Answers marginal queries by running EM on the noisy pattern histogram.
+
+    The estimator holds the ``2^d`` histogram of observed noisy records — a
+    sufficient statistic for EM, since the decode only ever consumes the
+    pattern fractions over the queried attributes.  Each query marginalises
+    the histogram (``O(2^d)`` work) instead of re-scanning all ``N`` noisy
+    records, and the per-width likelihood matrix is cached across queries.
+    """
 
     def __init__(
         self,
         workload: MarginalWorkload,
-        noisy_records: np.ndarray,
+        pattern_counts: np.ndarray,
         keep_probability: float,
         convergence_threshold: float,
         max_iterations: int,
     ):
         super().__init__(workload)
+        pattern_counts = np.asarray(pattern_counts, dtype=np.int64)
+        if pattern_counts.shape != (workload.domain.size,):
+            raise ProtocolConfigurationError(
+                f"pattern histogram must have shape ({workload.domain.size},), "
+                f"got {pattern_counts.shape}"
+            )
+        self._pattern_counts = pattern_counts
+        self._keep_probability = float(keep_probability)
+        self._threshold = float(convergence_threshold)
+        self._max_iterations = int(max_iterations)
+        self._likelihood_cache: Dict[int, np.ndarray] = {}
+        self._pattern_weights = self._pattern_counts.astype(np.float64)
+
+    @classmethod
+    def from_noisy_records(
+        cls,
+        workload: MarginalWorkload,
+        noisy_records: np.ndarray,
+        keep_probability: float,
+        convergence_threshold: float,
+        max_iterations: int,
+    ) -> "EMEstimator":
+        """Build the estimator from raw ``(N, d)`` noisy record rows."""
         noisy_records = np.asarray(noisy_records, dtype=np.int8)
         if noisy_records.ndim != 2 or noisy_records.shape[1] != workload.dimension:
             raise ProtocolConfigurationError(
                 f"noisy records must have shape (N, {workload.dimension}), "
                 f"got {noisy_records.shape}"
             )
-        self._noisy_records = noisy_records
-        self._keep_probability = float(keep_probability)
-        self._threshold = float(convergence_threshold)
-        self._max_iterations = int(max_iterations)
+        counts = np.bincount(
+            record_indices(noisy_records), minlength=workload.domain.size
+        )
+        return cls(
+            workload,
+            counts,
+            keep_probability=keep_probability,
+            convergence_threshold=convergence_threshold,
+            max_iterations=max_iterations,
+        )
 
     @property
     def keep_probability(self) -> float:
         """Per-bit RR keep probability (at budget eps/d)."""
         return self._keep_probability
+
+    @property
+    def pattern_counts(self) -> np.ndarray:
+        """The ``2^d`` histogram of observed noisy records (a copy)."""
+        return self._pattern_counts.copy()
+
+    def _likelihood(self, k: int) -> np.ndarray:
+        """``P[observe pattern y | true pattern x]`` for a width-``k`` marginal.
+
+        Depends only on ``k`` and the keep probability, so it is cached —
+        full 2-way workloads reuse one ``2^k x 2^k`` matrix across all
+        ``C(d, 2)`` queries.
+        """
+        cached = self._likelihood_cache.get(k)
+        if cached is None:
+            cells = 1 << k
+            p = self._keep_probability
+            hamming = bitops.popcount(
+                np.arange(cells)[:, None] ^ np.arange(cells)[None, :]
+            )
+            cached = (p ** (k - hamming)) * ((1.0 - p) ** hamming)  # [y, x]
+            self._likelihood_cache[k] = cached
+        return cached
 
     def query(self, beta) -> MarginalTable:
         return self.query_with_diagnostics(beta).table
@@ -96,23 +157,21 @@ class EMEstimator(MarginalEstimator):
     def query_with_diagnostics(self, beta) -> EMDecodingResult:
         """Run the EM decode for one marginal and return diagnostics."""
         mask = self._validate(beta)
-        positions = bitops.bit_positions(mask)
-        k = len(positions)
+        k = bitops.popcount(mask)
         cells = 1 << k
 
-        # Histogram of observed noisy patterns over the selected attributes.
-        observed = np.zeros(self._noisy_records.shape[0], dtype=np.int64)
-        for bit, position in enumerate(positions):
-            observed |= self._noisy_records[:, position].astype(np.int64) << bit
-        pattern_counts = np.bincount(observed, minlength=cells).astype(np.float64)
+        # Histogram of observed noisy patterns over the selected attributes,
+        # by marginalising the full-domain histogram.  The sums are integer
+        # valued, so they equal a direct per-record bincount exactly.
+        compact = bitops.compress_indices(
+            np.arange(self.domain.size, dtype=np.int64), mask
+        )
+        pattern_counts = np.bincount(
+            compact, weights=self._pattern_weights, minlength=cells
+        )
         pattern_fractions = pattern_counts / pattern_counts.sum()
 
-        # Likelihood matrix: P[observe pattern y | true pattern x].
-        p = self._keep_probability
-        hamming = bitops.popcount(
-            np.arange(cells)[:, None] ^ np.arange(cells)[None, :]
-        )
-        likelihood = (p ** (k - hamming)) * ((1.0 - p) ** hamming)  # [y, x]
+        likelihood = self._likelihood(k)
 
         prior = np.full(cells, 1.0 / cells)
         iterations = 0
@@ -152,13 +211,14 @@ class InpEMReports:
 
 
 class InpEMAccumulator(Accumulator):
-    """Collects noisy record batches for later EM decoding.
+    """Folds noisy record batches into a ``2^d`` pattern histogram.
 
-    EM is a decoding loop over the *pattern histogram* of the noisy records,
-    which is order-invariant, so concatenating shards in any merge order
-    finalises to identical estimates.  Unlike the closed-form protocols the
-    state grows with the number of users — an intrinsic cost of the EM
-    baseline, which needs the joint noisy patterns at query time.
+    The EM decode only ever consumes the histogram of observed noisy joint
+    patterns, so that histogram is a *sufficient statistic*: folding each
+    batch into per-pattern counts at ``update`` time keeps the state
+    ``O(2^d)`` — independent of the number of users — while remaining an
+    exact integer-sum merge algebra (shard/merge order is invisible
+    bit-for-bit, like every other protocol's accumulator).
     """
 
     def __init__(
@@ -172,7 +232,7 @@ class InpEMAccumulator(Accumulator):
         self._keep_probability = float(keep_probability)
         self._threshold = float(convergence_threshold)
         self._max_iterations = int(max_iterations)
-        self._chunks: List[np.ndarray] = []
+        self._pattern_counts = np.zeros(workload.domain.size, dtype=np.int64)
 
     def _ingest(self, reports: InpEMReports) -> None:
         noisy = np.asarray(reports.noisy_records, dtype=np.int8)
@@ -181,48 +241,29 @@ class InpEMAccumulator(Accumulator):
                 f"noisy records must have shape (n, {self._workload.dimension}), "
                 f"got {noisy.shape}"
             )
-        self._chunks.append(noisy)
+        self._pattern_counts += np.bincount(
+            record_indices(noisy), minlength=self._workload.domain.size
+        )
 
     def _absorb(self, other: "InpEMAccumulator") -> None:
-        self._chunks.extend(other._chunks)
+        self._pattern_counts += other._pattern_counts
 
     def _export_state(self):
-        # The chunk arrays are append-only once ingested, so a shallow copy
-        # of the list is a faithful (and cheap) snapshot.
-        return {"noisy_chunks": tuple(self._chunks)}
+        return {"pattern_counts": self._pattern_counts.copy()}
 
     def _import_state(self, state) -> None:
-        try:
-            chunks = state["noisy_chunks"]
-        except KeyError:
-            raise AggregationError(
-                "accumulator state is missing the field 'noisy_chunks'"
-            ) from None
-        dimension = self._workload.dimension
-        restored = []
-        for chunk in chunks:
-            chunk = np.asarray(chunk, dtype=np.int8)
-            if chunk.ndim != 2 or chunk.shape[1] != dimension:
-                raise AggregationError(
-                    f"noisy chunks must have shape (n, {dimension}), "
-                    f"got {chunk.shape}"
-                )
-            restored.append(chunk)
-        self._chunks = restored
+        self._pattern_counts = take_state_array(
+            state, "pattern_counts", self._pattern_counts.shape, np.int64
+        )
 
     def _merge_signature(self):
         return (self._keep_probability, self._threshold, self._max_iterations)
 
     def finalize(self) -> "EMEstimator":
         self._require_reports()
-        noisy = (
-            self._chunks[0]
-            if len(self._chunks) == 1
-            else np.concatenate(self._chunks, axis=0)
-        )
         return EMEstimator(
             self._workload,
-            noisy,
+            self._pattern_counts.copy(),
             keep_probability=self._keep_probability,
             convergence_threshold=self._threshold,
             max_iterations=self._max_iterations,

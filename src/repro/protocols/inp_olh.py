@@ -82,13 +82,25 @@ class InpOLHAccumulator(Accumulator):
 
 
 class InpOLH(MarginalReleaseProtocol):
-    """Optimised Local Hashing applied to the full-domain index."""
+    """Optimised Local Hashing applied to the full-domain index.
+
+    ``decode_batch_size`` tunes how many domain elements the ``O(N * 2^d)``
+    support-count decode hashes per block (0 = the library default); it is a
+    pure performance knob with no effect on the estimates.
+    """
 
     name = "InpOLH"
 
-    def __init__(self, budget: PrivacyBudget, max_width: int, num_buckets: int = 0):
+    def __init__(
+        self,
+        budget: PrivacyBudget,
+        max_width: int,
+        num_buckets: int = 0,
+        decode_batch_size: int = 0,
+    ):
         super().__init__(budget, max_width)
         self._num_buckets = int(num_buckets)
+        self._decode_batch_size = int(decode_batch_size)
 
     def oracle(self, dimension: int) -> OptimizedLocalHashing:
         """The OLH frequency oracle over ``{0,1}^d``."""
@@ -96,6 +108,7 @@ class InpOLH(MarginalReleaseProtocol):
             domain_size=1 << dimension,
             budget=self.budget,
             num_buckets=self._num_buckets,
+            decode_batch_size=self._decode_batch_size,
         )
 
     def encode_batch(self, records, rng: RngLike = None) -> InpOLHReports:

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..core import bitops
 from ..core.domain import Domain
-from ..core.hadamard import fwht
+from ..core.hadamard import fwht_rows
 from ..core.marginals import MarginalWorkload
 from ..core.rng import RngLike, ensure_rng
 from ..mechanisms.randomized_response import SignRandomizedResponse
@@ -96,19 +96,20 @@ class MargHTAccumulator(Accumulator):
 
     def finalize(self) -> PerMarginalEstimator:
         self._require_reports()
-        tables: Dict[int, np.ndarray] = {}
-        for position, beta in enumerate(self._marginals):
-            coefficients = np.zeros(self._cells, dtype=np.float64)
-            coefficients[0] = 1.0
-            seen = self._counts[position] > 0
-            seen[0] = False
-            if seen.any():
-                unbiased = self._mechanism.unbias_sums(
-                    self._sums[position], self._counts[position]
-                )
-                coefficients[seen] = unbiased[seen]
-            # Reconstruct the marginal from its compact coefficient vector.
-            tables[beta] = fwht(coefficients) / self._cells
+        # De-bias every (marginal, coefficient) cell in one shot — the
+        # unbiasing is elementwise — then reconstruct all C(d, k) tables with
+        # a single batched inverse transform over the coefficient rows.
+        coefficients = np.zeros(self._sums.shape, dtype=np.float64)
+        coefficients[:, 0] = 1.0
+        seen = self._counts > 0
+        seen[:, 0] = False
+        unbiased = self._mechanism.unbias_sums(self._sums, self._counts)
+        coefficients[seen] = unbiased[seen]
+        reconstructed = fwht_rows(coefficients) / self._cells
+        tables: Dict[int, np.ndarray] = {
+            beta: reconstructed[position]
+            for position, beta in enumerate(self._marginals)
+        }
         return PerMarginalEstimator(self._workload, tables)
 
 

@@ -26,12 +26,60 @@ class TestPopcount:
         expected = [int(v).bit_count() for v in values]
         assert bitops.popcount(values).tolist() == expected
 
+    def test_fast_path_matches_reference(self):
+        rng = np.random.default_rng(7)
+        for values in (
+            rng.integers(0, 1 << 16, size=4096),
+            rng.integers(0, 1 << 62, size=4096),
+            np.array([0, 1, (1 << 63) - 1, np.iinfo(np.int64).max]),
+            np.uint64(2**64 - 1) - rng.integers(0, 64, size=128).astype(np.uint64),
+        ):
+            fast = bitops.popcount(values)
+            reference = bitops.popcount_reference(values)
+            np.testing.assert_array_equal(fast, reference)
+            assert fast.dtype == reference.dtype
+
+    def test_swar_fallback_matches_reference(self):
+        rng = np.random.default_rng(11)
+        words = rng.integers(0, 2**64, size=4096, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            bitops._popcount_swar(words), bitops.popcount_reference(words)
+        )
+
+    def test_object_dtype_path(self):
+        # Regression: arbitrary-precision Python ints (wider than 64 bits)
+        # must fall back to int.bit_count, not be folded as 64-bit words.
+        values = np.array([0, 1, (1 << 80) - 1, (1 << 200) | 0b101], dtype=object)
+        result = bitops.popcount(values)
+        assert result.dtype == np.int64
+        assert result.tolist() == [0, 1, 80, 3]
+        np.testing.assert_array_equal(result, bitops.popcount_reference(values))
+
+    def test_zero_dim_numpy_scalar(self):
+        assert bitops.popcount(np.int64(0b1011)) == 3
+        assert isinstance(bitops.popcount(np.int64(7)), int)
+
 
 class TestParityAndSigns:
     def test_parity_scalar(self):
         assert bitops.parity(0) == 0
         assert bitops.parity(0b111) == 1
         assert bitops.parity(0b1111) == 0
+
+    def test_parity_fast_path_matches_reference(self):
+        rng = np.random.default_rng(13)
+        for values in (
+            np.arange(1024),
+            rng.integers(0, 1 << 62, size=4096),
+            rng.integers(0, 2**64, size=4096, dtype=np.uint64),
+            np.array([1 << 90, (1 << 70) | 1], dtype=object),
+        ):
+            fast = bitops.parity(values)
+            np.testing.assert_array_equal(fast, bitops.parity_reference(values))
+
+    def test_parity_scalar_type(self):
+        assert isinstance(bitops.parity(6), int)
+        assert isinstance(bitops.parity(np.int64(6)), int)
 
     def test_inner_product_sign_scalar(self):
         # <i, j> counts shared set bits: 0b110 & 0b011 = 0b010 -> odd -> -1.

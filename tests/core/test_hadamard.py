@@ -38,6 +38,47 @@ class TestFwht:
             hadamard.fwht_inverse(hadamard.fwht(vector)), vector, atol=1e-9
         )
 
+    def test_matches_reference_bit_for_bit(self, rng):
+        # The reshape-based butterfly performs the identical per-element
+        # add/subtract as the blockwise reference, so equality is exact.
+        for d in (0, 1, 2, 5, 10, 14):
+            vector = rng.normal(size=1 << d)
+            np.testing.assert_array_equal(
+                hadamard.fwht(vector), hadamard.fwht_reference(vector)
+            )
+
+    def test_input_not_modified(self, rng):
+        vector = rng.normal(size=64)
+        original = vector.copy()
+        hadamard.fwht(vector)
+        np.testing.assert_array_equal(vector, original)
+
+
+class TestFwhtRows:
+    def test_matches_per_row_fwht_bit_for_bit(self, rng):
+        for rows, n in ((1, 16), (5, 256), (64, 1024), (3, 1)):
+            matrix = rng.normal(size=(rows, n))
+            expected = np.stack([hadamard.fwht_reference(row) for row in matrix])
+            np.testing.assert_array_equal(hadamard.fwht_rows(matrix), expected)
+
+    def test_input_not_modified(self, rng):
+        matrix = rng.normal(size=(4, 32))
+        original = matrix.copy()
+        hadamard.fwht_rows(matrix)
+        np.testing.assert_array_equal(matrix, original)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            hadamard.fwht_rows(rng.normal(size=8))
+        with pytest.raises(ValueError):
+            hadamard.fwht_rows(rng.normal(size=(2, 2, 2)))
+
+    def test_rejects_non_power_of_two_rows(self, rng):
+        with pytest.raises(ValueError):
+            hadamard.fwht_rows(rng.normal(size=(3, 12)))
+        with pytest.raises(ValueError):
+            hadamard.fwht_rows(np.zeros((2, 0)))
+
     def test_does_not_modify_input(self, rng):
         vector = rng.normal(size=8)
         copy = vector.copy()
