@@ -1,9 +1,10 @@
 """Quickstart: release 2-way marginals of taxi-like data under epsilon-LDP.
 
 Runs the paper's preferred protocol (InpHT) over a synthetic NYC-taxi-style
-population through the streaming client/aggregator pipeline, reconstructs a
-couple of marginals, and compares them against the exact (non-private)
-tables.
+population two ways — the in-process streaming pipeline and the
+service-shaped spec/wire/session path a deployed collector would use —
+reconstructs a couple of marginals, and compares them against the exact
+(non-private) tables.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import InpHT, PrivacyBudget, make_taxi_dataset
+from repro import AggregationSession, InpHT, PrivacyBudget, make_taxi_dataset
 
 
 def main() -> None:
@@ -29,11 +30,11 @@ def main() -> None:
         f"{protocol.communication_bits(data.dimension)} bits per user"
     )
 
-    # 3. Simulate collection with the streaming pipeline: clients encode
-    #    record batches, two aggregator shards fold the report batches into
-    #    mergeable accumulators, and the merged state finalises into the
-    #    estimator.  (protocol.run(data, rng=rng) is the one-shot shorthand,
-    #    and run_streaming(...) drives this loop for you.)
+    # 3a. Simulate collection with the streaming pipeline: clients encode
+    #     record batches, two aggregator shards fold the report batches into
+    #     mergeable accumulators, and the merged state finalises into the
+    #     estimator.  (protocol.run(data, rng=rng) is the one-shot shorthand,
+    #     and run_streaming(...) drives this loop for you.)
     shards = [protocol.accumulator(data.domain) for _ in range(2)]
     for position, batch in enumerate(data.iter_batches(25_000)):
         reports = protocol.encode_batch(batch, rng=rng)   # client side
@@ -43,6 +44,25 @@ def main() -> None:
         f"aggregated {merged.num_reports} reports across {len(shards)} shards"
     )
     estimator = merged.finalize()
+
+    # 3b. The same collection, service-shaped: client and server agree on a
+    #     JSON-round-trippable ProtocolSpec out-of-band, reports travel as
+    #     validated byte frames, and the server holds a long-lived session
+    #     that can be queried mid-stream (snapshot) and checkpointed to disk
+    #     (session.checkpoint(path) / AggregationSession.restore(path)).
+    spec = protocol.spec()
+    print(f"spec (the client/server contract): {spec.to_json()}")
+    client = spec.build()  # the clients' identically configured protocol
+    session = AggregationSession(spec, data.domain)
+    for batch in data.iter_batches(25_000):
+        frame = client.encode_batch(batch, rng=rng).to_bytes()  # client side
+        session.submit(frame)                                   # server side
+    mid_stream = session.snapshot()   # non-destructive: keeps aggregating
+    print(
+        f"session: {session.num_reports} reports, "
+        f"{session.metadata['wire_bytes_per_report']:.1f} wire bytes/user, "
+        f"snapshot answers {len(mid_stream.workload.marginals())} marginals"
+    )
 
     # 4. Query any 1- or 2-way marginal on demand and compare with the truth.
     for attributes in (["CC", "Tip"], ["M_pick", "M_drop"], ["Night_pick"]):

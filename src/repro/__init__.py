@@ -86,6 +86,13 @@ from .execution import (
     make_executor,
 )
 from .extensions import InpES
+from .service import (
+    AggregationSession,
+    ProtocolSpec,
+    decode_reports,
+    encode_reports,
+    iter_report_frames,
+)
 from .postprocess import (
     SimplexProjectedEstimator,
     clip_and_normalize,
@@ -145,6 +152,12 @@ __all__ = [
     "fit_chow_liu_tree",
     "TreeBayesianModel",
     "fit_tree_model",
+    # collection service
+    "ProtocolSpec",
+    "AggregationSession",
+    "encode_reports",
+    "decode_reports",
+    "iter_report_frames",
     # execution backends
     "Executor",
     "SerialExecutor",

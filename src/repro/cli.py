@@ -1,4 +1,4 @@
-"""Command-line interface for regenerating the paper's tables and figures.
+"""Command-line interface: experiments plus the collection-service round trip.
 
 Usage::
 
@@ -10,15 +10,39 @@ Usage::
 ``run`` executes one experiment module (quick preset by default), prints the
 rendered text table, and can additionally persist sweep-style results to JSON
 for later analysis or plotting.
+
+The service subcommands drive a full client → bytes → server round trip from
+the shell.  ``encode`` plays the client population (simulated from one of
+the named datasets) and writes serialized report frames; ``aggregate`` plays
+the server, feeding the frames to an
+:class:`~repro.service.AggregationSession` and printing the estimated
+marginals.  The two halves only share the spec file — exactly the
+out-of-band contract of a deployed collector::
+
+    python -m repro.cli encode --protocol InpHT --epsilon 1.1 --width 2 \\
+        --dataset taxi -n 10000 -d 8 --seed 7 --batch-size 2500 \\
+        --spec-out spec.json \\
+      | python -m repro.cli aggregate --spec spec.json --dimension 8 \\
+            --json marginals.json
+
+``aggregate --checkpoint`` persists the session afterwards and ``--restore``
+resumes one, so an interrupted collection continues bit-for-bit.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
+import os
 import sys
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
+from .core.domain import Domain
+from .core.exceptions import ReproError
+from .core.rng import spawn_rngs
 from .experiments import (
     categorical,
     fig3_taxi_heatmap,
@@ -34,8 +58,9 @@ from .experiments import (
 )
 from .execution import available_executors
 from .experiments.config import SweepConfig
-from .experiments.harness import SweepResult
-from .io import save_sweep_json
+from .experiments.harness import DATASET_NAMES, SweepResult, make_dataset
+from .io import load_protocol_spec, save_protocol_spec, save_sweep_json
+from .service import AggregationSession, ProtocolSpec, split_report_frames
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -115,6 +140,100 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="W",
         help="worker count for the thread/process executors",
+    )
+
+    encode_parser = subparsers.add_parser(
+        "encode",
+        help="client side: simulate a population and emit serialized "
+        "report frames",
+    )
+    encode_parser.add_argument(
+        "--protocol", required=True, help="protocol name (e.g. InpHT)"
+    )
+    encode_parser.add_argument(
+        "--epsilon", type=float, required=True, help="per-user privacy budget"
+    )
+    encode_parser.add_argument(
+        "--width", type=_positive_int, required=True, metavar="K",
+        help="workload width k (every <= k-way marginal becomes answerable)",
+    )
+    encode_parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra protocol option (repeatable; value parsed as JSON, "
+        "e.g. --option width=512)",
+    )
+    encode_parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="taxi",
+        help="population generator simulating the clients (default: taxi)",
+    )
+    encode_parser.add_argument(
+        "-n", "--population", type=_positive_int, default=10_000, metavar="N",
+        help="number of simulated users (default: 10000)",
+    )
+    encode_parser.add_argument(
+        "-d", "--dimension", type=_positive_int, default=8, metavar="D",
+        help="number of binary attributes (default: 8)",
+    )
+    encode_parser.add_argument(
+        "--seed", type=int, default=20180610, help="master random seed"
+    )
+    encode_parser.add_argument(
+        "--batch-size", type=_positive_int, default=None, metavar="B",
+        help="encode the population in record batches of this size "
+        "(default: one batch)",
+    )
+    encode_parser.add_argument(
+        "--spec-out", metavar="PATH",
+        help="also write the protocol spec (the out-of-band client/server "
+        "contract) to this JSON file",
+    )
+    encode_parser.add_argument(
+        "--output", default="-", metavar="PATH",
+        help="where to write the report frames ('-' = stdout, the default)",
+    )
+
+    aggregate_parser = subparsers.add_parser(
+        "aggregate",
+        help="server side: feed report frames to an AggregationSession and "
+        "print the estimated marginals",
+    )
+    aggregate_parser.add_argument(
+        "--spec", metavar="PATH",
+        help="protocol spec JSON written by 'encode --spec-out' "
+        "(required unless --restore is given)",
+    )
+    domain_group = aggregate_parser.add_mutually_exclusive_group()
+    domain_group.add_argument(
+        "-d", "--dimension", type=_positive_int, metavar="D",
+        help="number of binary attributes (names default to attr0..attrD-1)",
+    )
+    domain_group.add_argument(
+        "--attributes", metavar="A,B,C",
+        help="comma-separated attribute names of the collection domain",
+    )
+    aggregate_parser.add_argument(
+        "--input", default="-", metavar="PATH",
+        help="report-frame stream to consume ('-' = stdin, the default; "
+        "'none' = no frames, e.g. to re-print a restored checkpoint)",
+    )
+    aggregate_parser.add_argument(
+        "--restore", metavar="PATH",
+        help="resume a checkpointed session instead of starting fresh",
+    )
+    aggregate_parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write the session checkpoint here after ingesting the frames",
+    )
+    aggregate_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the estimates and session metadata to this JSON file",
+    )
+    aggregate_parser.add_argument(
+        "--output", metavar="PATH",
+        help="also write the rendered text estimates to this file",
     )
     return parser
 
@@ -201,16 +320,255 @@ def _run_experiment(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_options(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--option key=value`` flags (values read as JSON)."""
+    options: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(
+                f"--option expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            options[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            if raw in ("True", "False", "None"):
+                # Python spellings of JSON literals; the string fallback
+                # would silently invert booleans (bool('False') is True).
+                options[key] = {"True": True, "False": False, "None": None}[raw]
+            else:
+                options[key] = raw
+    return options
+
+
+def _run_encode(arguments: argparse.Namespace) -> int:
+    try:
+        spec = ProtocolSpec(
+            protocol=arguments.protocol,
+            epsilon=arguments.epsilon,
+            max_width=arguments.width,
+            options=_parse_options(arguments.option),
+        )
+        protocol = spec.build()
+        if arguments.width > arguments.dimension:
+            print(
+                f"encode: --width {arguments.width} exceeds the "
+                f"{arguments.dimension}-attribute domain (-d)",
+                file=sys.stderr,
+            )
+            return 2
+        if arguments.spec_out:
+            save_protocol_spec(spec, arguments.spec_out)
+            print(f"wrote {arguments.spec_out}", file=sys.stderr)
+
+        generator = np.random.default_rng(arguments.seed)
+        dataset = make_dataset(
+            arguments.dataset,
+            arguments.population,
+            arguments.dimension,
+            generator,
+        )
+        # Mirror run_streaming's rng discipline (one child generator per
+        # batch, the master itself for a single batch) so, for the same seed
+        # and batch size, the shell round trip reproduces the in-process
+        # pipeline exactly.
+        num_batches = dataset.num_batches(arguments.batch_size)
+        if num_batches == 1:
+            batch_rngs = [generator]
+        else:
+            batch_rngs = spawn_rngs(generator, num_batches)
+
+        total_bytes = 0
+        sink = (
+            sys.stdout.buffer
+            if arguments.output == "-"
+            else open(arguments.output, "wb")
+        )
+        try:
+            for chunk, chunk_rng in zip(
+                dataset.iter_batches(arguments.batch_size), batch_rngs
+            ):
+                frame = protocol.encode_batch(chunk, rng=chunk_rng).to_bytes()
+                sink.write(frame)
+                total_bytes += len(frame)
+            sink.flush()
+        finally:
+            if sink is not sys.stdout.buffer:
+                sink.close()
+    except BrokenPipeError:
+        raise  # handled quietly in main(); not an encode failure
+    except (ReproError, OSError, ValueError) as error:
+        # OSError: unwritable --output/--spec-out paths; ValueError: option
+        # values the protocol constructor rejects (e.g. width="abc").
+        print(f"encode: {error}", file=sys.stderr)
+        return 2
+    bits_per_user = 8.0 * total_bytes / dataset.size
+    print(
+        f"encoded {dataset.size} users into {num_batches} frame(s), "
+        f"{total_bytes} bytes ({bits_per_user:.1f} wire bits/user; "
+        f"Table 2: {protocol.communication_bits(dataset.dimension)} bits/user)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _render_estimates(estimator, session: AggregationSession) -> str:
+    lines = [
+        f"protocol  : {session.spec.describe()}",
+        f"reports   : {session.num_reports}",
+    ]
+    metadata = session.metadata
+    if metadata["wire_bytes_per_report"] is not None:
+        lines.append(
+            f"wire      : {metadata['wire_bytes_total']} bytes in "
+            f"{metadata['wire_batches']} frame(s), "
+            f"{8.0 * metadata['wire_bytes_per_report']:.1f} bits/user"
+        )
+    lines.append("")
+    for beta, table in sorted(estimator.query_all().items()):
+        names = ",".join(estimator.domain.names_of(beta))
+        values = " ".join(f"{value:.4f}" for value in table.values)
+        lines.append(f"{names}: {values}")
+    return "\n".join(lines)
+
+
+def _estimates_payload(estimator, session: AggregationSession) -> Dict:
+    return {
+        "spec": session.spec.to_dict(),
+        "num_reports": session.num_reports,
+        "session": session.metadata,
+        "attributes": list(session.domain.attributes),
+        "marginals": [
+            {
+                "attributes": estimator.domain.names_of(beta),
+                "values": [float(value) for value in table.values],
+            }
+            for beta, table in sorted(estimator.query_all().items())
+        ],
+    }
+
+
+def _run_aggregate(arguments: argparse.Namespace) -> int:
+    try:
+        if arguments.restore and (
+            arguments.spec or arguments.dimension or arguments.attributes
+        ):
+            print(
+                "aggregate: --restore carries the session's own spec and "
+                "domain; --spec/--dimension/--attributes cannot be combined "
+                "with it",
+                file=sys.stderr,
+            )
+            return 2
+        domain = None
+        if not arguments.restore:
+            if not arguments.spec:
+                print(
+                    "aggregate: --spec is required unless --restore is given",
+                    file=sys.stderr,
+                )
+                return 2
+            if arguments.attributes:
+                domain = Domain(
+                    [name.strip() for name in arguments.attributes.split(",")]
+                )
+            elif arguments.dimension:
+                domain = Domain.binary(arguments.dimension)
+            else:
+                print(
+                    "aggregate: pass --dimension or --attributes to describe "
+                    "the collection domain (or --restore a checkpoint)",
+                    file=sys.stderr,
+                )
+                return 2
+        # Restoring at an interactive terminal with nothing piped in, or an
+        # explicit --input none, means there are no frames to ingest — the
+        # command just (re-)prints the session's estimates.
+        no_input = arguments.input == "none" or (
+            arguments.restore
+            and arguments.input == "-"
+            and sys.stdin.isatty()
+        )
+        # Read ONE frame from stdin before loading the spec file: in an
+        # ``encode | aggregate`` pipeline both processes start together, but
+        # the producer writes --spec-out before emitting its first frame
+        # byte, so having a frame (or EOF) in hand guarantees the spec file
+        # exists.  The rest of the stream is ingested one frame at a time —
+        # constant memory for arbitrarily large collections, matching the
+        # --input FILE path.
+        stdin_frames = None
+        first_frame = None
+        if not no_input and arguments.input == "-":
+            stdin_frames = split_report_frames(sys.stdin.buffer)
+            first_frame = next(stdin_frames, None)
+        if arguments.restore:
+            session = AggregationSession.restore(arguments.restore)
+            print(
+                f"restored session with {session.num_reports} reports from "
+                f"{arguments.restore}",
+                file=sys.stderr,
+            )
+        else:
+            session = AggregationSession(
+                load_protocol_spec(arguments.spec), domain
+            )
+        if stdin_frames is not None:
+            if first_frame is not None:
+                session.submit(first_frame)
+                for frame in stdin_frames:
+                    session.submit(frame)
+        elif not no_input:
+            with open(arguments.input, "rb") as source:
+                for frame in split_report_frames(source):
+                    session.submit(frame)
+        if arguments.checkpoint:
+            session.checkpoint(arguments.checkpoint)
+            print(f"wrote {arguments.checkpoint}", file=sys.stderr)
+        estimator = session.snapshot()
+    except BrokenPipeError:
+        raise  # handled quietly in main(); not an aggregate failure
+    except (ReproError, OSError, ValueError) as error:
+        # OSError: missing/unreadable --input or checkpoint paths.
+        print(f"aggregate: {error}", file=sys.stderr)
+        return 2
+    rendered = _render_estimates(estimator, session)
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(_estimates_payload(estimator, session), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
-    if arguments.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name in sorted(EXPERIMENTS):
-            _, description = EXPERIMENTS[name]
-            print(f"{name.ljust(width)}  {description}")
+    try:
+        if arguments.command == "list":
+            width = max(len(name) for name in EXPERIMENTS)
+            for name in sorted(EXPERIMENTS):
+                _, description = EXPERIMENTS[name]
+                print(f"{name.ljust(width)}  {description}")
+            return 0
+        if arguments.command == "encode":
+            return _run_encode(arguments)
+        if arguments.command == "aggregate":
+            return _run_aggregate(arguments)
+        return _run_experiment(arguments)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro aggregate | head`); point
+        # stdout at devnull so the interpreter's shutdown flush cannot
+        # raise again, and exit quietly.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, AttributeError, ValueError):  # best effort
+            pass
         return 0
-    return _run_experiment(arguments)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

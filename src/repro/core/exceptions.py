@@ -32,6 +32,14 @@ class AggregationError(ReproError):
     """Aggregation failed, e.g. reports are missing or have the wrong shape."""
 
 
+class WireFormatError(ReproError):
+    """A serialized report frame or checkpoint cannot be decoded.
+
+    Raised for truncated/corrupted buffers, wire-format version mismatches,
+    unknown report kinds and payloads whose fields fail dtype/shape
+    validation."""
+
+
 class ExecutionError(ReproError):
     """A parallel execution backend failed or was driven incorrectly."""
 

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import ProtocolConfigurationError
 from ..execution import available_executors
+from ..service.spec import ProtocolSpec
 
 __all__ = ["SweepConfig", "LN3"]
 
@@ -140,3 +141,74 @@ class SweepConfig:
             * len(self.epsilons)
             * self.repetitions
         )
+
+    @classmethod
+    def from_specs(
+        cls, specs: Iterable[ProtocolSpec], **overrides
+    ) -> "SweepConfig":
+        """Build a sweep from declarative :class:`ProtocolSpec` objects.
+
+        Each spec contributes its protocol name and options; the specs'
+        shared epsilon and max_width seed ``epsilons``/``widths``.  Because
+        a sweep crosses protocols with every epsilon and width, the specs
+        must agree on both unless the corresponding axis is overridden
+        explicitly (``epsilons=...`` / ``widths=...``).  Any other
+        :class:`SweepConfig` field can be overridden the same way.
+        """
+        specs = tuple(specs)
+        if not specs:
+            raise ProtocolConfigurationError("a sweep needs at least one spec")
+        for spec in specs:
+            if not isinstance(spec, ProtocolSpec):
+                raise ProtocolConfigurationError(
+                    f"from_specs expects ProtocolSpec objects, "
+                    f"got {type(spec).__name__}"
+                )
+        names = [spec.protocol for spec in specs]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ProtocolConfigurationError(
+                f"each protocol may appear in one spec only; "
+                f"duplicated: {duplicates}"
+            )
+        if "epsilons" not in overrides:
+            epsilons = {spec.epsilon for spec in specs}
+            if len(epsilons) > 1:
+                raise ProtocolConfigurationError(
+                    "specs disagree on epsilon "
+                    f"({sorted(epsilons)}); a sweep runs every protocol at "
+                    "every epsilon, so pass an explicit epsilons=... override"
+                )
+            overrides["epsilons"] = (specs[0].epsilon,)
+        if "widths" not in overrides:
+            widths = {spec.max_width for spec in specs}
+            if len(widths) > 1:
+                raise ProtocolConfigurationError(
+                    f"specs disagree on max_width ({sorted(widths)}); a sweep "
+                    "runs every protocol at every width, so pass an explicit "
+                    "widths=... override"
+                )
+            overrides["widths"] = (specs[0].max_width,)
+        if "protocol_options" not in overrides:
+            overrides["protocol_options"] = {
+                spec.protocol: dict(spec.options) for spec in specs if spec.options
+            }
+        return cls(protocols=tuple(names), **overrides)
+
+    def specs(self) -> List[ProtocolSpec]:
+        """The sweep's (protocol, epsilon, width) grid as ProtocolSpecs.
+
+        One spec per grid cell, in protocol-major order — the exact
+        configurations :func:`~repro.experiments.harness.run_sweep` builds.
+        """
+        return [
+            ProtocolSpec(
+                protocol=name,
+                epsilon=epsilon,
+                max_width=width,
+                options=self.protocol_options.get(name, {}),
+            )
+            for name in self.protocols
+            for epsilon in self.epsilons
+            for width in self.widths
+        ]

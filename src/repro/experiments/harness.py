@@ -15,7 +15,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.exceptions import ProtocolConfigurationError
-from ..core.privacy import PrivacyBudget
 from ..core.rng import ensure_rng, spawn_rngs
 from ..datasets import (
     BinaryDataset,
@@ -25,11 +24,21 @@ from ..datasets import (
     uniform_dataset,
 )
 from ..execution import make_executor
-from ..protocols.registry import make_protocol
+from ..service.spec import ProtocolSpec
 from .config import SweepConfig
 from .metrics import mean_total_variation
 
-__all__ = ["SweepPoint", "SweepResult", "make_dataset", "run_sweep"]
+__all__ = [
+    "DATASET_NAMES",
+    "SweepPoint",
+    "SweepResult",
+    "make_dataset",
+    "run_sweep",
+]
+
+#: The named evaluation datasets :func:`make_dataset` can build (the CLI's
+#: ``--dataset`` choices derive from this tuple).
+DATASET_NAMES = ("taxi", "movielens", "skewed", "uniform")
 
 
 def make_dataset(name: str, n: int, d: int, rng) -> BinaryDataset:
@@ -44,7 +53,7 @@ def make_dataset(name: str, n: int, d: int, rng) -> BinaryDataset:
     if name == "uniform":
         return uniform_dataset(n, d, rng=generator)
     raise ProtocolConfigurationError(
-        f"unknown dataset {name!r}; expected taxi, movielens, skewed or uniform"
+        f"unknown dataset {name!r}; expected one of {list(DATASET_NAMES)}"
     )
 
 
@@ -168,7 +177,6 @@ def _run_sweep_grid(config: SweepConfig, executor) -> SweepResult:
                 if width > dimension:
                     continue
                 for epsilon in config.epsilons:
-                    budget = PrivacyBudget(epsilon)
                     per_protocol: Dict[str, List[float]] = {
                         name: [] for name in config.protocols
                     }
@@ -178,8 +186,15 @@ def _run_sweep_grid(config: SweepConfig, executor) -> SweepResult:
                             config.dataset, population, dimension, repetition_rng
                         )
                         for name in config.protocols:
-                            options = config.protocol_options.get(name, {})
-                            protocol = make_protocol(name, budget, width, **options)
+                            # The grid cell's declarative contract; build()
+                            # is the same path a deployed client would take.
+                            spec = ProtocolSpec(
+                                protocol=name,
+                                epsilon=epsilon,
+                                max_width=width,
+                                options=config.protocol_options.get(name, {}),
+                            )
+                            protocol = spec.build()
                             if executor is None:
                                 estimator = protocol.run(dataset, rng=repetition_rng)
                             else:

@@ -17,8 +17,15 @@ from typing import Union
 from .core.exceptions import ReproError
 from .experiments.config import SweepConfig
 from .experiments.harness import SweepPoint, SweepResult
+from .service.spec import ProtocolSpec
 
-__all__ = ["save_sweep_json", "load_sweep_json", "save_sweep_csv"]
+__all__ = [
+    "save_sweep_json",
+    "load_sweep_json",
+    "save_sweep_csv",
+    "save_protocol_spec",
+    "load_protocol_spec",
+]
 
 PathLike = Union[str, Path]
 
@@ -102,6 +109,28 @@ def load_sweep_json(path: PathLike) -> SweepResult:
         for raw in payload["points"]
     )
     return SweepResult(config=config, points=points)
+
+
+def save_protocol_spec(spec: ProtocolSpec, path: PathLike) -> Path:
+    """Write a protocol spec to a JSON file (the out-of-band contract)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(spec.to_json(indent=2) + "\n")
+    return path
+
+
+def load_protocol_spec(path: PathLike) -> ProtocolSpec:
+    """Load a protocol spec previously written by :func:`save_protocol_spec`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ReproError(
+            f"cannot read protocol spec from {path}: {error}"
+        ) from error
+    return ProtocolSpec.from_json(text)
 
 
 def save_sweep_csv(result: SweepResult, path: PathLike) -> Path:

@@ -430,6 +430,14 @@ class Accumulator(abc.ABC):
             )
         return self._num_reports
 
+    def __repr__(self) -> str:
+        name = type(self).__name__
+        protocol = name[: -len("Accumulator")] if name.endswith("Accumulator") else name
+        return (
+            f"{name}(protocol={protocol!r}, d={self.domain.dimension}, "
+            f"k={self._workload.max_width}, num_reports={self._num_reports})"
+        )
+
 
 class MarginalReleaseProtocol(abc.ABC):
     """A complete marginal-release method under epsilon-LDP.
@@ -490,6 +498,57 @@ class MarginalReleaseProtocol(abc.ABC):
     @abc.abstractmethod
     def accumulator(self, domain: Domain) -> Accumulator:
         """A fresh, empty aggregation state for this protocol over ``domain``."""
+
+    def spec_options(self) -> Dict[str, Any]:
+        """Constructor options beyond ``(budget, max_width)``.
+
+        Protocols with extra knobs (``InpRR``'s probability variant,
+        ``InpHTCMS``'s sketch shape, ...) override this so
+        :meth:`spec` can describe the instance completely.
+        """
+        return {}
+
+    def tuning_options(self) -> frozenset:
+        """Names of :meth:`spec_options` that are pure performance knobs.
+
+        These have no effect on the estimates, so spec comparisons that
+        gate merging (e.g. ``AggregationSession.merge``) ignore them —
+        collectors tuned for different hardware still combine.
+        """
+        return frozenset()
+
+    def spec(self):
+        """This instance's declarative :class:`~repro.service.ProtocolSpec`.
+
+        The spec is JSON-round-trippable and ``spec().build()`` reconstructs
+        an identically configured protocol, which is how configurations are
+        agreed out-of-band between clients and an aggregation service.
+        """
+        from ..service.spec import ProtocolSpec
+
+        return ProtocolSpec.from_protocol(self)
+
+    def decode_reports(self, data):
+        """Decode one wire frame of this protocol's reports (see ``to_bytes``).
+
+        Validates the frame's magic/version/kind and every field's dtype and
+        shape; a frame from a different protocol raises
+        :class:`~repro.core.exceptions.WireFormatError` naming both kinds.
+        """
+        from .wire import decode_reports
+
+        return decode_reports(data, expected_kind=self.name)
+
+    def session(self, domain: Domain):
+        """A fresh :class:`~repro.service.AggregationSession` over ``domain``.
+
+        Convenience for the server side of the split deployment: the session
+        wraps this protocol's accumulator with byte-level ``submit``,
+        non-destructive ``snapshot`` and ``checkpoint``/``restore``.
+        """
+        from ..service.session import AggregationSession
+
+        return AggregationSession(self.spec(), domain)
 
     def run(self, dataset: BinaryDataset, rng: RngLike = None) -> MarginalEstimator:
         """Simulate the whole protocol on a dataset and return the estimator.
@@ -578,6 +637,7 @@ class MarginalReleaseProtocol(abc.ABC):
             estimator.metadata.update(
                 {
                     "protocol": self.name,
+                    "spec": self.spec().to_dict(),
                     "batch_size": batch_size,
                     "num_batches": num_batches,
                     "requested_shards": shards,

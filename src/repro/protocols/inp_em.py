@@ -37,6 +37,7 @@ from .base import (
     record_indices,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["EMDecodingResult", "EMEstimator", "InpEM", "InpEMReports", "InpEMAccumulator"]
 
@@ -200,7 +201,7 @@ class EMEstimator(MarginalEstimator):
 
 
 @dataclass(frozen=True)
-class InpEMReports:
+class InpEMReports(WireCodableReports):
     """One encoded batch: the per-attribute RR-perturbed record rows."""
 
     noisy_records: np.ndarray
@@ -208,6 +209,13 @@ class InpEMReports:
     @property
     def num_users(self) -> int:
         return int(self.noisy_records.shape[0])
+
+
+register_report_schema(
+    "InpEM",
+    InpEMReports,
+    fields=(ReportField("noisy_records", np.int8, ndim=2),),
+)
 
 
 class InpEMAccumulator(Accumulator):
@@ -298,6 +306,12 @@ class InpEM(MarginalReleaseProtocol):
     def convergence_threshold(self) -> float:
         """The EM stopping threshold Omega (the paper uses 1e-5)."""
         return self._threshold
+
+    def spec_options(self):
+        return {
+            "convergence_threshold": self._threshold,
+            "max_iterations": self._max_iterations,
+        }
 
     def per_attribute_mechanism(self, dimension: int) -> BitRandomizedResponse:
         """The eps/d randomized response applied to every attribute bit."""

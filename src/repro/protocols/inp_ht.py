@@ -40,12 +40,13 @@ from .base import (
     record_indices,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["InpHT", "InpHTReports", "InpHTAccumulator"]
 
 
 @dataclass(frozen=True)
-class InpHTReports:
+class InpHTReports(WireCodableReports):
     """One encoded batch: sampled coefficient positions and noisy values.
 
     ``choices[i]`` is user ``i``'s sampled position into the shared
@@ -59,6 +60,16 @@ class InpHTReports:
     @property
     def num_users(self) -> int:
         return int(self.choices.shape[0])
+
+
+register_report_schema(
+    "InpHT",
+    InpHTReports,
+    fields=(
+        ReportField("choices", np.int64),
+        ReportField("noisy_values", np.float64),
+    ),
+)
 
 
 class InpHTAccumulator(Accumulator):

@@ -27,12 +27,13 @@ from .base import (
     record_indices,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["InpHTCMS", "InpHTCMSReports", "InpHTCMSAccumulator"]
 
 
 @dataclass(frozen=True)
-class InpHTCMSReports:
+class InpHTCMSReports(WireCodableReports):
     """One encoded batch: sampled (hash, coefficient) indices + noisy signs."""
 
     hash_indices: np.ndarray
@@ -42,6 +43,17 @@ class InpHTCMSReports:
     @property
     def num_users(self) -> int:
         return int(self.hash_indices.shape[0])
+
+
+register_report_schema(
+    "InpHTCMS",
+    InpHTCMSReports,
+    fields=(
+        ReportField("hash_indices", np.int64),
+        ReportField("coefficient_indices", np.int64),
+        ReportField("noisy_signs", np.float64),
+    ),
+)
 
 
 class InpHTCMSAccumulator(Accumulator):
@@ -95,6 +107,9 @@ class InpHTCMS(MarginalReleaseProtocol):
         super().__init__(budget, max_width)
         self._num_hashes = int(num_hashes)
         self._width = int(width)
+
+    def spec_options(self):
+        return {"num_hashes": self._num_hashes, "width": self._width}
 
     def oracle(self, dimension: int) -> HadamardCountMeanSketch:
         """The HCMS frequency oracle over ``{0,1}^d``."""

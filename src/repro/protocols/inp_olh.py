@@ -27,12 +27,13 @@ from .base import (
     record_indices,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["InpOLH", "InpOLHReports", "InpOLHAccumulator"]
 
 
 @dataclass(frozen=True)
-class InpOLHReports:
+class InpOLHReports(WireCodableReports):
     """One encoded batch: per-user hash seeds and noisy buckets."""
 
     seeds: np.ndarray
@@ -41,6 +42,16 @@ class InpOLHReports:
     @property
     def num_users(self) -> int:
         return int(self.seeds.shape[0])
+
+
+register_report_schema(
+    "InpOLH",
+    InpOLHReports,
+    fields=(
+        ReportField("seeds", np.int64),
+        ReportField("noisy_buckets", np.int64),
+    ),
+)
 
 
 class InpOLHAccumulator(Accumulator):
@@ -101,6 +112,17 @@ class InpOLH(MarginalReleaseProtocol):
         super().__init__(budget, max_width)
         self._num_buckets = int(num_buckets)
         self._decode_batch_size = int(decode_batch_size)
+
+    def spec_options(self):
+        return {
+            "num_buckets": self._num_buckets,
+            "decode_batch_size": self._decode_batch_size,
+        }
+
+    def tuning_options(self):
+        # decode_batch_size only blocks the O(N * 2^d) decode; it never
+        # changes the estimates, so differently tuned collectors may merge.
+        return frozenset({"decode_batch_size"})
 
     def oracle(self, dimension: int) -> OptimizedLocalHashing:
         """The OLH frequency oracle over ``{0,1}^d``."""

@@ -30,12 +30,13 @@ from .base import (
     record_indices,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["InpPS", "InpPSReports", "InpPSAccumulator"]
 
 
 @dataclass(frozen=True)
-class InpPSReports:
+class InpPSReports(WireCodableReports):
     """One encoded batch: each user's noisy one-hot index in ``{0,1}^d``."""
 
     noisy_indices: np.ndarray
@@ -43,6 +44,13 @@ class InpPSReports:
     @property
     def num_users(self) -> int:
         return int(self.noisy_indices.shape[0])
+
+
+register_report_schema(
+    "InpPS",
+    InpPSReports,
+    fields=(ReportField("noisy_indices", np.int64),),
+)
 
 
 class InpPSAccumulator(Accumulator):

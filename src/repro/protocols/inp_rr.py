@@ -31,12 +31,13 @@ from .base import (
     record_indices,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["InpRR", "InpRRReports", "InpRRAccumulator"]
 
 
 @dataclass(frozen=True)
-class InpRRReports:
+class InpRRReports(WireCodableReports):
     """One encoded batch: per-cell sums of the perturbed one-hot bits.
 
     Only the column sums of the ``n x 2^d`` report matrix matter for
@@ -47,6 +48,14 @@ class InpRRReports:
 
     report_sums: np.ndarray
     num_users: int
+
+
+register_report_schema(
+    "InpRR",
+    InpRRReports,
+    fields=(ReportField("report_sums", np.float64, per_user=False),),
+    scalar_fields=("num_users",),
+)
 
 
 class InpRRAccumulator(Accumulator):
@@ -103,6 +112,9 @@ class InpRR(MarginalReleaseProtocol):
     def optimized_probabilities(self) -> bool:
         """Whether Wang et al.'s OUE probabilities are used (paper's default)."""
         return self._optimized
+
+    def spec_options(self):
+        return {"optimized_probabilities": self._optimized}
 
     def mechanism(self) -> UnaryEncoding:
         """The per-bit perturbation mechanism at this protocol's budget."""

@@ -35,12 +35,13 @@ from .base import (
     sampled_marginal_cells,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["MargHT", "MargHTReports", "MargHTAccumulator"]
 
 
 @dataclass(frozen=True)
-class MargHTReports:
+class MargHTReports(WireCodableReports):
     """One encoded batch: sampled (marginal, coefficient) pairs + noisy signs."""
 
     marginal_choices: np.ndarray
@@ -50,6 +51,17 @@ class MargHTReports:
     @property
     def num_users(self) -> int:
         return int(self.marginal_choices.shape[0])
+
+
+register_report_schema(
+    "MargHT",
+    MargHTReports,
+    fields=(
+        ReportField("marginal_choices", np.int64),
+        ReportField("coefficient_choices", np.int64),
+        ReportField("noisy_values", np.float64),
+    ),
+)
 
 
 class MargHTAccumulator(Accumulator):

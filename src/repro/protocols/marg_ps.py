@@ -32,12 +32,13 @@ from .base import (
     sampled_marginal_cells,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["MargPS", "MargPSReports", "MargPSAccumulator"]
 
 
 @dataclass(frozen=True)
-class MargPSReports:
+class MargPSReports(WireCodableReports):
     """One encoded batch: sampled marginal positions + noisy cell indices."""
 
     choices: np.ndarray
@@ -46,6 +47,16 @@ class MargPSReports:
     @property
     def num_users(self) -> int:
         return int(self.choices.shape[0])
+
+
+register_report_schema(
+    "MargPS",
+    MargPSReports,
+    fields=(
+        ReportField("choices", np.int64),
+        ReportField("noisy_cells", np.int64),
+    ),
+)
 
 
 class MargPSAccumulator(Accumulator):

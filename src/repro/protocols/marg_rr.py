@@ -31,12 +31,13 @@ from .base import (
     sampled_marginal_cells,
     take_state_array,
 )
+from .wire import ReportField, WireCodableReports, register_report_schema
 
 __all__ = ["MargRR", "MargRRReports", "MargRRAccumulator"]
 
 
 @dataclass(frozen=True)
-class MargRRReports:
+class MargRRReports(WireCodableReports):
     """One encoded batch: sampled marginal positions + perturbed cell bits.
 
     ``choices[i]`` indexes the shared ``C(d, k)`` marginal list;
@@ -50,6 +51,16 @@ class MargRRReports:
     @property
     def num_users(self) -> int:
         return int(self.choices.shape[0])
+
+
+register_report_schema(
+    "MargRR",
+    MargRRReports,
+    fields=(
+        ReportField("choices", np.int64),
+        ReportField("cell_bits", np.int8, ndim=2),
+    ),
+)
 
 
 class MargRRAccumulator(Accumulator):
@@ -122,6 +133,9 @@ class MargRR(MarginalReleaseProtocol):
     @property
     def optimized_probabilities(self) -> bool:
         return self._optimized
+
+    def spec_options(self):
+        return {"optimized_probabilities": self._optimized}
 
     def mechanism(self) -> UnaryEncoding:
         """The per-cell perturbation applied to the sampled marginal."""

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
-from ..core.exceptions import ProtocolConfigurationError
 from ..core.privacy import PrivacyBudget
 from .base import MarginalReleaseProtocol
 from .inp_em import InpEM
@@ -67,14 +66,18 @@ def make_protocol(
 
     ``options`` are forwarded to the protocol constructor, so callers can
     pass e.g. ``optimized_probabilities=False`` for ``InpRR`` or
-    ``width=512`` for ``InpHTCMS``.
+    ``width=512`` for ``InpHTCMS``.  This is a thin wrapper over
+    :meth:`repro.service.ProtocolSpec.build`, so unknown protocol names and
+    unknown options raise :class:`ProtocolConfigurationError` naming the
+    protocol and the offending keys.
     """
-    try:
-        cls = PROTOCOL_CLASSES[name]
-    except KeyError:
-        raise ProtocolConfigurationError(
-            f"unknown protocol {name!r}; available: {available_protocols()}"
-        ) from None
+    from ..service.spec import ProtocolSpec
+
     if not isinstance(budget, PrivacyBudget):
         budget = PrivacyBudget(float(budget))
-    return cls(budget, max_width, **options)
+    return ProtocolSpec(
+        protocol=name,
+        epsilon=budget.epsilon,
+        max_width=max_width,
+        options=options,
+    ).build()

@@ -1,0 +1,448 @@
+"""Byte-level wire codec for protocol report batches.
+
+The streaming pipeline moves report batches between the client-side
+:meth:`~repro.protocols.base.MarginalReleaseProtocol.encode_batch` and the
+aggregator-side :class:`~repro.protocols.base.Accumulator` as in-memory
+dataclasses.  This module gives every one of those dataclasses a portable
+byte form so reports can cross process and machine boundaries without
+pickle: each protocol registers a :class:`ReportSchema` describing its
+report fields (name, dtype, rank), and the codec packs them into a
+self-describing *frame*::
+
+    offset  size  content
+    0       4     magic  b"RPRB"
+    4       2     wire-format version (little-endian u16)
+    6       2     report-kind length L (little-endian u16)
+    8       L     report kind, UTF-8 (the protocol name, e.g. b"InpHT")
+    8 + L   8     payload length P (little-endian u64)
+    16 + L  P     payload: an ``.npz`` archive of the schema's fields
+
+Frames are length-prefixed, so any number of them can be concatenated on a
+byte stream (that is what ``repro encode | repro aggregate`` pipes) and
+split back apart with :func:`iter_report_frames`.  Decoding validates the
+magic, the version, the kind, every field's dtype and rank, and the
+cross-field row consistency before the batch reaches an accumulator;
+anything off raises :class:`~repro.core.exceptions.WireFormatError` instead
+of corrupting the aggregation.
+
+The npz payload stores each array verbatim (dtype, shape and values), so an
+encode → ``to_bytes`` → ``from_bytes`` → aggregate round trip is bit-for-bit
+identical to handing the in-memory batch straight to the accumulator.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zipfile
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Dict, Iterator, Tuple, Type, Union
+
+import numpy as np
+
+from ..core.exceptions import WireFormatError
+
+__all__ = [
+    "WIRE_FORMAT_VERSION",
+    "MAX_PAYLOAD_BYTES",
+    "ReportField",
+    "ReportSchema",
+    "WireCodableReports",
+    "available_report_kinds",
+    "register_report_schema",
+    "report_schema_for",
+    "encode_reports",
+    "decode_reports",
+    "iter_report_frames",
+    "split_report_frames",
+]
+
+#: Version stamp written into every frame header.  Bump on any layout change.
+WIRE_FORMAT_VERSION = 1
+
+#: Hard per-frame payload limit (1 GiB), enforced on encode and decode.  A
+#: real report batch is orders of magnitude smaller; a declared length above
+#: this is a corrupted/forged header, and rejecting it up front keeps a
+#: streaming reader from buffering unbounded input on one flipped bit.
+MAX_PAYLOAD_BYTES = 1 << 30
+
+_MAGIC = b"RPRB"
+_PREFIX = struct.Struct("<4sHH")  # magic, version, kind length
+_LENGTH = struct.Struct("<Q")  # payload length
+
+
+@dataclass(frozen=True)
+class ReportField:
+    """One array attribute of a report batch.
+
+    ``per_user`` marks arrays with one row per reporting user; all such
+    fields of a batch must agree on their row count, which then defines the
+    batch's ``num_users``.  Sum-form fields (e.g. ``InpRR``'s per-cell
+    report sums) set ``per_user=False`` and carry no row constraint.
+    """
+
+    name: str
+    dtype: np.dtype
+    ndim: int = 1
+    per_user: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+
+@dataclass(frozen=True)
+class ReportSchema:
+    """Wire description of one protocol's report-batch dataclass."""
+
+    kind: str
+    report_class: type
+    fields: Tuple[ReportField, ...]
+    #: Non-array integer attributes (e.g. ``InpRR``'s ``num_users``).
+    scalar_fields: Tuple[str, ...] = field(default=())
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields) + self.scalar_fields
+
+
+_SCHEMAS_BY_KIND: Dict[str, ReportSchema] = {}
+_SCHEMAS_BY_CLASS: Dict[type, ReportSchema] = {}
+
+
+def register_report_schema(
+    kind: str,
+    report_class: type,
+    fields: Tuple[ReportField, ...],
+    scalar_fields: Tuple[str, ...] = (),
+) -> ReportSchema:
+    """Register a report dataclass with the wire codec (one per protocol)."""
+    schema = ReportSchema(
+        kind=kind,
+        report_class=report_class,
+        fields=tuple(fields),
+        scalar_fields=tuple(scalar_fields),
+    )
+    existing = _SCHEMAS_BY_KIND.get(kind)
+    if existing is not None and existing.report_class is not report_class:
+        raise WireFormatError(
+            f"report kind {kind!r} is already registered to "
+            f"{existing.report_class.__name__}"
+        )
+    _SCHEMAS_BY_KIND[kind] = schema
+    _SCHEMAS_BY_CLASS[report_class] = schema
+    return schema
+
+
+def available_report_kinds() -> Tuple[str, ...]:
+    """All registered report kinds (one per protocol), sorted."""
+    return tuple(sorted(_SCHEMAS_BY_KIND))
+
+
+def report_schema_for(key: Union[str, type]) -> ReportSchema:
+    """Look up a schema by report kind, report class or report instance type."""
+    if isinstance(key, str):
+        try:
+            return _SCHEMAS_BY_KIND[key]
+        except KeyError:
+            raise WireFormatError(
+                f"unknown report kind {key!r}; registered kinds: "
+                f"{list(available_report_kinds())}"
+            ) from None
+    try:
+        return _SCHEMAS_BY_CLASS[key]
+    except KeyError:
+        raise WireFormatError(
+            f"{key.__name__} is not registered with the report wire codec"
+        ) from None
+
+
+class WireCodableReports:
+    """Mixin giving a registered report dataclass its byte form."""
+
+    __slots__ = ()
+
+    def to_bytes(self) -> bytes:
+        """Serialize this batch into one self-describing wire frame."""
+        return encode_reports(self)
+
+    @classmethod
+    def from_bytes(cls, data: Union[bytes, bytearray, memoryview]):
+        """Decode one wire frame into a validated report batch of this type."""
+        return decode_reports(data, expected_kind=report_schema_for(cls).kind)
+
+
+def encode_reports(reports: Any) -> bytes:
+    """Serialize a report batch into one wire frame (see the module header)."""
+    schema = report_schema_for(type(reports))
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in schema.fields:
+        value = np.asarray(getattr(reports, spec.name))
+        if value.dtype != spec.dtype:
+            raise WireFormatError(
+                f"{schema.kind} field {spec.name!r} must have dtype "
+                f"{spec.dtype}, got {value.dtype}"
+            )
+        if value.ndim != spec.ndim:
+            raise WireFormatError(
+                f"{schema.kind} field {spec.name!r} must be {spec.ndim}-D, "
+                f"got {value.ndim}-D"
+            )
+        arrays[spec.name] = value
+    for name in schema.scalar_fields:
+        arrays[name] = np.asarray(int(getattr(reports, name)), dtype=np.int64)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireFormatError(
+            f"{schema.kind} report batch serializes to {len(payload)} bytes, "
+            f"above the {MAX_PAYLOAD_BYTES}-byte frame limit; encode smaller "
+            f"batches"
+        )
+    kind = schema.kind.encode("utf-8")
+    return (
+        _PREFIX.pack(_MAGIC, WIRE_FORMAT_VERSION, len(kind))
+        + kind
+        + _LENGTH.pack(len(payload))
+        + payload
+    )
+
+
+def decode_reports(
+    data: Union[bytes, bytearray, memoryview], expected_kind: str = None
+) -> Any:
+    """Decode exactly one wire frame into a validated report batch.
+
+    The buffer must hold one complete frame and nothing else; use
+    :func:`iter_report_frames` for concatenated frames.  ``expected_kind``
+    additionally pins the frame to one protocol's reports.
+    """
+    buffer = bytes(data)
+    reports, consumed = _decode_frame(buffer, expected_kind=expected_kind)
+    if consumed != len(buffer):
+        raise WireFormatError(
+            f"report frame holds {consumed} bytes but the buffer has "
+            f"{len(buffer)}; trailing data is not allowed (use "
+            f"iter_report_frames for concatenated frames)"
+        )
+    return reports
+
+
+def iter_report_frames(
+    source: Union[bytes, bytearray, memoryview, BinaryIO],
+    expected_kind: str = None,
+) -> Iterator[Any]:
+    """Yield every report batch from a byte buffer or binary stream.
+
+    Frames must be back-to-back; a partial trailing frame raises
+    :class:`~repro.core.exceptions.WireFormatError`.
+    """
+    for frame in split_report_frames(source):
+        reports, _ = _decode_frame(frame, expected_kind=expected_kind)
+        yield reports
+
+
+def split_report_frames(
+    source: Union[bytes, bytearray, memoryview, BinaryIO],
+) -> Iterator[bytes]:
+    """Yield each frame's raw bytes without decoding the payloads.
+
+    Lets a relay (or :class:`~repro.service.AggregationSession`) split a
+    concatenated stream and hand complete frames on, paying the decode cost
+    only once at the consumer.  A bytes buffer is split at absolute offsets
+    (O(total bytes) regardless of frame count); a binary stream is read
+    incrementally, one frame in memory at a time, so an aggregator can
+    consume an arbitrarily long collection without slurping it whole.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        buffer = bytes(source)
+        offset = 0
+        while offset < len(buffer):
+            _, _, frame_end = _parse_frame_header(buffer, offset)
+            yield buffer[offset:frame_end]
+            offset = frame_end
+        return
+    while True:
+        frame = _read_exact(source, _PREFIX.size)
+        if not frame:
+            return
+        if len(frame) == _PREFIX.size:
+            magic, version, kind_length = _PREFIX.unpack(frame)
+            # Validate before trusting any length field from the stream —
+            # reading garbage lengths could block on gigabytes of input.
+            if magic != _MAGIC:
+                raise WireFormatError(
+                    f"buffer does not start with a repro report frame "
+                    f"(magic {magic!r}, expected {_MAGIC!r})"
+                )
+            if version != WIRE_FORMAT_VERSION:
+                raise WireFormatError(
+                    f"report frame uses wire-format version {version}, but "
+                    f"this library speaks version {WIRE_FORMAT_VERSION}"
+                )
+            header_rest = _read_exact(source, kind_length + _LENGTH.size)
+            frame += header_rest
+            if len(header_rest) == kind_length + _LENGTH.size:
+                (payload_length,) = _LENGTH.unpack_from(header_rest, kind_length)
+                if payload_length > MAX_PAYLOAD_BYTES:
+                    raise WireFormatError(
+                        f"report frame declares a {payload_length}-byte "
+                        f"payload, above the {MAX_PAYLOAD_BYTES}-byte frame "
+                        f"limit — corrupted length field?"
+                    )
+                frame += _read_exact(source, payload_length)
+        # _parse_frame_header owns every truncation/kind check, so the
+        # stream and buffer paths report identical errors.
+        _parse_frame_header(frame, 0)
+        yield frame
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    """Read exactly ``size`` bytes unless the stream ends first."""
+    chunks = []
+    remaining = size
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _parse_frame_header(buffer: bytes, offset: int) -> Tuple[str, int, int]:
+    """Validate the frame header at ``offset``.
+
+    Returns ``(kind, header_end, frame_end)`` as absolute positions into
+    ``buffer``.  All transport-level checks — truncation, magic, wire-format
+    version, kind decodability — live here, shared by frame splitting and
+    frame decoding.
+    """
+    available = len(buffer) - offset
+    if available < _PREFIX.size:
+        raise WireFormatError(
+            f"report frame is truncated: need at least {_PREFIX.size} header "
+            f"bytes, got {available}"
+        )
+    magic, version, kind_length = _PREFIX.unpack_from(buffer, offset)
+    if magic != _MAGIC:
+        raise WireFormatError(
+            f"buffer does not start with a repro report frame "
+            f"(magic {magic!r}, expected {_MAGIC!r})"
+        )
+    if version != WIRE_FORMAT_VERSION:
+        raise WireFormatError(
+            f"report frame uses wire-format version {version}, but this "
+            f"library speaks version {WIRE_FORMAT_VERSION}"
+        )
+    header_end = offset + _PREFIX.size + kind_length + _LENGTH.size
+    if len(buffer) < header_end:
+        raise WireFormatError(
+            f"report frame is truncated inside its header: need "
+            f"{header_end - offset} bytes, got {available}"
+        )
+    kind_start = offset + _PREFIX.size
+    try:
+        kind = buffer[kind_start : kind_start + kind_length].decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise WireFormatError(
+            f"report frame kind is not valid UTF-8: {error}"
+        ) from error
+    (payload_length,) = _LENGTH.unpack_from(buffer, kind_start + kind_length)
+    if payload_length > MAX_PAYLOAD_BYTES:
+        raise WireFormatError(
+            f"report frame declares a {payload_length}-byte payload, above "
+            f"the {MAX_PAYLOAD_BYTES}-byte frame limit — corrupted length "
+            f"field?"
+        )
+    frame_end = header_end + payload_length
+    if len(buffer) < frame_end:
+        raise WireFormatError(
+            f"report frame is truncated: payload declares {payload_length} "
+            f"bytes but only {len(buffer) - header_end} follow the header"
+        )
+    return kind, header_end, frame_end
+
+
+def _decode_frame(buffer: bytes, expected_kind: str = None) -> Tuple[Any, int]:
+    """Decode the frame at the start of ``buffer``; return (reports, size)."""
+    kind, header_end, frame_end = _parse_frame_header(buffer, 0)
+    schema = report_schema_for(kind)
+    if expected_kind is not None and kind != expected_kind:
+        raise WireFormatError(
+            f"report frame carries {kind!r} reports, expected "
+            f"{expected_kind!r}"
+        )
+    payload = buffer[header_end:frame_end]
+    try:
+        archive = np.load(io.BytesIO(payload), allow_pickle=False)
+    except (ValueError, OSError, zipfile.BadZipFile, KeyError) as error:
+        raise WireFormatError(
+            f"report frame payload for {kind!r} is corrupted: {error}"
+        ) from error
+    with archive:
+        values = _validated_fields(schema, archive)
+    return schema.report_class(**values), frame_end
+
+
+def _validated_fields(schema: ReportSchema, archive) -> Dict[str, Any]:
+    """Check an npz payload against the schema and extract its fields."""
+    present = set(archive.files)
+    expected = set(schema.field_names)
+    if present != expected:
+        missing = sorted(expected - present)
+        unexpected = sorted(present - expected)
+        raise WireFormatError(
+            f"{schema.kind} report payload fields do not match the schema: "
+            f"missing {missing}, unexpected {unexpected}"
+        )
+    values: Dict[str, Any] = {}
+    rows = None
+    rows_field = None
+    for spec in schema.fields:
+        try:
+            array = archive[spec.name]
+        except (ValueError, zipfile.BadZipFile, OSError, KeyError) as error:
+            raise WireFormatError(
+                f"{schema.kind} field {spec.name!r} is corrupted: {error}"
+            ) from error
+        if array.dtype != spec.dtype:
+            raise WireFormatError(
+                f"{schema.kind} field {spec.name!r} must have dtype "
+                f"{spec.dtype}, got {array.dtype}"
+            )
+        if array.ndim != spec.ndim:
+            raise WireFormatError(
+                f"{schema.kind} field {spec.name!r} must be {spec.ndim}-D, "
+                f"got {array.ndim}-D"
+            )
+        if spec.per_user:
+            if rows is None:
+                rows, rows_field = int(array.shape[0]), spec.name
+            elif int(array.shape[0]) != rows:
+                raise WireFormatError(
+                    f"{schema.kind} per-user fields disagree on the batch "
+                    f"size: {rows_field!r} has {rows} rows but "
+                    f"{spec.name!r} has {array.shape[0]}"
+                )
+        values[spec.name] = array
+    for name in schema.scalar_fields:
+        try:
+            array = archive[name]
+        except (ValueError, zipfile.BadZipFile, OSError, KeyError) as error:
+            raise WireFormatError(
+                f"{schema.kind} field {name!r} is corrupted: {error}"
+            ) from error
+        if array.shape != () or array.dtype.kind not in "iu":
+            raise WireFormatError(
+                f"{schema.kind} field {name!r} must be an integer scalar, "
+                f"got shape {array.shape} dtype {array.dtype}"
+            )
+        value = int(array)
+        if value < 0:
+            raise WireFormatError(
+                f"{schema.kind} field {name!r} must be non-negative, "
+                f"got {value}"
+            )
+        values[name] = value
+    return values

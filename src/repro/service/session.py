@@ -1,0 +1,296 @@
+"""Long-lived server-side aggregation sessions.
+
+An :class:`AggregationSession` is the durable aggregator of the split
+deployment: it is built from a :class:`~repro.service.ProtocolSpec` (the
+out-of-band contract with the clients), ingests report batches either as
+in-memory objects or as wire frames (:meth:`submit`), can be queried
+mid-stream without consuming its state (:meth:`snapshot`), and survives
+process restarts through :meth:`checkpoint`/:meth:`restore` — the restored
+session resumes the aggregation bit-for-bit.
+
+The checkpoint file is a single ``.npz`` archive: a JSON header (format
+version, the spec, the domain's attribute names, session counters) next to
+the accumulator's :meth:`~repro.protocols.base.Accumulator.state_dict`
+arrays.  Nothing in it is pickled, so checkpoints are safe to load from
+untrusted storage — a malformed file raises
+:class:`~repro.core.exceptions.WireFormatError` instead of executing code.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.exceptions import (
+    AggregationError,
+    ProtocolConfigurationError,
+    WireFormatError,
+)
+from .spec import ProtocolSpec
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "AggregationSession"]
+
+#: Version stamp carried by every checkpoint file.  Bump on layout changes.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_HEADER_KEY = "header"
+_STATE_PREFIX = "state__"
+
+PathLike = Union[str, Path]
+
+
+class AggregationSession:
+    """A checkpointable aggregation over one protocol spec and domain.
+
+    Parameters
+    ----------
+    spec:
+        The collection contract — a :class:`ProtocolSpec`, or a live
+        protocol instance (converted via
+        :meth:`ProtocolSpec.from_protocol`).
+    domain:
+        The attribute domain the clients report over.
+    """
+
+    def __init__(self, spec, domain: Domain):
+        if not isinstance(spec, ProtocolSpec):
+            if not hasattr(spec, "spec_options"):
+                raise ProtocolConfigurationError(
+                    "an AggregationSession needs a ProtocolSpec or a protocol "
+                    f"instance, got {type(spec).__name__}"
+                )
+            spec = ProtocolSpec.from_protocol(spec)
+        if not isinstance(domain, Domain):
+            raise ProtocolConfigurationError(
+                f"an AggregationSession needs a Domain, got {type(domain).__name__}"
+            )
+        self._spec = spec
+        self._domain = domain
+        self._protocol = spec.build()
+        self._accumulator = self._protocol.accumulator(domain)
+        self._report_batches = 0
+        self._wire_batches = 0
+        self._wire_bytes = 0
+        self._wire_reports = 0
+
+    @property
+    def spec(self) -> ProtocolSpec:
+        return self._spec
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def protocol(self):
+        """The protocol instance built from the spec."""
+        return self._protocol
+
+    @property
+    def num_reports(self) -> int:
+        """User reports folded in so far (in-memory and wire submissions)."""
+        return self._accumulator.num_reports
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Provenance counters of this session (a copy).
+
+        ``wire_bytes_total`` sums the serialized size of every frame
+        submitted through :meth:`submit` as bytes and ``wire_reports``
+        counts the users those frames carried, which is how the service
+        tracks real per-user communication against the paper's Table 2
+        (``wire_bytes_per_report`` amortises the frame header over the
+        batch).
+        """
+        return {
+            "protocol": self._spec.protocol,
+            "report_batches": self._report_batches,
+            "wire_batches": self._wire_batches,
+            "wire_reports": self._wire_reports,
+            "wire_bytes_total": self._wire_bytes,
+            "wire_bytes_per_report": (
+                self._wire_bytes / self._wire_reports
+                if self._wire_reports
+                else None
+            ),
+        }
+
+    def submit(self, reports) -> "AggregationSession":
+        """Fold one report batch into the session; returns ``self``.
+
+        ``reports`` is either the in-memory batch object produced by
+        :meth:`~repro.protocols.base.MarginalReleaseProtocol.encode_batch`
+        or its wire form (``bytes``) produced by ``to_bytes()``.  Wire
+        frames are validated (magic, version, kind, field dtypes/shapes)
+        before they touch the accumulator.
+        """
+        if isinstance(reports, (bytes, bytearray, memoryview)):
+            frame = bytes(reports)
+            decoded = self._protocol.decode_reports(frame)
+            self._accumulator.update(decoded)
+            self._wire_batches += 1
+            self._wire_bytes += len(frame)
+            self._wire_reports += int(decoded.num_users)
+        else:
+            self._accumulator.update(reports)
+        self._report_batches += 1
+        return self
+
+    def snapshot(self):
+        """Current estimates without consuming or mutating session state.
+
+        The accumulator's state is copied into a fresh accumulator and that
+        copy is finalized, so ``snapshot`` can be called any number of
+        times, mid-stream, and further :meth:`submit` calls keep working —
+        repeated-finalize-safe by construction.
+        """
+        fresh = self._protocol.accumulator(self._domain)
+        fresh.load_state(self._accumulator.state_dict())
+        estimator = fresh.finalize()
+        estimator.metadata.update(
+            {
+                "protocol": self._spec.protocol,
+                "spec": self._spec.to_dict(),
+                "session": self.metadata,
+            }
+        )
+        return estimator
+
+    def merge(self, other: "AggregationSession") -> "AggregationSession":
+        """Absorb a peer session (e.g. another collector shard).
+
+        Both sessions must describe the same collection — specs are
+        compared in canonical form (defaults spelled out, pure performance
+        knobs ignored) over the same domain; a mismatch raises
+        :class:`AggregationError` carrying the readable spec diff.
+        """
+        if not isinstance(other, AggregationSession):
+            raise AggregationError(
+                f"can only merge another AggregationSession, "
+                f"got {type(other).__name__}"
+            )
+        mismatch = ProtocolSpec.from_protocol(self._protocol).diff(
+            ProtocolSpec.from_protocol(other._protocol),
+            ignore_options=self._protocol.tuning_options(),
+        )
+        if mismatch:
+            raise AggregationError(
+                "cannot merge sessions built from different specs:\n  "
+                + "\n  ".join(mismatch)
+            )
+        if other._domain != self._domain:
+            raise AggregationError(
+                f"cannot merge sessions over different domains: "
+                f"{self._domain.attributes} != {other._domain.attributes}"
+            )
+        self._accumulator.merge(other._accumulator)
+        self._report_batches += other._report_batches
+        self._wire_batches += other._wire_batches
+        self._wire_reports += other._wire_reports
+        self._wire_bytes += other._wire_bytes
+        return self
+
+    def checkpoint(self, path: PathLike) -> Path:
+        """Write the session (spec + domain + accumulator state) to ``path``.
+
+        The file is self-contained: :meth:`restore` rebuilds an equivalent
+        session in a fresh process and the resumed aggregation finalizes to
+        estimates bit-for-bit identical to an uninterrupted run.
+        """
+        path = Path(path)
+        state = self._accumulator.state_dict()
+        header = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "spec": self._spec.to_dict(),
+            "attributes": list(self._domain.attributes),
+            "session": {
+                "report_batches": self._report_batches,
+                "wire_batches": self._wire_batches,
+                "wire_reports": self._wire_reports,
+                "wire_bytes_total": self._wire_bytes,
+            },
+        }
+        arrays = {
+            _STATE_PREFIX + key: np.asarray(value) for key, value in state.items()
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            np.savez(handle, **{_HEADER_KEY: np.array(json.dumps(header))}, **arrays)
+        return path
+
+    @classmethod
+    def restore(cls, path: PathLike) -> "AggregationSession":
+        """Rebuild a checkpointed session; the aggregation resumes exactly."""
+        path = Path(path)
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            raise WireFormatError(
+                f"cannot read session checkpoint {path}: {error}"
+            ) from error
+        with archive:
+            if _HEADER_KEY not in archive.files:
+                raise WireFormatError(
+                    f"{path} is not a session checkpoint (no header entry)"
+                )
+            try:
+                header = json.loads(str(archive[_HEADER_KEY][()]))
+            except (json.JSONDecodeError, ValueError) as error:
+                raise WireFormatError(
+                    f"session checkpoint {path} has a corrupted header: {error}"
+                ) from error
+            version = header.get("format_version")
+            if version != CHECKPOINT_FORMAT_VERSION:
+                raise WireFormatError(
+                    f"session checkpoint {path} uses format version "
+                    f"{version!r}; this library speaks version "
+                    f"{CHECKPOINT_FORMAT_VERSION}"
+                )
+            for field in ("spec", "attributes", "session"):
+                if field not in header:
+                    raise WireFormatError(
+                        f"session checkpoint {path} is missing the header "
+                        f"field {field!r}"
+                    )
+            if not isinstance(header["session"], dict):
+                raise WireFormatError(
+                    f"session checkpoint {path} has a corrupted 'session' "
+                    f"header field (expected an object, got "
+                    f"{type(header['session']).__name__})"
+                )
+            try:
+                spec = ProtocolSpec.from_dict(header["spec"])
+                domain = Domain(header["attributes"])
+            except (TypeError, ValueError) as error:
+                raise WireFormatError(
+                    f"session checkpoint {path} has a corrupted header: "
+                    f"{error}"
+                ) from error
+            state = {
+                name[len(_STATE_PREFIX):]: archive[name]
+                for name in archive.files
+                if name.startswith(_STATE_PREFIX)
+            }
+        if "num_reports" not in state:
+            raise WireFormatError(
+                f"session checkpoint {path} carries no accumulator state"
+            )
+        session = cls(spec, domain)
+        session._accumulator.load_state(state)
+        counters = header["session"]
+        session._report_batches = int(counters.get("report_batches", 0))
+        session._wire_batches = int(counters.get("wire_batches", 0))
+        session._wire_reports = int(counters.get("wire_reports", 0))
+        session._wire_bytes = int(counters.get("wire_bytes_total", 0))
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationSession(spec={self._spec.describe()}, "
+            f"d={self._domain.dimension}, num_reports={self.num_reports})"
+        )

@@ -98,3 +98,86 @@ class TestFormatSeries:
         series = {"A": [(1, 0.5, 0.0)], "B": [(2, 0.25, 0.0)]}
         text = format_series(series, x_label="x", y_label="y")
         assert "0.5" in text and "0.25" in text
+
+
+class TestSweepConfigFromSpecs:
+    """The spec-based construction path of the sweep configuration."""
+
+    def _specs(self, epsilon=LN3, width=2):
+        from repro.service import ProtocolSpec
+
+        return [
+            ProtocolSpec(protocol="InpHT", epsilon=epsilon, max_width=width),
+            ProtocolSpec(
+                protocol="InpHTCMS",
+                epsilon=epsilon,
+                max_width=width,
+                options={"num_hashes": 3, "width": 32},
+            ),
+        ]
+
+    def test_from_specs_builds_the_grid(self):
+        config = SweepConfig.from_specs(self._specs(), repetitions=2)
+        assert config.protocols == ("InpHT", "InpHTCMS")
+        assert config.epsilons == (LN3,)
+        assert config.widths == (2,)
+        assert config.protocol_options == {
+            "InpHTCMS": {"num_hashes": 3, "width": 32}
+        }
+        assert config.repetitions == 2
+
+    def test_specs_reflection_round_trips(self):
+        specs = self._specs()
+        config = SweepConfig.from_specs(specs)
+        assert config.specs() == specs
+
+    def test_from_specs_rejects_epsilon_disagreement(self):
+        from repro.service import ProtocolSpec
+
+        specs = [
+            ProtocolSpec(protocol="InpHT", epsilon=1.0, max_width=2),
+            ProtocolSpec(protocol="MargPS", epsilon=2.0, max_width=2),
+        ]
+        with pytest.raises(ProtocolConfigurationError, match="epsilon"):
+            SweepConfig.from_specs(specs)
+        # ... unless the epsilon axis is overridden explicitly.
+        config = SweepConfig.from_specs(specs, epsilons=(1.0, 2.0))
+        assert config.epsilons == (1.0, 2.0)
+
+    def test_from_specs_rejects_width_disagreement(self):
+        from repro.service import ProtocolSpec
+
+        specs = [
+            ProtocolSpec(protocol="InpHT", epsilon=1.0, max_width=2),
+            ProtocolSpec(protocol="MargPS", epsilon=1.0, max_width=3),
+        ]
+        with pytest.raises(ProtocolConfigurationError, match="max_width"):
+            SweepConfig.from_specs(specs)
+        assert SweepConfig.from_specs(specs, widths=(2, 3)).widths == (2, 3)
+
+    def test_from_specs_rejects_duplicates_and_non_specs(self):
+        from repro.service import ProtocolSpec
+
+        spec = ProtocolSpec(protocol="InpHT", epsilon=1.0, max_width=2)
+        with pytest.raises(ProtocolConfigurationError, match="duplicated"):
+            SweepConfig.from_specs([spec, spec])
+        with pytest.raises(ProtocolConfigurationError, match="ProtocolSpec"):
+            SweepConfig.from_specs(["InpHT"])
+        with pytest.raises(ProtocolConfigurationError, match="at least one"):
+            SweepConfig.from_specs([])
+
+    def test_from_specs_feeds_the_sweep_harness(self):
+        from repro.experiments.harness import run_sweep
+
+        config = SweepConfig.from_specs(
+            self._specs(epsilon=1.0),
+            dataset="uniform",
+            population_sizes=(256,),
+            dimensions=(4,),
+            repetitions=1,
+        )
+        result = run_sweep(config)
+        assert {point.protocol for point in result.points} == {
+            "InpHT",
+            "InpHTCMS",
+        }

@@ -145,3 +145,27 @@ class TestProtocolValidation:
         protocol = InpHT(PrivacyBudget(1.0), 6)
         with pytest.raises(ProtocolConfigurationError):
             protocol.workload_for(domain)
+
+
+class TestAccumulatorRepr:
+    """Accumulators print their protocol, workload shape and report count
+    instead of a bare object address (useful in logs and test failures)."""
+
+    def test_repr_names_protocol_and_counts(self, domain):
+        from repro.protocols.registry import available_protocols, make_protocol
+
+        for name in available_protocols():
+            options = {"num_hashes": 3, "width": 32} if name == "InpHTCMS" else {}
+            accumulator = make_protocol(name, 1.0, 2, **options).accumulator(domain)
+            text = repr(accumulator)
+            assert f"protocol={name!r}" in text
+            assert "d=4" in text
+            assert "k=2" in text
+            assert "num_reports=0" in text
+
+    def test_repr_tracks_updates(self, domain, rng):
+        protocol = InpHT(PrivacyBudget(1.0), 2)
+        accumulator = protocol.accumulator(domain)
+        records = rng.integers(0, 2, size=(25, 4)).astype(np.int8)
+        accumulator.update(protocol.encode_batch(records, rng=rng))
+        assert "num_reports=25" in repr(accumulator)

@@ -69,3 +69,30 @@ class TestFactory:
         for name in available_protocols():
             protocol = make_protocol(name, 1.0, 2)
             assert protocol.communication_bits(8) > 0
+
+
+class TestUnknownOptions:
+    """Unknown constructor options surface as ProtocolConfigurationError
+    naming the protocol and the bad key (not a raw TypeError)."""
+
+    def test_unknown_option_raises_configuration_error(self):
+        with pytest.raises(ProtocolConfigurationError) as excinfo:
+            make_protocol("InpHT", 1.0, 2, bogus_knob=1)
+        message = str(excinfo.value)
+        assert "InpHT" in message
+        assert "bogus_knob" in message
+
+    def test_unknown_option_lists_the_valid_ones(self):
+        with pytest.raises(ProtocolConfigurationError) as excinfo:
+            make_protocol("InpHTCMS", 1.0, 2, depth=5)
+        message = str(excinfo.value)
+        assert "num_hashes" in message and "width" in message
+
+    def test_no_raw_type_error_escapes(self):
+        for name in available_protocols():
+            with pytest.raises(ProtocolConfigurationError):
+                make_protocol(name, 1.0, 2, definitely_not_an_option=True)
+
+    def test_known_options_still_pass_through(self):
+        protocol = make_protocol("InpEM", 1.0, 2, max_iterations=50)
+        assert protocol.spec_options()["max_iterations"] == 50

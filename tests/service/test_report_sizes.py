@@ -1,0 +1,90 @@
+"""Serialized report sizes must track the paper's Table 2 communication.
+
+Table 2 counts the *information-theoretic* bits each user sends (a marginal
+index in ``ceil(log2 C(d,k))`` bits, a noisy value in 1 bit, ...).  The wire
+codec ships every such logical quantity as one fixed-width NumPy word of at
+most 64 bits (int64/float64 indices and values, int8 bit vectors), so the
+measured per-user payload must stay within that encoding overhead of the
+Table 2 bound:
+
+* lower bound — the wire can compress below Table 2 only for sum-form
+  reports (``InpRR`` ships ``2^d`` column sums per *batch*, amortising the
+  per-user ``2^d`` bits), and even then never below ``1/64`` of it;
+* upper bound — at most 64 wire bits per Table 2 bit, reached when a 1-bit
+  logical value rides alone in a 64-bit word.
+
+The per-frame container overhead (frame header + npz bookkeeping) is
+asserted separately so it cannot silently grow into the payload budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import AggregationSession, report_schema_for
+
+from .util import ALL_PROTOCOLS, build, encode_batches, small_dataset
+
+#: One fixed-width NumPy word per logical Table 2 quantity.
+ENCODING_OVERHEAD_FACTOR = 64
+
+#: Frame header + npz/zip bookkeeping for a handful of arrays.
+MAX_CONTAINER_OVERHEAD_BYTES = 2048
+
+N = 200
+D = 6
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_dataset(n=N, d=D, seed=11)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_wire_bits_per_user_track_table2(name, dataset):
+    protocol = build(name)
+    (reports,) = encode_batches(protocol, dataset, None)
+    frame = reports.to_bytes()
+
+    session = AggregationSession(protocol.spec(), dataset.domain)
+    session.submit(frame)
+    metadata = session.metadata
+    assert metadata["wire_bytes_total"] == len(frame)
+    assert metadata["wire_reports"] == N
+    wire_bits_per_user = 8.0 * metadata["wire_bytes_per_report"]
+
+    table2_bits = protocol.communication_bits(D)
+    ratio = wire_bits_per_user / table2_bits
+    assert 1.0 / ENCODING_OVERHEAD_FACTOR <= ratio <= ENCODING_OVERHEAD_FACTOR, (
+        f"{name}: {wire_bits_per_user:.1f} wire bits/user vs Table 2's "
+        f"{table2_bits} bits/user (ratio {ratio:.2f}) is outside the "
+        f"fixed-width encoding overhead band"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_container_overhead_is_bounded(name, dataset):
+    protocol = build(name)
+    (reports,) = encode_batches(protocol, dataset, None)
+    frame = reports.to_bytes()
+    schema = report_schema_for(type(reports))
+    array_bytes = sum(
+        np.asarray(getattr(reports, field.name)).nbytes
+        for field in schema.fields
+    ) + 8 * len(schema.scalar_fields)
+    overhead = len(frame) - array_bytes
+    assert 0 < overhead <= MAX_CONTAINER_OVERHEAD_BYTES, (
+        f"{name}: container overhead {overhead} bytes (frame {len(frame)}, "
+        f"arrays {array_bytes})"
+    )
+
+
+def test_batching_amortises_sum_form_reports(dataset):
+    """InpRR's per-batch column sums shrink the per-user wire cost as the
+    batch grows — the deployment story for its otherwise 2^d-bit reports."""
+    protocol = build("InpRR")
+    small_frames = encode_batches(protocol, dataset, 20)
+    (large_frame,) = encode_batches(protocol, dataset, None)
+    small_bytes = sum(len(reports.to_bytes()) for reports in small_frames)
+    assert len(large_frame.to_bytes()) < small_bytes

@@ -1,0 +1,69 @@
+"""Shared helpers for the collection-service test suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.privacy import PrivacyBudget
+from repro.core.rng import spawn_rngs
+from repro.datasets import BinaryDataset
+from repro.protocols.registry import PROTOCOL_CLASSES, make_protocol
+
+LN3 = float(np.log(3.0))
+
+#: Smaller sketch so the InpHTCMS cases stay fast at test scale.
+PROTOCOL_OPTIONS = {"InpHTCMS": {"num_hashes": 3, "width": 32}}
+
+ALL_PROTOCOLS = sorted(PROTOCOL_CLASSES)
+
+SEED = 20180610
+
+
+def build(name: str, epsilon: float = LN3, width: int = 2):
+    options = PROTOCOL_OPTIONS.get(name, {})
+    return make_protocol(name, PrivacyBudget(epsilon), width, **options)
+
+
+def small_dataset(n: int = 96, d: int = 4, seed: int = 97) -> BinaryDataset:
+    rng = np.random.default_rng(seed)
+    marginal_probs = rng.random(d) * 0.6 + 0.2
+    records = (rng.random((n, d)) < marginal_probs).astype(np.int8)
+    return BinaryDataset.from_records(records)
+
+
+def streaming_rngs(seed: int, num_batches: int) -> List:
+    """The exact per-batch generators ``run_streaming(rng=default_rng(seed))``
+    uses, so wire-path estimates can be compared bit-for-bit against it."""
+    generator = np.random.default_rng(seed)
+    if num_batches == 1:
+        return [generator]
+    return spawn_rngs(generator, num_batches)
+
+
+def encode_batches(protocol, dataset, batch_size, seed=SEED) -> List:
+    """Client-side: the in-memory report batches of a streaming run."""
+    rngs = streaming_rngs(seed, dataset.num_batches(batch_size))
+    return [
+        protocol.encode_batch(chunk, rng=chunk_rng)
+        for chunk, chunk_rng in zip(dataset.iter_batches(batch_size), rngs)
+    ]
+
+
+def encode_frames(protocol, dataset, batch_size, seed=SEED) -> List[bytes]:
+    """Client-side: the same batches in their serialized wire form."""
+    return [
+        reports.to_bytes()
+        for reports in encode_batches(protocol, dataset, batch_size, seed)
+    ]
+
+
+def estimates_of(estimator) -> Dict[int, np.ndarray]:
+    return {beta: table.values for beta, table in estimator.query_all().items()}
+
+
+def assert_estimates_equal(observed, expected):
+    assert observed.keys() == expected.keys()
+    for beta in expected:
+        np.testing.assert_array_equal(observed[beta], expected[beta])

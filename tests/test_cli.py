@@ -156,3 +156,345 @@ class TestExecutorFlags:
     def test_executor_rejected_for_non_sweep_experiment(self, capsys):
         assert main(["run", "fig3", "--executor", "thread"]) == 2
         assert "sweep experiments" in capsys.readouterr().err
+
+
+class TestServiceRoundTrip:
+    """The encode | aggregate shell round trip is the deployed face of the
+    pipeline; it must reproduce the in-process run_streaming estimates."""
+
+    def test_encode_aggregate_matches_run_streaming(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.experiments.harness import make_dataset
+        from repro.service import ProtocolSpec
+
+        spec_path = tmp_path / "spec.json"
+        frames_path = tmp_path / "reports.bin"
+        json_path = tmp_path / "estimates.json"
+        assert (
+            main(
+                [
+                    "encode",
+                    "--protocol", "InpHT",
+                    "--epsilon", "1.1",
+                    "--width", "2",
+                    "--dataset", "taxi",
+                    "-n", "600",
+                    "-d", "5",
+                    "--seed", "42",
+                    "--batch-size", "150",
+                    "--spec-out", str(spec_path),
+                    "--output", str(frames_path),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "600 users" in captured.err
+        assert frames_path.stat().st_size > 0
+
+        assert (
+            main(
+                [
+                    "aggregate",
+                    "--spec", str(spec_path),
+                    "--dimension", "5",
+                    "--input", str(frames_path),
+                    "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        rendered = capsys.readouterr().out
+        assert "reports   : 600" in rendered
+
+        # The shell path must agree bit-for-bit with the in-process pipeline
+        # (same seed, same batch size -> same per-batch generators).
+        generator = np.random.default_rng(42)
+        dataset = make_dataset("taxi", 600, 5, generator)
+        protocol = ProtocolSpec.from_json(spec_path.read_text()).build()
+        estimator = protocol.run_streaming(
+            dataset, rng=generator, batch_size=150
+        )
+        payload = json.loads(json_path.read_text())
+        assert payload["num_reports"] == 600
+        expected = [
+            [float(value) for value in table.values]
+            for _, table in sorted(estimator.query_all().items())
+        ]
+        observed = [entry["values"] for entry in payload["marginals"]]
+        assert observed == expected
+
+    def test_aggregate_checkpoint_restore_flow(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        first = tmp_path / "first.bin"
+        second = tmp_path / "second.bin"
+        checkpoint = tmp_path / "session.npz"
+        # Two encode runs stand in for two collection windows.
+        assert main([
+            "encode", "--protocol", "MargPS", "--epsilon", "1.0",
+            "--width", "2", "--dataset", "uniform", "-n", "200", "-d", "4",
+            "--seed", "1", "--spec-out", str(spec_path),
+            "--output", str(first),
+        ]) == 0
+        assert main([
+            "encode", "--protocol", "MargPS", "--epsilon", "1.0",
+            "--width", "2", "--dataset", "uniform", "-n", "200", "-d", "4",
+            "--seed", "2", "--output", str(second),
+        ]) == 0
+        assert main([
+            "aggregate", "--spec", str(spec_path), "--dimension", "4",
+            "--input", str(first), "--checkpoint", str(checkpoint),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "aggregate", "--restore", str(checkpoint),
+            "--input", str(second),
+        ]) == 0
+        rendered = capsys.readouterr().out
+        assert "reports   : 400" in rendered
+
+    def test_encode_unknown_protocol_fails_cleanly(self, capsys):
+        assert main([
+            "encode", "--protocol", "InpMagic", "--epsilon", "1.0",
+            "--width", "2",
+        ]) == 2
+        assert "InpMagic" in capsys.readouterr().err
+
+    def test_encode_unknown_option_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "--option", "bogus=1",
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_encode_option_values_parsed_as_json(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main([
+            "encode", "--protocol", "InpHTCMS", "--epsilon", "1.0",
+            "--width", "2", "--option", "width=64",
+            "--option", "num_hashes=3",
+            "--spec-out", str(spec_path),
+            "-n", "50", "-d", "4",
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(spec_path.read_text())
+        assert payload["options"] == {"width": 64, "num_hashes": 3}
+
+    def test_aggregate_requires_spec_without_restore(self, capsys):
+        assert main(["aggregate", "--dimension", "4"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_aggregate_requires_a_domain(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "50", "-d", "4",
+            "--spec-out", str(spec_path),
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["aggregate", "--spec", str(spec_path)]) == 2
+        assert "--dimension" in capsys.readouterr().err
+
+    def test_aggregate_attribute_names(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        frames = tmp_path / "x.bin"
+        assert main([
+            "encode", "--protocol", "InpPS", "--epsilon", "1.0",
+            "--width", "1", "-n", "80", "-d", "3",
+            "--spec-out", str(spec_path), "--output", str(frames),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "aggregate", "--spec", str(spec_path),
+            "--attributes", "CC,Tip,Night",
+            "--input", str(frames),
+        ]) == 0
+        rendered = capsys.readouterr().out
+        assert "CC:" in rendered and "Tip:" in rendered
+
+    def test_encode_width_exceeding_dimension_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "6", "-n", "10", "-d", "4",
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 2
+        assert "--width 6 exceeds" in capsys.readouterr().err
+
+    def test_aggregate_rejects_restore_with_spec_or_domain(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.npz"
+        assert main([
+            "aggregate", "--restore", str(checkpoint),
+            "--dimension", "4",
+        ]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+        assert main([
+            "aggregate", "--restore", str(checkpoint),
+            "--spec", str(tmp_path / "spec.json"),
+        ]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_aggregate_malformed_spec_fails_cleanly(self, tmp_path, capsys):
+        bad_spec = tmp_path / "bad.json"
+        bad_spec.write_text(
+            '{"format_version": 1, "protocol": "InpHT", "epsilon": "abc",'
+            ' "max_width": 2, "options": {}}'
+        )
+        assert main([
+            "aggregate", "--spec", str(bad_spec), "--dimension", "4",
+            "--input", "/dev/null",
+        ]) == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_aggregate_restore_at_a_terminal_skips_stdin(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        spec_path = tmp_path / "spec.json"
+        frames = tmp_path / "x.bin"
+        checkpoint = tmp_path / "ck.npz"
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "60", "-d", "4",
+            "--spec-out", str(spec_path), "--output", str(frames),
+        ]) == 0
+        assert main([
+            "aggregate", "--spec", str(spec_path), "--dimension", "4",
+            "--input", str(frames), "--checkpoint", str(checkpoint),
+        ]) == 0
+        capsys.readouterr()
+        # With --restore at an interactive terminal and no --input, there is
+        # nothing to drain: the estimates re-print without touching stdin.
+        monkeypatch.setattr("sys.stdin", type("Tty", (), {
+            "isatty": staticmethod(lambda: True),
+            "buffer": property(lambda self: (_ for _ in ()).throw(
+                AssertionError("stdin must not be read")
+            )),
+        })())
+        assert main(["aggregate", "--restore", str(checkpoint)]) == 0
+        assert "reports   : 60" in capsys.readouterr().out
+
+    def test_aggregate_missing_input_file_fails_cleanly(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "20", "-d", "4",
+            "--spec-out", str(spec_path),
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "aggregate", "--spec", str(spec_path), "--dimension", "4",
+            "--input", str(tmp_path / "missing.bin"),
+        ]) == 2
+        assert "aggregate:" in capsys.readouterr().err
+
+    def test_encode_bad_option_value_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "encode", "--protocol", "InpHTCMS", "--epsilon", "1.0",
+            "--width", "2", "--option", "width=abc",
+            "-n", "20", "-d", "4",
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 2
+        assert "encode:" in capsys.readouterr().err
+
+    def test_encode_unwritable_output_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "20", "-d", "4",
+            "--output", str(tmp_path / "no-such-dir" / "x.bin"),
+        ]) == 2
+        assert "encode:" in capsys.readouterr().err
+
+    def test_aggregate_restore_with_input_none(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        frames = tmp_path / "x.bin"
+        checkpoint = tmp_path / "ck.npz"
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "40", "-d", "4",
+            "--spec-out", str(spec_path), "--output", str(frames),
+        ]) == 0
+        assert main([
+            "aggregate", "--spec", str(spec_path), "--dimension", "4",
+            "--input", str(frames), "--checkpoint", str(checkpoint),
+        ]) == 0
+        capsys.readouterr()
+        # --input none re-prints a restored session without touching stdin,
+        # even when stdin is a never-EOF pipe.
+        assert main([
+            "aggregate", "--restore", str(checkpoint), "--input", "none",
+        ]) == 0
+        assert "reports   : 40" in capsys.readouterr().out
+
+    def test_option_python_spelled_booleans(self, tmp_path, capsys):
+        """--option optimized_probabilities=False must disable OUE, not
+        silently configure the truthy string 'False'."""
+        spec_path = tmp_path / "spec.json"
+        assert main([
+            "encode", "--protocol", "InpRR", "--epsilon", "1.0",
+            "--width", "2", "--option", "optimized_probabilities=False",
+            "-n", "20", "-d", "4",
+            "--spec-out", str(spec_path),
+            "--output", str(tmp_path / "x.bin"),
+        ]) == 0
+        capsys.readouterr()
+        from repro.service import ProtocolSpec
+
+        spec = ProtocolSpec.from_json(spec_path.read_text())
+        assert spec.options == {"optimized_probabilities": False}
+        assert spec.build().optimized_probabilities is False
+
+    def test_dataset_choices_track_the_harness(self):
+        from repro.experiments.harness import DATASET_NAMES, make_dataset
+
+        import numpy as np
+
+        for name in DATASET_NAMES:
+            dataset = make_dataset(name, 16, 3, np.random.default_rng(0))
+            assert dataset.size == 16
+
+    def test_aggregate_streams_stdin_incrementally(self, tmp_path, capsys, monkeypatch):
+        """The stdin path submits frames as they arrive instead of
+        buffering the whole collection."""
+        import io as io_module
+        import sys as sys_module
+        import types
+
+        spec_path = tmp_path / "spec.json"
+        frames_path = tmp_path / "frames.bin"
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "120", "-d", "4", "--batch-size", "30",
+            "--spec-out", str(spec_path), "--output", str(frames_path),
+        ]) == 0
+        capsys.readouterr()
+        fake_stdin = types.SimpleNamespace(
+            buffer=io_module.BytesIO(frames_path.read_bytes()),
+            isatty=lambda: False,
+        )
+        monkeypatch.setattr(sys_module, "stdin", fake_stdin)
+        assert main([
+            "aggregate", "--spec", str(spec_path), "--dimension", "4",
+        ]) == 0
+        assert "reports   : 120" in capsys.readouterr().out
+
+    def test_broken_pipe_exits_quietly(self, capsys, monkeypatch):
+        import sys as sys_module
+        import types
+
+        class BrokenBuffer:
+            def write(self, data):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        fake_stdout = types.SimpleNamespace(buffer=BrokenBuffer())
+        monkeypatch.setattr(sys_module, "stdout", fake_stdout)
+        assert main([
+            "encode", "--protocol", "InpHT", "--epsilon", "1.0",
+            "--width", "2", "-n", "20", "-d", "4",
+        ]) == 0
