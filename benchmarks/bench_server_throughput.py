@@ -1,0 +1,174 @@
+"""Collection-service throughput: reports/sec and MB/sec vs concurrency.
+
+The network collector is the layer that must "serve heavy traffic from
+millions of users", so this benchmark measures what one
+:class:`~repro.server.CollectionServer` actually sustains on localhost
+sockets as the simulated client fleet grows: a *fast* protocol whose
+aggregation is a cheap sum (``InpRR``) and a *heavy* one whose decode
+dominates (``InpOLH``, ``O(N * 2^d)`` support counting per frame).  Frames
+are pre-encoded so the numbers isolate the service path — framing,
+handshake, socket I/O, shard submit — from client-side encoding cost.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_server_throughput.py [--smoke]
+
+Results merge into ``BENCH_server.json`` (schema ``bench-server/v1``),
+following the ``BENCH_kernels.json`` profile layout, so CI and future PRs
+have a machine-readable throughput baseline to compare against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.domain import Domain
+from repro.datasets.synthetic import uniform_dataset
+from repro.protocols.registry import make_protocol
+from repro.server import CollectionServer, LoadGenerator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA = "bench-server/v1"
+LN3 = float(np.log(3.0))
+
+#: ``full`` is the acceptance baseline recorded in BENCH_server.json;
+#: ``smoke`` is the CI-sized run.
+PROFILES = {
+    "full": {
+        "population": 40_000,
+        "dimension": 8,
+        "batch_size": 500,
+        "shards": 4,
+        "concurrencies": (1, 4, 16, 64),
+        "repeats": 3,
+    },
+    "smoke": {
+        "population": 6_000,
+        "dimension": 6,
+        "batch_size": 300,
+        "shards": 2,
+        "concurrencies": (1, 8),
+        "repeats": 1,
+    },
+}
+
+#: One protocol whose aggregation is a cheap vector sum, one whose decode
+#: dominates the server's per-frame work.
+PROTOCOLS = ("InpRR", "InpOLH")
+
+
+async def _collect_once(spec, domain, frames, shards, concurrency, expected):
+    server = CollectionServer(spec, domain, port=0, shards=shards)
+    await server.start()
+    fleet = LoadGenerator(
+        spec,
+        domain,
+        "127.0.0.1",
+        server.port,
+        frames=frames,
+        num_clients=concurrency,
+    )
+    report = await fleet.run()
+    await server.stop()
+    if report.acked_frames != len(frames) or report.acked_reports != expected:
+        raise RuntimeError("fleet lost frames; numbers would be meaningless")
+    return report
+
+
+def bench_protocol(name, params):
+    protocol = make_protocol(name, LN3, 2)
+    domain = Domain.binary(params["dimension"])
+    rng = np.random.default_rng(20180610)
+    dataset = uniform_dataset(
+        params["population"], params["dimension"], rng=rng
+    )
+    frames = LoadGenerator.frames_for_dataset(
+        protocol.spec(), dataset, params["batch_size"], rng=rng
+    )
+    total_bytes = sum(len(frame) for frame in frames)
+    results = {}
+    for concurrency in params["concurrencies"]:
+        best = None
+        for _ in range(params["repeats"]):
+            report = asyncio.run(
+                _collect_once(
+                    protocol.spec(),
+                    domain,
+                    frames,
+                    params["shards"],
+                    concurrency,
+                    params["population"],
+                )
+            )
+            if best is None or report.duration_seconds < best.duration_seconds:
+                best = report
+        results[str(concurrency)] = {
+            "duration_seconds": best.duration_seconds,
+            "reports_per_second": best.reports_per_second,
+            "megabytes_per_second": best.megabytes_per_second,
+            "params": {
+                "clients": concurrency,
+                "frames": len(frames),
+                "bytes": total_bytes,
+                "reports": best.acked_reports,
+                "shards": params["shards"],
+            },
+        }
+        print(
+            f"  {name:8s} clients={concurrency:<3d} "
+            f"{best.reports_per_second:>12,.0f} reports/s  "
+            f"{best.megabytes_per_second:>8.2f} MB/s"
+        )
+    return results
+
+
+def run_profile(profile_name):
+    params = dict(PROFILES[profile_name])
+    print(f"profile {profile_name}: {params}")
+    protocols = {}
+    for name in PROTOCOLS:
+        protocols[name] = bench_protocol(name, params)
+    return {
+        "params": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in params.items()
+        },
+        "protocols": protocols,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the CI-sized smoke profile"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_server.json",
+        help="JSON file to write/merge results into",
+    )
+    arguments = parser.parse_args(argv)
+    profile_name = "smoke" if arguments.smoke else "full"
+    result = run_profile(profile_name)
+
+    report = {"schema": SCHEMA, "profiles": {}}
+    if arguments.output.exists():
+        with arguments.output.open() as handle:
+            existing = json.load(handle)
+        if existing.get("schema") == SCHEMA:
+            report = existing
+    report["profiles"][profile_name] = result
+    with arguments.output.open("w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

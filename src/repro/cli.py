@@ -27,14 +27,28 @@ out-of-band contract of a deployed collector::
 
 ``aggregate --checkpoint`` persists the session afterwards and ``--restore``
 resumes one, so an interrupted collection continues bit-for-bit.
+
+``serve`` and ``load`` replace the shell pipe with real sockets: ``serve``
+runs the asyncio :class:`~repro.server.CollectionServer` (HELLO spec
+handshake, sharded sessions, periodic + shutdown checkpoints, graceful
+SIGINT/SIGTERM or ``--stop-after-reports`` shutdown printing the
+estimates), and ``load`` drives a :class:`~repro.server.LoadGenerator`
+client fleet at it::
+
+    repro serve --protocol InpRR --epsilon 1.1 --width 2 --dimension 8 \\
+        --port 7311 --shards 4 --stop-after-reports 10000 &
+    repro load --protocol InpRR --epsilon 1.1 --width 2 --dimension 8 \\
+        --port 7311 --clients 100 --dataset taxi -n 10000 --batch-size 500
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
 import json
 import os
+import signal
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -60,6 +74,8 @@ from .execution import available_executors
 from .experiments.config import SweepConfig
 from .experiments.harness import DATASET_NAMES, SweepResult, make_dataset
 from .io import load_protocol_spec, save_protocol_spec, save_sweep_json
+from .protocols.registry import available_protocols, make_protocol
+from .server import CollectionServer, LoadGenerator
 from .service import AggregationSession, ProtocolSpec, split_report_frames
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -88,7 +104,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available experiments")
+    list_parser = subparsers.add_parser(
+        "list", help="list the available experiments and protocols"
+    )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable listing (experiments, protocols and "
+        "their accepted options, datasets, executors) instead of the "
+        "human-readable tables",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -235,7 +260,174 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", metavar="PATH",
         help="also write the rendered text estimates to this file",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio network collection service (HELLO handshake, "
+        "sharded aggregation, checkpoints)",
+    )
+    _add_contract_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=7311,
+        help="listen port; 0 picks a free one (default: 7311)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="S",
+        help="number of AggregationSession shards connections are spread "
+        "over round-robin (estimates are shard-invariant)",
+    )
+    serve_parser.add_argument(
+        "--max-frame-bytes", type=_positive_int, default=None, metavar="N",
+        help="per-connection report-frame size cap (backpressure bound)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="checkpoint every shard to DIR/shard-NN.npz on shutdown "
+        "(and periodically with --checkpoint-interval)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SEC",
+        help="also checkpoint every SEC seconds while serving",
+    )
+    serve_parser.add_argument(
+        "--stop-after-reports", type=_positive_int, default=None, metavar="N",
+        help="shut down (and print the estimates) once N user reports have "
+        "been collected; without it, serve until SIGINT/SIGTERM",
+    )
+    serve_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the final estimates plus server stats to this JSON file",
+    )
+    serve_parser.add_argument(
+        "--output", metavar="PATH",
+        help="also write the rendered text estimates to this file",
+    )
+
+    load_parser = subparsers.add_parser(
+        "load",
+        help="hammer a running collection server with a fleet of simulated "
+        "clients and report the achieved throughput",
+    )
+    _add_contract_arguments(load_parser)
+    load_parser.add_argument(
+        "--host", default="127.0.0.1", help="server address (default: 127.0.0.1)"
+    )
+    load_parser.add_argument(
+        "--port", type=int, default=7311, help="server port (default: 7311)"
+    )
+    load_parser.add_argument(
+        "--clients", type=_positive_int, default=8, metavar="C",
+        help="number of concurrent simulated clients (default: 8)",
+    )
+    load_parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, default=None,
+        help="encode this named dataset with run_streaming's rng discipline "
+        "(so the server's estimates match an in-process baseline "
+        "bit-for-bit); without it each client synthesizes its own records",
+    )
+    load_parser.add_argument(
+        "-n", "--population", type=_positive_int, default=10_000, metavar="N",
+        help="dataset size for --dataset mode (default: 10000)",
+    )
+    load_parser.add_argument(
+        "--records-per-client", type=_positive_int, default=256, metavar="R",
+        help="records each client synthesizes without --dataset (default: 256)",
+    )
+    load_parser.add_argument(
+        "--batch-size", type=_positive_int, default=None, metavar="B",
+        help="records per report frame (default: one frame per client, or "
+        "one frame for the whole --dataset)",
+    )
+    load_parser.add_argument(
+        "--seed", type=int, default=20180610, help="master random seed"
+    )
+    load_parser.add_argument(
+        "--frames-per-connection", type=_positive_int, default=None, metavar="F",
+        help="connection churn: reconnect (with a fresh HELLO) after F frames",
+    )
+    load_parser.add_argument(
+        "--malformed", type=int, default=0, metavar="M",
+        help="also open M poison connections that send garbage and expect a "
+        "per-connection ERR (default: 0)",
+    )
+    load_parser.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SEC",
+        help="keep retrying the first connect for SEC seconds (default: 10)",
+    )
+    load_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the fleet's throughput report to this JSON file",
+    )
     return parser
+
+
+def _add_contract_arguments(parser: argparse.ArgumentParser) -> None:
+    """The collection contract: a spec (file or inline) plus the domain."""
+    parser.add_argument(
+        "--spec", metavar="PATH",
+        help="protocol spec JSON (e.g. from 'encode --spec-out'); "
+        "alternatively give --protocol/--epsilon/--width inline",
+    )
+    parser.add_argument("--protocol", help="protocol name (e.g. InpRR)")
+    parser.add_argument(
+        "--epsilon", type=float, help="per-user privacy budget"
+    )
+    parser.add_argument(
+        "--width", type=_positive_int, metavar="K", help="workload width k"
+    )
+    parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra protocol option (repeatable; value parsed as JSON)",
+    )
+    domain_group = parser.add_mutually_exclusive_group()
+    domain_group.add_argument(
+        "-d", "--dimension", type=_positive_int, metavar="D",
+        help="number of binary attributes (names default to attr0..attrD-1)",
+    )
+    domain_group.add_argument(
+        "--attributes", metavar="A,B,C",
+        help="comma-separated attribute names of the collection domain",
+    )
+
+
+def _contract_from_args(arguments: argparse.Namespace):
+    """Resolve the (spec, domain) collection contract of serve/load."""
+    if arguments.spec and arguments.protocol:
+        raise ReproError("pass either --spec or --protocol, not both")
+    if arguments.spec:
+        spec = load_protocol_spec(arguments.spec)
+    elif arguments.protocol:
+        if arguments.epsilon is None or arguments.width is None:
+            raise ReproError("--protocol requires --epsilon and --width")
+        spec = ProtocolSpec(
+            protocol=arguments.protocol,
+            epsilon=arguments.epsilon,
+            max_width=arguments.width,
+            options=_parse_options(arguments.option),
+        )
+    else:
+        raise ReproError(
+            "describe the collection contract with --spec PATH or "
+            "--protocol/--epsilon/--width"
+        )
+    spec.build()  # surface unknown protocols/options before any socket work
+    if arguments.attributes:
+        domain = Domain(
+            [name.strip() for name in arguments.attributes.split(",")]
+        )
+    elif arguments.dimension:
+        domain = Domain.binary(arguments.dimension)
+    else:
+        raise ReproError(
+            "pass --dimension or --attributes to describe the collection domain"
+        )
+    return spec, domain
 
 
 def _positive_int(text: str) -> int:
@@ -243,6 +435,53 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
     return value
+
+
+def _protocol_listing() -> Dict[str, Dict]:
+    """Machine-readable description of every registered protocol."""
+    from .protocols.registry import CORE_PROTOCOL_NAMES, PROTOCOL_CLASSES
+
+    listing: Dict[str, Dict] = {}
+    for name in available_protocols():
+        protocol_class = PROTOCOL_CLASSES[name]
+        instance = make_protocol(name, 1.0, 1)
+        listing[name] = {
+            "core": name in CORE_PROTOCOL_NAMES,
+            "options": sorted(
+                ProtocolSpec.accepted_options(protocol_class)
+            ),
+            "default_options": instance.spec_options(),
+            "tuning_options": sorted(instance.tuning_options()),
+        }
+    return listing
+
+
+def _run_list(arguments: argparse.Namespace) -> int:
+    protocols = _protocol_listing()
+    if arguments.json:
+        payload = {
+            "experiments": {
+                name: EXPERIMENTS[name][1] for name in sorted(EXPERIMENTS)
+            },
+            "protocols": protocols,
+            "datasets": list(DATASET_NAMES),
+            "executors": list(available_executors()),
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        _, description = EXPERIMENTS[name]
+        print(f"{name.ljust(width)}  {description}")
+    print()
+    print("protocols:")
+    width = max(len(name) for name in protocols)
+    for name, info in protocols.items():
+        role = "core" if info["core"] else "baseline"
+        options = ", ".join(info["options"]) if info["options"] else "-"
+        print(f"  {name.ljust(width)}  {role:8}  options: {options}")
+    return 0
 
 
 def _run_experiment(arguments: argparse.Namespace) -> int:
@@ -413,6 +652,7 @@ def _run_encode(arguments: argparse.Namespace) -> int:
 
 
 def _render_estimates(estimator, session: AggregationSession) -> str:
+    """Human-readable estimates (``estimator=None`` for an empty session)."""
     lines = [
         f"protocol  : {session.spec.describe()}",
         f"reports   : {session.num_reports}",
@@ -424,6 +664,8 @@ def _render_estimates(estimator, session: AggregationSession) -> str:
             f"{metadata['wire_batches']} frame(s), "
             f"{8.0 * metadata['wire_bytes_per_report']:.1f} bits/user"
         )
+    if estimator is None:
+        return "\n".join(lines)
     lines.append("")
     for beta, table in sorted(estimator.query_all().items()):
         names = ",".join(estimator.domain.names_of(beta))
@@ -433,6 +675,8 @@ def _render_estimates(estimator, session: AggregationSession) -> str:
 
 
 def _estimates_payload(estimator, session: AggregationSession) -> Dict:
+    """JSON estimates payload; one shape whether or not reports arrived
+    (``estimator=None`` simply yields empty ``marginals``)."""
     return {
         "spec": session.spec.to_dict(),
         "num_reports": session.num_reports,
@@ -444,7 +688,9 @@ def _estimates_payload(estimator, session: AggregationSession) -> Dict:
                 "values": [float(value) for value in table.values],
             }
             for beta, table in sorted(estimator.query_all().items())
-        ],
+        ]
+        if estimator is not None
+        else [],
     }
 
 
@@ -545,20 +791,168 @@ def _run_aggregate(arguments: argparse.Namespace) -> int:
     return 0
 
 
+async def _serve_main(server: CollectionServer) -> None:
+    """Start the server, announce readiness, serve until a stop signal."""
+    loop = asyncio.get_running_loop()
+    registered = []
+    # Handlers first, readiness line second: a supervisor that signals the
+    # moment it sees the line must always get the graceful shutdown.
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, server.request_stop)
+            registered.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-unix loops / nested loops: Ctrl-C still interrupts
+    try:
+        await server.start()
+        print(
+            f"serving {server.spec.describe()} over "
+            f"{server.domain.dimension} attribute(s) on "
+            f"{server.host}:{server.port} ({server.num_shards} shard(s))",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_until_stopped()
+    finally:
+        for signum in registered:
+            loop.remove_signal_handler(signum)
+
+
+def _run_serve(arguments: argparse.Namespace) -> int:
+    try:
+        spec, domain = _contract_from_args(arguments)
+        if arguments.checkpoint_interval is not None and not arguments.checkpoint_dir:
+            print(
+                "serve: --checkpoint-interval requires --checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 2
+        extra = {}
+        if arguments.max_frame_bytes is not None:
+            extra["max_frame_bytes"] = arguments.max_frame_bytes
+        server = CollectionServer(
+            spec,
+            domain,
+            host=arguments.host,
+            port=arguments.port,
+            shards=arguments.shards,
+            checkpoint_dir=arguments.checkpoint_dir,
+            checkpoint_interval=arguments.checkpoint_interval,
+            stop_after_reports=arguments.stop_after_reports,
+            **extra,
+        )
+        asyncio.run(_serve_main(server))
+        stats = server.stats()
+        print(
+            f"collected {stats['reports']} reports in {stats['frames']} "
+            f"frame(s) over {stats['connections']['total']} connection(s) "
+            f"({stats['connections']['rejected']} rejected)",
+            file=sys.stderr,
+        )
+        combined = server.combined_session()
+        if server.num_reports == 0:
+            print(
+                "serve: collected no reports; nothing to estimate",
+                file=sys.stderr,
+            )
+            estimator = None
+        else:
+            estimator = combined.snapshot()
+        rendered = _render_estimates(estimator, combined)
+        payload = _estimates_payload(estimator, combined)
+    except (ReproError, OSError, ValueError) as error:
+        # OSError: the port is taken or the checkpoint dir is unwritable.
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        payload["server"] = stats
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
+def _run_load(arguments: argparse.Namespace) -> int:
+    try:
+        spec, domain = _contract_from_args(arguments)
+        frames = None
+        if arguments.dataset:
+            # Build the dataset and encode with run_streaming's exact rng
+            # discipline (same generator object for both), so the server's
+            # finalized estimates can be compared bit-for-bit against an
+            # in-process run_streaming(dataset, rng, batch_size) baseline.
+            generator = np.random.default_rng(arguments.seed)
+            dataset = make_dataset(
+                arguments.dataset,
+                arguments.population,
+                domain.dimension,
+                generator,
+            )
+            frames = LoadGenerator.frames_for_dataset(
+                spec, dataset, arguments.batch_size, rng=generator
+            )
+        fleet = LoadGenerator(
+            spec,
+            domain,
+            arguments.host,
+            arguments.port,
+            frames=frames,
+            num_clients=arguments.clients,
+            records_per_client=arguments.records_per_client,
+            batch_size=arguments.batch_size,
+            seed=arguments.seed,
+            frames_per_connection=arguments.frames_per_connection,
+            malformed_connections=arguments.malformed,
+            connect_timeout=arguments.connect_timeout,
+        )
+        report = asyncio.run(fleet.run())
+    except (ReproError, OSError, ValueError) as error:
+        print(f"load: {error}", file=sys.stderr)
+        return 2
+    print(
+        "\n".join(
+            [
+                f"clients     : {report.clients}",
+                f"connections : {report.connections} "
+                f"({report.rejected_connections} rejected as expected)",
+                f"frames      : {report.frames} sent, "
+                f"{report.acked_frames} acked",
+                f"reports     : {report.acked_reports} acked",
+                f"bytes       : {report.bytes}",
+                f"duration    : {report.duration_seconds:.3f} s",
+                f"throughput  : {report.reports_per_second:,.0f} reports/s, "
+                f"{report.megabytes_per_second:.2f} MB/s",
+            ]
+        )
+    )
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
     try:
         if arguments.command == "list":
-            width = max(len(name) for name in EXPERIMENTS)
-            for name in sorted(EXPERIMENTS):
-                _, description = EXPERIMENTS[name]
-                print(f"{name.ljust(width)}  {description}")
-            return 0
+            return _run_list(arguments)
         if arguments.command == "encode":
             return _run_encode(arguments)
         if arguments.command == "aggregate":
             return _run_aggregate(arguments)
+        if arguments.command == "serve":
+            return _run_serve(arguments)
+        if arguments.command == "load":
+            return _run_load(arguments)
         return _run_experiment(arguments)
     except BrokenPipeError:
         # Downstream closed early (e.g. `repro aggregate | head`); point

@@ -44,6 +44,14 @@ class ExecutionError(ReproError):
     """A parallel execution backend failed or was driven incorrectly."""
 
 
+class CollectionServiceError(ReproError):
+    """A network collection exchange failed (rejection, protocol violation).
+
+    Raised on the client side of the collection service when the server
+    rejects the spec handshake, answers out of protocol, or disappears
+    mid-session."""
+
+
 class DatasetError(ReproError):
     """A dataset is malformed (wrong dtype, wrong width, empty...)."""
 

@@ -45,6 +45,9 @@ from ..core.exceptions import WireFormatError
 __all__ = [
     "WIRE_FORMAT_VERSION",
     "MAX_PAYLOAD_BYTES",
+    "REPORT_MAGIC",
+    "FRAME_PREFIX",
+    "FRAME_LENGTH",
     "ReportField",
     "ReportSchema",
     "WireCodableReports",
@@ -69,6 +72,13 @@ MAX_PAYLOAD_BYTES = 1 << 30
 _MAGIC = b"RPRB"
 _PREFIX = struct.Struct("<4sHH")  # magic, version, kind length
 _LENGTH = struct.Struct("<Q")  # payload length
+
+#: Public aliases of the frame header layout, shared with the collection
+#: service's session framing (``repro.server.framing``) so the two frame
+#: families cannot silently drift apart.
+REPORT_MAGIC = _MAGIC
+FRAME_PREFIX = _PREFIX
+FRAME_LENGTH = _LENGTH
 
 
 @dataclass(frozen=True)

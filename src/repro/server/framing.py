@@ -1,0 +1,232 @@
+"""Session framing for the network collection service.
+
+The collection protocol interleaves two frame families on one TCP stream,
+both sharing the report codec's length-prefixed header layout
+(``magic | version u16 | kind-length u16 | kind | payload-length u64 |
+payload``):
+
+* **report frames** — magic ``b"RPRB"``, exactly the bytes produced by
+  ``reports.to_bytes()`` (:mod:`repro.protocols.wire`).  The server relays
+  them whole to an :class:`~repro.service.AggregationSession`, paying the
+  npz decode cost once at the shard.
+* **control frames** — magic ``b"RPRC"``, a small UTF-8 JSON payload.  The
+  kinds are the session protocol's verbs: ``HELLO`` (client → server, the
+  spec handshake), ``OK``/``ERR`` (server → client), ``FIN`` (client →
+  server, end of stream) and ``ACK`` (server → client, per-connection
+  frame/report counts).
+
+:class:`FrameDecoder` is the incremental half: TCP hands the receiver
+arbitrary byte chunks, so the decoder buffers input and emits a frame only
+once every one of its bytes has arrived — a frame split at *any* byte
+boundary reassembles identically.  Anything structurally wrong (bad magic,
+unknown version, oversized declared payload, non-JSON control payload)
+raises :class:`~repro.core.exceptions.WireFormatError` immediately, before
+the stream can make the decoder buffer unbounded input.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from ..core.exceptions import WireFormatError
+from ..protocols.wire import (
+    FRAME_LENGTH as _LENGTH,
+    FRAME_PREFIX as _PREFIX,
+    MAX_PAYLOAD_BYTES,
+    REPORT_MAGIC,
+    WIRE_FORMAT_VERSION,
+)
+
+__all__ = [
+    "SERVER_PROTOCOL_VERSION",
+    "MAX_CONTROL_BYTES",
+    "REPORT_MAGIC",
+    "CONTROL_MAGIC",
+    "HELLO",
+    "OK",
+    "ERR",
+    "FIN",
+    "ACK",
+    "CONTROL_KINDS",
+    "ControlMessage",
+    "encode_control",
+    "FrameDecoder",
+]
+
+#: Version stamp carried by every control frame.  Bump on protocol changes.
+SERVER_PROTOCOL_VERSION = 1
+
+#: Control payloads are small JSON documents (a spec, a diff, counters); a
+#: declared length above this is a corrupted or hostile header.
+MAX_CONTROL_BYTES = 1 << 20
+
+CONTROL_MAGIC = b"RPRC"
+
+HELLO = "HELLO"
+OK = "OK"
+ERR = "ERR"
+FIN = "FIN"
+ACK = "ACK"
+CONTROL_KINDS = frozenset({HELLO, OK, ERR, FIN, ACK})
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """One decoded control frame: a verb plus its JSON payload."""
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+def encode_control(kind: str, payload: Dict[str, Any] = None) -> bytes:
+    """Serialize one control frame (``HELLO``/``OK``/``ERR``/``FIN``/``ACK``)."""
+    if kind not in CONTROL_KINDS:
+        raise WireFormatError(
+            f"unknown control kind {kind!r}; expected one of "
+            f"{sorted(CONTROL_KINDS)}"
+        )
+    try:
+        body = json.dumps(payload or {}, sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(
+            f"control payload for {kind!r} is not JSON-serializable: {error}"
+        ) from error
+    if len(body) > MAX_CONTROL_BYTES:
+        raise WireFormatError(
+            f"control payload for {kind!r} serializes to {len(body)} bytes, "
+            f"above the {MAX_CONTROL_BYTES}-byte limit"
+        )
+    name = kind.encode("utf-8")
+    return (
+        _PREFIX.pack(CONTROL_MAGIC, SERVER_PROTOCOL_VERSION, len(name))
+        + name
+        + _LENGTH.pack(len(body))
+        + body
+    )
+
+
+class FrameDecoder:
+    """Reassemble control and report frames from arbitrary byte chunks.
+
+    Feed the decoder whatever ``read()`` returned; it yields each frame the
+    moment its last byte arrives.  Report frames come back as their raw
+    ``bytes`` (ready for :meth:`AggregationSession.submit`); control frames
+    come back parsed into :class:`ControlMessage`.
+
+    ``max_frame_bytes`` bounds the declared payload of report frames (the
+    server's backpressure knob — a connection can never force the decoder
+    to buffer more than one maximal frame plus one read chunk); control
+    frames are always capped at :data:`MAX_CONTROL_BYTES`.
+
+    A structural error poisons the decoder: the stream position is no
+    longer trustworthy, so every later :meth:`feed` re-raises.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_PAYLOAD_BYTES):
+        if not 0 < max_frame_bytes <= MAX_PAYLOAD_BYTES:
+            raise WireFormatError(
+                f"max_frame_bytes must be in (0, {MAX_PAYLOAD_BYTES}], "
+                f"got {max_frame_bytes}"
+            )
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._error: WireFormatError = None
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    @property
+    def at_frame_boundary(self) -> bool:
+        """True when no partial frame is pending (a clean stream end)."""
+        return not self._buffer
+
+    def feed(
+        self, data: Union[bytes, bytearray, memoryview]
+    ) -> List[Union[ControlMessage, bytes]]:
+        """Absorb one chunk; return every frame completed by it (in order)."""
+        if self._error is not None:
+            raise self._error
+        self._buffer += bytes(data)
+        frames: List[Union[ControlMessage, bytes]] = []
+        try:
+            while True:
+                item, consumed = self._next_frame()
+                if item is None:
+                    break
+                del self._buffer[:consumed]
+                frames.append(item)
+        except WireFormatError as error:
+            self._error = error
+            raise
+        return frames
+
+    def _next_frame(self):
+        """Parse one complete frame off the buffer head, or ``(None, 0)``."""
+        buffer = self._buffer
+        if len(buffer) < _PREFIX.size:
+            return None, 0
+        magic, version, kind_length = _PREFIX.unpack_from(buffer, 0)
+        if magic == REPORT_MAGIC:
+            expected_version, payload_cap = WIRE_FORMAT_VERSION, self._max_frame_bytes
+        elif magic == CONTROL_MAGIC:
+            expected_version, payload_cap = SERVER_PROTOCOL_VERSION, MAX_CONTROL_BYTES
+        else:
+            raise WireFormatError(
+                f"stream does not hold a collection frame (magic {bytes(magic)!r}, "
+                f"expected {REPORT_MAGIC!r} or {CONTROL_MAGIC!r})"
+            )
+        if version != expected_version:
+            raise WireFormatError(
+                f"{'report' if magic == REPORT_MAGIC else 'control'} frame "
+                f"uses version {version}, but this library speaks version "
+                f"{expected_version}"
+            )
+        header_end = _PREFIX.size + kind_length + _LENGTH.size
+        if len(buffer) < header_end:
+            return None, 0
+        (payload_length,) = _LENGTH.unpack_from(buffer, _PREFIX.size + kind_length)
+        if payload_length > payload_cap:
+            raise WireFormatError(
+                f"frame declares a {payload_length}-byte payload, above the "
+                f"{payload_cap}-byte limit — corrupted length field?"
+            )
+        frame_end = header_end + payload_length
+        if len(buffer) < frame_end:
+            return None, 0
+        if magic == REPORT_MAGIC:
+            return bytes(buffer[:frame_end]), frame_end
+        return self._parse_control(kind_length, header_end, frame_end), frame_end
+
+    def _parse_control(
+        self, kind_length: int, header_end: int, frame_end: int
+    ) -> ControlMessage:
+        kind_start = _PREFIX.size
+        try:
+            kind = bytes(
+                self._buffer[kind_start : kind_start + kind_length]
+            ).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireFormatError(
+                f"control frame kind is not valid UTF-8: {error}"
+            ) from error
+        if kind not in CONTROL_KINDS:
+            raise WireFormatError(
+                f"unknown control kind {kind!r}; expected one of "
+                f"{sorted(CONTROL_KINDS)}"
+            )
+        body = bytes(self._buffer[header_end:frame_end])
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireFormatError(
+                f"control frame {kind!r} payload is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise WireFormatError(
+                f"control frame {kind!r} payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        return ControlMessage(kind=kind, payload=payload)

@@ -1,0 +1,87 @@
+"""The HELLO handshake: how a client proves it speaks the server's spec.
+
+The first frame on every connection is a ``HELLO`` control frame carrying
+the client's full :class:`~repro.service.ProtocolSpec` (as ``to_dict``),
+the SHA-256 of its canonical JSON form, and the attribute names of the
+domain the client reports over.  The server diffs the client spec against
+its own in canonical form — defaults spelled out, pure performance knobs
+(:meth:`~repro.protocols.base.MarginalReleaseProtocol.tuning_options`)
+ignored — so a rejection carries the exact per-field disagreement instead
+of an opaque hash mismatch, and two collectors tuned for different
+hardware still interoperate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Sequence
+
+from ..core.exceptions import ReproError
+from ..service.spec import ProtocolSpec
+
+__all__ = ["spec_hash", "hello_payload", "check_hello"]
+
+
+def spec_hash(spec: ProtocolSpec) -> str:
+    """SHA-256 of the spec's sorted-key JSON form.
+
+    Hash the *canonical* spec (``spec.canonical()``) when the hash must be
+    comparable across clients that spell defaults differently.
+    """
+    return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+
+
+def hello_payload(spec: ProtocolSpec, attributes: Sequence[str]) -> Dict[str, Any]:
+    """The ``HELLO`` payload a client sends to open a collection stream."""
+    return {
+        "spec": spec.to_dict(),
+        "spec_hash": spec_hash(spec.canonical()),
+        "attributes": list(attributes),
+    }
+
+
+def check_hello(
+    payload: Dict[str, Any],
+    server_spec: ProtocolSpec,
+    tuning_options: frozenset,
+    attributes: Sequence[str],
+) -> List[str]:
+    """Validate a ``HELLO`` payload against the server's contract.
+
+    Returns the rejection reasons — the readable spec diff plus any
+    domain/shape problems — or an empty list when the client is accepted.
+    ``server_spec`` must already be canonical.  A ``spec_hash`` in the
+    payload is checked against the canonical form of the spec *in the same
+    payload* (an integrity check on the handshake itself); spec agreement
+    with the server is always decided by the canonical diff, so tuning-only
+    differences never reject.
+    """
+    problems: List[str] = []
+    spec_dict = payload.get("spec")
+    try:
+        client_spec = ProtocolSpec.from_dict(spec_dict)
+        client_canonical = client_spec.canonical()
+    except ReproError as error:
+        # Anything a hostile spec can raise — malformed shapes, unknown
+        # protocols/options, invalid epsilon (PrivacyBudgetError) — is a
+        # rejection reason, never a handler crash.
+        return [f"spec: {error}"]
+    claimed_hash = payload.get("spec_hash")
+    if claimed_hash is not None and claimed_hash != spec_hash(client_canonical):
+        problems.append(
+            "spec_hash: does not match the canonical form of the spec sent "
+            "in this HELLO (corrupted or stale handshake)"
+        )
+    problems.extend(
+        server_spec.diff(client_canonical, ignore_options=tuning_options)
+    )
+    client_attributes = payload.get("attributes")
+    if not isinstance(client_attributes, list) or not all(
+        isinstance(name, str) for name in client_attributes
+    ):
+        problems.append("attributes: must be a list of attribute names")
+    elif list(client_attributes) != list(attributes):
+        problems.append(
+            f"attributes: {list(attributes)!r} != {list(client_attributes)!r}"
+        )
+    return problems

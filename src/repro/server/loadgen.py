@@ -1,0 +1,459 @@
+"""A client-fleet simulator for hammering a :class:`CollectionServer`.
+
+:class:`LoadGenerator` spins up ``num_clients`` concurrent asyncio clients
+against one server.  Each client owns a slice of the report frames — either
+pre-encoded frames handed in by the caller (the reproducible path used by
+the equality tests and ``repro load --dataset``) or records it synthesizes
+and encodes itself via ``encode_batch`` — and plays the session protocol:
+``HELLO`` handshake, a stream of report frames, ``FIN``, then verifies the
+server's ``ACK`` counts.  Knobs cover connection churn (``frames_per_
+connection`` forces periodic reconnects, each with a fresh handshake) and
+fault injection (``malformed_connections`` opens extra poison connections
+that send garbage and expect a per-connection ``ERR`` rejection — proving
+the server survives hostile input while the well-formed fleet proceeds).
+
+:meth:`LoadGenerator.run` returns a :class:`LoadReport` with the achieved
+throughput (reports/sec, MB/sec) and per-client accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.exceptions import (
+    CollectionServiceError,
+    ProtocolConfigurationError,
+    WireFormatError,
+)
+from ..core.rng import RngLike, ensure_rng, spawn_rngs
+from ..service.spec import ProtocolSpec
+from .framing import (
+    ACK,
+    ERR,
+    FIN,
+    HELLO,
+    OK,
+    ControlMessage,
+    FrameDecoder,
+    encode_control,
+)
+from .handshake import hello_payload
+
+__all__ = ["ClientResult", "LoadReport", "LoadGenerator"]
+
+
+@dataclass
+class ClientResult:
+    """One simulated client's accounting."""
+
+    client_id: int
+    connections: int = 0
+    frames: int = 0
+    bytes: int = 0
+    acked_frames: int = 0
+    acked_reports: int = 0
+    rejected_connections: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class LoadReport:
+    """Fleet-level result of one :meth:`LoadGenerator.run`."""
+
+    duration_seconds: float
+    clients: int
+    connections: int
+    frames: int
+    bytes: int
+    acked_frames: int
+    acked_reports: int
+    rejected_connections: int
+    per_client: List[ClientResult] = field(default_factory=list)
+
+    @property
+    def reports_per_second(self) -> float:
+        return (
+            self.acked_reports / self.duration_seconds
+            if self.duration_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def megabytes_per_second(self) -> float:
+        return (
+            self.bytes / (1e6 * self.duration_seconds)
+            if self.duration_seconds > 0
+            else 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "duration_seconds": self.duration_seconds,
+            "clients": self.clients,
+            "connections": self.connections,
+            "frames": self.frames,
+            "bytes": self.bytes,
+            "acked_frames": self.acked_frames,
+            "acked_reports": self.acked_reports,
+            "rejected_connections": self.rejected_connections,
+            "reports_per_second": self.reports_per_second,
+            "megabytes_per_second": self.megabytes_per_second,
+            "per_client": [client.to_dict() for client in self.per_client],
+        }
+
+
+class _ControlChannel:
+    """Read side of one client connection: frames in, control messages out."""
+
+    def __init__(self, reader, read_chunk_bytes: int, timeout: float):
+        self._reader = reader
+        self._decoder = FrameDecoder()
+        self._pending = deque()
+        self._read_chunk_bytes = read_chunk_bytes
+        self._timeout = timeout
+
+    async def next_message(self) -> ControlMessage:
+        while not self._pending:
+            try:
+                chunk = await asyncio.wait_for(
+                    self._reader.read(self._read_chunk_bytes), self._timeout
+                )
+            except asyncio.TimeoutError:
+                raise CollectionServiceError(
+                    f"server sent no response within {self._timeout:.1f}s"
+                ) from None
+            if not chunk:
+                raise CollectionServiceError(
+                    "server closed the connection mid-session"
+                )
+            try:
+                self._pending.extend(self._decoder.feed(chunk))
+            except WireFormatError as error:
+                raise CollectionServiceError(
+                    f"server answered out of protocol: {error}"
+                ) from error
+        item = self._pending.popleft()
+        if not isinstance(item, ControlMessage):
+            raise CollectionServiceError(
+                "server sent a report frame; expected a control message"
+            )
+        return item
+
+
+class LoadGenerator:
+    """Drive ``num_clients`` concurrent simulated clients at one server.
+
+    Parameters
+    ----------
+    spec, domain:
+        The collection contract, exactly as on the server (a spec mismatch
+        here is the rejection path, not a usage error).
+    host, port:
+        The server's address.
+    frames:
+        Optional pre-encoded wire frames, distributed round-robin over the
+        clients.  When omitted each client synthesizes
+        ``records_per_client`` uniform records and encodes them itself in
+        ``batch_size`` batches (one frame per batch) with a per-client
+        child generator of ``seed``.
+    frames_per_connection:
+        Connection churn: reconnect (with a fresh ``HELLO``) after this
+        many frames.  ``None`` sends everything over one connection.
+    malformed_connections:
+        Extra poison connections (spread over the fleet) that handshake
+        correctly, then send garbage and expect a per-connection ``ERR``.
+    """
+
+    def __init__(
+        self,
+        spec,
+        domain: Domain,
+        host: str,
+        port: int,
+        *,
+        frames: Optional[Sequence[bytes]] = None,
+        num_clients: int = 4,
+        records_per_client: int = 256,
+        batch_size: Optional[int] = 64,
+        seed: int = 20180610,
+        frames_per_connection: Optional[int] = None,
+        malformed_connections: int = 0,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 30.0,
+        read_chunk_bytes: int = 1 << 16,
+    ):
+        if not isinstance(spec, ProtocolSpec):
+            spec = ProtocolSpec.from_protocol(spec)
+        if num_clients < 1:
+            raise ProtocolConfigurationError(
+                f"num_clients must be >= 1, got {num_clients}"
+            )
+        if frames is None and records_per_client < 1:
+            raise ProtocolConfigurationError(
+                f"records_per_client must be >= 1, got {records_per_client}"
+            )
+        if frames_per_connection is not None and frames_per_connection < 1:
+            raise ProtocolConfigurationError(
+                f"frames_per_connection must be >= 1, got {frames_per_connection}"
+            )
+        if malformed_connections < 0:
+            raise ProtocolConfigurationError(
+                f"malformed_connections must be >= 0, got {malformed_connections}"
+            )
+        self._spec = spec
+        self._protocol = spec.build()
+        self._domain = domain
+        self._host = host
+        self._port = int(port)
+        self._frames = list(frames) if frames is not None else None
+        self._num_clients = num_clients
+        self._records_per_client = records_per_client
+        self._batch_size = batch_size
+        self._seed = seed
+        self._frames_per_connection = frames_per_connection
+        self._malformed_connections = malformed_connections
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._read_chunk_bytes = read_chunk_bytes
+        self._hello = encode_control(
+            HELLO, hello_payload(spec, domain.attributes)
+        )
+
+    # ------------------------------------------------------------------ #
+    # frame preparation
+
+    @staticmethod
+    def frames_for_dataset(
+        spec, dataset, batch_size: Optional[int] = None, rng: RngLike = None
+    ) -> List[bytes]:
+        """Encode a dataset into frames with ``run_streaming``'s rng discipline.
+
+        One child generator per batch (the caller's generator itself for a
+        single batch), so — for the same dataset, seed and batch size — the
+        frames carry exactly the reports an in-process
+        ``run_streaming(dataset, rng, batch_size=...)`` would aggregate.
+        Collecting them over sockets therefore finalizes to bit-for-bit
+        identical estimates, which is the service's end-to-end equality
+        proof.
+        """
+        if not isinstance(spec, ProtocolSpec):
+            spec = ProtocolSpec.from_protocol(spec)
+        protocol = spec.build()
+        generator = ensure_rng(rng)
+        num_batches = dataset.num_batches(batch_size)
+        if num_batches == 1:
+            batch_rngs = [generator]
+        else:
+            batch_rngs = spawn_rngs(generator, num_batches)
+        return [
+            protocol.encode_batch(chunk, rng=chunk_rng).to_bytes()
+            for chunk, chunk_rng in zip(
+                dataset.iter_batches(batch_size), batch_rngs
+            )
+        ]
+
+    def client_frames(self) -> List[List[bytes]]:
+        """Each client's frame list, deterministic in the constructor args.
+
+        Pre-encoded ``frames`` are dealt round-robin; otherwise client ``i``
+        encodes its own synthetic records with the ``i``-th child generator
+        of ``seed``.  Exposed so tests (and CI) can rebuild the exact
+        submitted reports for an in-process baseline.
+        """
+        per_client: List[List[bytes]] = [[] for _ in range(self._num_clients)]
+        if self._frames is not None:
+            for position, frame in enumerate(self._frames):
+                per_client[position % self._num_clients].append(frame)
+            return per_client
+        client_rngs = spawn_rngs(
+            np.random.default_rng(self._seed), self._num_clients
+        )
+        dimension = self._domain.dimension
+        batch = self._batch_size or self._records_per_client
+        for client_id, client_rng in enumerate(client_rngs):
+            records = client_rng.integers(
+                0, 2, size=(self._records_per_client, dimension), dtype=np.int8
+            )
+            for start in range(0, self._records_per_client, batch):
+                chunk = records[start : start + batch]
+                per_client[client_id].append(
+                    self._protocol.encode_batch(chunk, rng=client_rng).to_bytes()
+                )
+        return per_client
+
+    # ------------------------------------------------------------------ #
+    # the fleet
+
+    async def run(self) -> LoadReport:
+        """Run the whole fleet; returns the aggregate :class:`LoadReport`."""
+        per_client_frames = self.client_frames()
+        results = [
+            ClientResult(client_id=client_id)
+            for client_id in range(self._num_clients)
+        ]
+        # Poison phase first (concurrently), payload phase second: every
+        # injected fault is answered before the first valid frame ships, so
+        # a server configured to stop after a known report count cannot
+        # shut down while a poison exchange is still in flight.
+        if self._malformed_connections:
+            await asyncio.gather(
+                *(
+                    self._poison_connection(
+                        results[position % self._num_clients]
+                    )
+                    for position in range(self._malformed_connections)
+                )
+            )
+        # Time only the payload phase: throughput must not be diluted by
+        # the fault-injection exchanges.
+        started = time.monotonic()
+        await asyncio.gather(
+            *(
+                self._run_client(results[client_id], frames)
+                for client_id, frames in enumerate(per_client_frames)
+            )
+        )
+        duration = time.monotonic() - started
+        return LoadReport(
+            duration_seconds=duration,
+            clients=len(results),
+            connections=sum(result.connections for result in results),
+            frames=sum(result.frames for result in results),
+            bytes=sum(result.bytes for result in results),
+            acked_frames=sum(result.acked_frames for result in results),
+            acked_reports=sum(result.acked_reports for result in results),
+            rejected_connections=sum(
+                result.rejected_connections for result in results
+            ),
+            per_client=list(results),
+        )
+
+    async def _run_client(
+        self, result: ClientResult, frames: List[bytes]
+    ) -> ClientResult:
+        group_size = self._frames_per_connection or max(len(frames), 1)
+        for start in range(0, len(frames), group_size):
+            await self._send_group(result, frames[start : start + group_size])
+        return result
+
+    async def _send_group(
+        self, result: ClientResult, frames: List[bytes]
+    ) -> None:
+        reader, writer = await self._connect()
+        result.connections += 1
+        try:
+            try:
+                channel = _ControlChannel(
+                    reader, self._read_chunk_bytes, self._io_timeout
+                )
+                await self._handshake(writer, channel)
+                for frame in frames:
+                    writer.write(frame)
+                    await writer.drain()
+                    result.frames += 1
+                    result.bytes += len(frame)
+                writer.write(encode_control(FIN))
+                await writer.drain()
+                ack = await channel.next_message()
+            except (ConnectionError, OSError) as error:
+                # Honor the CollectionServiceError contract on the write
+                # side too: a server vanishing under writer.drain() must
+                # not escape as a raw ConnectionResetError.
+                raise CollectionServiceError(
+                    f"server dropped the connection mid-session: {error}"
+                ) from error
+            if ack.kind != ACK:
+                raise CollectionServiceError(
+                    f"expected ACK after FIN, got {ack.kind}: {ack.payload}"
+                )
+            acked_frames = int(ack.payload.get("frames", 0))
+            if acked_frames != len(frames):
+                raise CollectionServiceError(
+                    f"server acknowledged {acked_frames} frame(s), "
+                    f"client sent {len(frames)}"
+                )
+            result.acked_frames += acked_frames
+            result.acked_reports += int(ack.payload.get("reports", 0))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _poison_connection(self, result: ClientResult) -> None:
+        """Handshake, then send garbage and expect a per-connection ERR."""
+        reader, writer = await self._connect()
+        result.connections += 1
+        try:
+            channel = _ControlChannel(
+                reader, self._read_chunk_bytes, self._io_timeout
+            )
+            await self._handshake(writer, channel)
+            try:
+                writer.write(b"XXXX" + bytes(16))
+                await writer.drain()
+                message = await channel.next_message()
+            except (CollectionServiceError, ConnectionError, OSError):
+                # The server dropped the connection without (or while
+                # sending) an ERR frame — the rejection still happened.
+                message = None
+            if message is not None and message.kind != ERR:
+                raise CollectionServiceError(
+                    f"poison connection expected ERR, got {message.kind}"
+                )
+            result.rejected_connections += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(self, writer, channel: _ControlChannel) -> None:
+        try:
+            writer.write(self._hello)
+            await writer.drain()
+        except (ConnectionError, OSError) as error:
+            raise CollectionServiceError(
+                f"server dropped the connection during the handshake: {error}"
+            ) from error
+        response = await channel.next_message()
+        if response.kind == ERR:
+            reason = response.payload.get("error", "rejected")
+            diff = response.payload.get("diff")
+            detail = "\n  ".join([reason] + (diff or []))
+            raise CollectionServiceError(
+                f"server rejected the HELLO handshake: {detail}"
+            )
+        if response.kind != OK:
+            raise CollectionServiceError(
+                f"expected OK after HELLO, got {response.kind}"
+            )
+
+    async def _connect(self):
+        """Open one connection, retrying until ``connect_timeout`` passes.
+
+        Retrying covers the CI shape where the fleet starts while the
+        server process is still binding its socket.
+        """
+        deadline = time.monotonic() + self._connect_timeout
+        while True:
+            try:
+                return await asyncio.open_connection(self._host, self._port)
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise CollectionServiceError(
+                        f"cannot connect to {self._host}:{self._port} within "
+                        f"{self._connect_timeout:.1f}s: {error}"
+                    ) from error
+                await asyncio.sleep(0.05)

@@ -1,0 +1,537 @@
+"""The asyncio network collection service.
+
+:class:`CollectionServer` is the deployment-shaped aggregator: an
+``asyncio`` TCP server that accepts report streams framed by
+:mod:`repro.server.framing`, shards connections round-robin across
+per-worker :class:`~repro.service.AggregationSession`\\ s, and finalizes —
+through the sessions' exact ``merge`` algebra — to the same estimates as an
+in-process :meth:`~repro.protocols.base.MarginalReleaseProtocol.run_streaming`
+over the same encoded reports, bit for bit.
+
+Each connection follows the session protocol::
+
+    client                                server
+    ------                                ------
+    HELLO {spec, spec_hash, attributes}
+                                          OK {spec_hash, shard}   (or ERR + close)
+    report frame (RPRB bytes)  xN
+    FIN
+                                          ACK {frames, reports, bytes}
+
+Misbehaving clients — spec mismatches, malformed or truncated frames,
+report frames before ``HELLO`` — are rejected *per connection*: the server
+answers with an ``ERR`` control frame carrying the reason (and the spec
+diff, when that is the reason), closes that connection, and keeps serving
+everyone else.  Backpressure is structural: reads happen in bounded chunks
+against ``asyncio``'s flow-controlled stream buffer, and the frame decoder
+never holds more than one maximal frame (``max_frame_bytes``) plus one
+read chunk per connection.
+
+The server checkpoints its shards periodically and on shutdown (atomic
+temp-file-plus-rename writes via :meth:`AggregationSession.checkpoint`), so
+a crashed collector resumes from ``merge_checkpoints`` without losing the
+previous checkpoint to a torn write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..core.domain import Domain
+from ..core.exceptions import ProtocolConfigurationError, ReproError
+from ..protocols.wire import MAX_PAYLOAD_BYTES
+from ..service.session import AggregationSession
+from ..service.spec import ProtocolSpec
+from .framing import (
+    ACK,
+    FIN,
+    HELLO,
+    OK,
+    ERR,
+    ControlMessage,
+    FrameDecoder,
+    encode_control,
+)
+from .handshake import check_hello, spec_hash
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "CollectionServer",
+    "merge_checkpoints",
+]
+
+_logger = logging.getLogger(__name__)
+
+#: Default per-frame cap for network submissions (64 MiB).  Far above any
+#: realistic report batch, far below the codec's 1 GiB hard limit — a
+#: connection cannot make one shard buffer a gigabyte on a forged header.
+DEFAULT_MAX_FRAME_BYTES = 64 << 20
+
+PathLike = Union[str, Path]
+
+
+class _Reject(Exception):
+    """Close this connection with an ``ERR`` frame; the server keeps running."""
+
+    def __init__(self, reason: str, diff: Optional[List[str]] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.diff = list(diff) if diff else None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"error": self.reason}
+        if self.diff:
+            body["diff"] = self.diff
+        return body
+
+
+class CollectionServer:
+    """A sharded, checkpointing TCP collector for one protocol spec.
+
+    Parameters
+    ----------
+    spec:
+        The collection contract (a :class:`ProtocolSpec` or a live protocol
+        instance), exactly as for :class:`AggregationSession`.
+    domain:
+        The attribute domain every client must report over.
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    shards:
+        Number of independent :class:`AggregationSession` shards; incoming
+        connections are assigned round-robin.  Estimates are shard-invariant
+        by the accumulators' merge algebra.
+    max_frame_bytes:
+        Per-frame payload cap for this server (backpressure bound).
+    checkpoint_dir, checkpoint_interval:
+        When set, every shard is checkpointed to
+        ``checkpoint_dir/shard-NN.npz`` every ``checkpoint_interval``
+        seconds and once more on :meth:`stop`.
+    stop_after_reports:
+        When set, :meth:`serve_until_stopped` returns once this many user
+        reports have been collected (the current connections drain first).
+    """
+
+    def __init__(
+        self,
+        spec,
+        domain: Domain,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 1,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        read_chunk_bytes: int = 1 << 16,
+        checkpoint_dir: Optional[PathLike] = None,
+        checkpoint_interval: Optional[float] = None,
+        stop_after_reports: Optional[int] = None,
+        drain_timeout: float = 10.0,
+    ):
+        if shards < 1:
+            raise ProtocolConfigurationError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        if not 0 < max_frame_bytes <= MAX_PAYLOAD_BYTES:
+            # Validated here, not per connection: a bad value must fail the
+            # server at construction, never crash connection handlers.
+            raise ProtocolConfigurationError(
+                f"max_frame_bytes must be in (0, {MAX_PAYLOAD_BYTES}], "
+                f"got {max_frame_bytes}"
+            )
+        if read_chunk_bytes < 1:
+            raise ProtocolConfigurationError(
+                f"read_chunk_bytes must be >= 1, got {read_chunk_bytes}"
+            )
+        if checkpoint_interval is not None:
+            if checkpoint_dir is None:
+                raise ProtocolConfigurationError(
+                    "checkpoint_interval requires checkpoint_dir"
+                )
+            if checkpoint_interval <= 0:
+                raise ProtocolConfigurationError(
+                    f"checkpoint_interval must be > 0, got {checkpoint_interval}"
+                )
+        if stop_after_reports is not None and stop_after_reports < 1:
+            raise ProtocolConfigurationError(
+                f"stop_after_reports must be >= 1, got {stop_after_reports}"
+            )
+        self._sessions = [
+            AggregationSession(spec, domain) for _ in range(shards)
+        ]
+        self._spec = self._sessions[0].spec
+        self._domain = domain
+        # The handshake compares canonical forms so clients that spell
+        # defaults differently (or tune pure performance knobs) still pass.
+        self._canonical_spec = ProtocolSpec.from_protocol(
+            self._sessions[0].protocol
+        )
+        self._tuning_options = self._sessions[0].protocol.tuning_options()
+        self._spec_hash = spec_hash(self._canonical_spec)
+        self._host = host
+        self._requested_port = port
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._read_chunk_bytes = int(read_chunk_bytes)
+        self._checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._checkpoint_interval = checkpoint_interval
+        self._stop_after_reports = stop_after_reports
+        self._drain_timeout = drain_timeout
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._checkpoint_task: Optional[asyncio.Task] = None
+        self._stop_event = asyncio.Event()
+        self._handlers: set = set()
+        self._writers: set = set()
+        self._port: Optional[int] = None
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+        self._connections_total = 0
+        self._connections_active = 0
+        self._connections_completed = 0
+        self._connections_rejected = 0
+        self._connections_dropped = 0
+        self._frames_total = 0
+        self._reports_total = 0
+        self._bytes_total = 0
+        self._checkpoints_written = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def spec(self) -> ProtocolSpec:
+        return self._spec
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (``None`` before :meth:`start`)."""
+        return self._port
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def sessions(self) -> Sequence[AggregationSession]:
+        """The live shard sessions (read them, don't mutate them)."""
+        return tuple(self._sessions)
+
+    @property
+    def num_reports(self) -> int:
+        return sum(session.num_reports for session in self._sessions)
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_event.is_set()
+
+    def stats(self) -> Dict[str, Any]:
+        """A point-in-time snapshot of the server's counters."""
+        now = time.monotonic()
+        elapsed = None
+        if self._started_at is not None:
+            elapsed = (self._stopped_at or now) - self._started_at
+        return {
+            "address": {"host": self._host, "port": self._port},
+            "spec": self._spec.to_dict(),
+            "spec_hash": self._spec_hash,
+            "uptime_seconds": elapsed,
+            "connections": {
+                "total": self._connections_total,
+                "active": self._connections_active,
+                "completed": self._connections_completed,
+                "rejected": self._connections_rejected,
+                "dropped": self._connections_dropped,
+            },
+            "frames": self._frames_total,
+            "reports": self._reports_total,
+            "bytes": self._bytes_total,
+            "reports_per_second": (
+                self._reports_total / elapsed if elapsed else None
+            ),
+            "shard_reports": [
+                session.num_reports for session in self._sessions
+            ],
+            "checkpoints_written": self._checkpoints_written,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    async def start(self) -> "CollectionServer":
+        """Bind the listening socket and start accepting clients."""
+        if self._server is not None:
+            raise ProtocolConfigurationError("the server is already started")
+        # A stopped server may be started again (the shard sessions carry
+        # over); clear any stale stop request so serve_until_stopped serves.
+        self._stop_event.clear()
+        self._server = await asyncio.start_server(
+            self._on_client, self._host, self._requested_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        if self._checkpoint_interval is not None:
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_loop()
+            )
+        _logger.info(
+            "collection server for %s listening on %s:%d (%d shard(s))",
+            self._spec.describe(),
+            self._host,
+            self._port,
+            self.num_shards,
+        )
+        return self
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_until_stopped` to shut the server down."""
+        self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (or ``stop_after_reports``) fires.
+
+        Starts the server if :meth:`start` was not called yet, then blocks
+        until the stop condition, drains in-flight connections and shuts
+        down (writing a final checkpoint when configured).
+        """
+        if self._server is None:
+            await self.start()
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting clients, drain handlers, write a final checkpoint."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        if self._handlers:
+            done, pending = await asyncio.wait(
+                set(self._handlers), timeout=self._drain_timeout
+            )
+            if pending:
+                _logger.warning(
+                    "force-closing %d connection(s) still open after the "
+                    "%.1fs drain timeout",
+                    len(pending),
+                    self._drain_timeout,
+                )
+                for writer in list(self._writers):
+                    writer.close()
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+            self._checkpoint_task = None
+        if self._checkpoint_dir is not None:
+            self.checkpoint()
+        self._stopped_at = time.monotonic()
+        self._server = None
+
+    # ------------------------------------------------------------------ #
+    # aggregation results
+
+    def combined_session(self) -> AggregationSession:
+        """A fresh session holding every shard's state, shards untouched."""
+        combined = AggregationSession(self._spec, self._domain)
+        for session in self._sessions:
+            combined.merge(session)
+        return combined
+
+    def finalize(self):
+        """Merge the shards and finalize to the protocol's estimator."""
+        return self.combined_session().snapshot()
+
+    def checkpoint(self) -> List[Path]:
+        """Checkpoint every shard to ``checkpoint_dir/shard-NN.npz`` now."""
+        if self._checkpoint_dir is None:
+            raise ProtocolConfigurationError(
+                "this server was built without a checkpoint_dir"
+            )
+        paths = []
+        for index, session in enumerate(self._sessions):
+            paths.append(
+                session.checkpoint(
+                    self._checkpoint_dir / f"shard-{index:02d}.npz"
+                )
+            )
+        self._checkpoints_written += 1
+        return paths
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._checkpoint_interval)
+            try:
+                self.checkpoint()
+            except OSError as error:  # disk full, permissions — keep serving
+                _logger.error("periodic checkpoint failed: %s", error)
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+
+    async def _on_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        self._writers.add(writer)
+        try:
+            await self._handle_connection(reader, writer)
+        except Exception:  # pragma: no cover - last-resort guard
+            _logger.exception("connection handler crashed")
+        finally:
+            self._handlers.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_connection(self, reader, writer) -> None:
+        index = self._connections_total
+        self._connections_total += 1
+        self._connections_active += 1
+        shard = self._sessions[index % len(self._sessions)]
+        greeted = False
+        finished = False
+        frames = reports = received = 0
+        try:
+            decoder = FrameDecoder(max_frame_bytes=self._max_frame_bytes)
+            while not finished:
+                chunk = await reader.read(self._read_chunk_bytes)
+                if not chunk:
+                    break
+                for item in decoder.feed(chunk):
+                    if isinstance(item, ControlMessage):
+                        if item.kind == HELLO:
+                            if greeted:
+                                raise _Reject("duplicate HELLO")
+                            problems = check_hello(
+                                item.payload,
+                                self._canonical_spec,
+                                self._tuning_options,
+                                self._domain.attributes,
+                            )
+                            if problems:
+                                raise _Reject("spec mismatch", problems)
+                            greeted = True
+                            writer.write(
+                                encode_control(
+                                    OK,
+                                    {
+                                        "spec_hash": self._spec_hash,
+                                        "shard": index % len(self._sessions),
+                                    },
+                                )
+                            )
+                            await writer.drain()
+                        elif item.kind == FIN:
+                            if not greeted:
+                                raise _Reject("FIN before HELLO")
+                            writer.write(
+                                encode_control(
+                                    ACK,
+                                    {
+                                        "frames": frames,
+                                        "reports": reports,
+                                        "bytes": received,
+                                    },
+                                )
+                            )
+                            await writer.drain()
+                            finished = True
+                            break
+                        else:
+                            raise _Reject(
+                                f"unexpected control frame {item.kind!r}"
+                            )
+                    else:
+                        if not greeted:
+                            raise _Reject("report frame before HELLO")
+                        before = shard.num_reports
+                        shard.submit(item)
+                        added = shard.num_reports - before
+                        frames += 1
+                        reports += added
+                        received += len(item)
+                        self._frames_total += 1
+                        self._reports_total += added
+                        self._bytes_total += len(item)
+                        if (
+                            self._stop_after_reports is not None
+                            and self._reports_total >= self._stop_after_reports
+                        ):
+                            self._stop_event.set()
+            if finished:
+                self._connections_completed += 1
+            else:
+                # EOF without FIN: the client vanished.  Whatever complete
+                # frames it sent were already aggregated; a trailing partial
+                # frame is simply discarded with the connection.
+                self._connections_dropped += 1
+                if not decoder.at_frame_boundary:
+                    _logger.debug(
+                        "connection %d closed mid-frame (%d byte(s) buffered)",
+                        index,
+                        decoder.buffered_bytes,
+                    )
+        except _Reject as rejection:
+            self._connections_rejected += 1
+            _logger.info("rejecting connection %d: %s", index, rejection.reason)
+            await self._send_error(writer, rejection.payload())
+        except ReproError as error:
+            # WireFormatError (malformed frames) and every other library
+            # error a hostile stream can provoke — e.g. AggregationError on
+            # report frames whose shapes don't match the domain — reject
+            # this connection with a readable ERR, never crash the handler.
+            self._connections_rejected += 1
+            _logger.info(
+                "rejecting connection %d (bad submission): %s", index, error
+            )
+            await self._send_error(writer, {"error": str(error)})
+        except (ConnectionError, OSError):
+            self._connections_dropped += 1
+        finally:
+            self._connections_active -= 1
+
+    @staticmethod
+    async def _send_error(writer, payload: Dict[str, Any]) -> None:
+        try:
+            writer.write(encode_control(ERR, payload))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the peer is already gone; the rejection still counted
+
+
+def merge_checkpoints(paths: Sequence[PathLike]) -> AggregationSession:
+    """Restore shard checkpoints and merge them into one session.
+
+    The inverse of :meth:`CollectionServer.checkpoint`: hand it the
+    ``shard-NN.npz`` files (any order) and the returned session resumes the
+    aggregation exactly where the collector stopped.
+    """
+    paths = list(paths)
+    if not paths:
+        raise ProtocolConfigurationError(
+            "merge_checkpoints needs at least one checkpoint path"
+        )
+    merged = AggregationSession.restore(paths[0])
+    for path in paths[1:]:
+        merged.merge(AggregationSession.restore(path))
+    return merged

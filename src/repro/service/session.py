@@ -19,6 +19,8 @@ untrusted storage — a malformed file raises
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import zipfile
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -200,7 +202,9 @@ class AggregationSession:
 
         The file is self-contained: :meth:`restore` rebuilds an equivalent
         session in a fresh process and the resumed aggregation finalizes to
-        estimates bit-for-bit identical to an uninterrupted run.
+        estimates bit-for-bit identical to an uninterrupted run.  The write
+        is atomic (temp file + ``os.replace``), so an interrupted
+        checkpoint leaves the previous one intact.
         """
         path = Path(path)
         state = self._accumulator.state_dict()
@@ -219,8 +223,40 @@ class AggregationSession:
             _STATE_PREFIX + key: np.asarray(value) for key, value in state.items()
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            np.savez(handle, **{_HEADER_KEY: np.array(json.dumps(header))}, **arrays)
+        # Write-then-rename so a crash (or full disk) mid-write can never
+        # destroy the previous checkpoint: the new bytes land in a sibling
+        # temp file and only an atomic os.replace makes them visible.
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb",
+            dir=path.parent,
+            prefix=path.name + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        temp_path = Path(handle.name)
+        try:
+            with handle:
+                np.savez(
+                    handle,
+                    **{_HEADER_KEY: np.array(json.dumps(header))},
+                    **arrays,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            # NamedTemporaryFile creates 0600; give the checkpoint the same
+            # umask-governed mode a plain open() would have produced, so
+            # other-user readers (backup jobs, merge_checkpoints) keep
+            # working across the atomic-write change.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.chmod(temp_path, 0o666 & ~umask)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                temp_path.unlink()
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

@@ -127,7 +127,7 @@ class ProtocolSpec:
                 f"unknown protocol {self.protocol!r}; available: "
                 f"{available_protocols()}"
             ) from None
-        accepted = self._accepted_options(protocol_class)
+        accepted = self.accepted_options(protocol_class)
         unknown = sorted(set(self.options) - set(accepted))
         if unknown:
             raise ProtocolConfigurationError(
@@ -157,8 +157,13 @@ class ProtocolSpec:
         return ProtocolSpec.from_protocol(self.build())
 
     @staticmethod
-    def _accepted_options(protocol_class) -> List[str]:
-        """Constructor keywords beyond the shared ``(budget, max_width)``."""
+    def accepted_options(protocol_class) -> List[str]:
+        """Constructor keywords beyond the shared ``(budget, max_width)``.
+
+        Public because it defines the ``options`` half of the machine-
+        readable protocol listing (``repro list --json``) that external
+        tooling validates configs against.
+        """
         parameters = inspect.signature(protocol_class.__init__).parameters
         return [
             name

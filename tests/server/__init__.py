@@ -1,0 +1,1 @@
+"""Tests for the network collection service (repro.server)."""

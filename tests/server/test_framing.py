@@ -1,0 +1,253 @@
+"""FrameDecoder and control-frame codec: reassembly and rejection.
+
+The satellite acceptance bar: wire frames split at *every* byte boundary
+reassemble identically through the incremental decoder, and truncated or
+corrupted mid-stream frames raise ``WireFormatError`` immediately instead
+of buffering unbounded garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import WireFormatError
+from repro.server.framing import (
+    ACK,
+    CONTROL_KINDS,
+    ERR,
+    FIN,
+    HELLO,
+    MAX_CONTROL_BYTES,
+    OK,
+    SERVER_PROTOCOL_VERSION,
+    ControlMessage,
+    FrameDecoder,
+    encode_control,
+)
+
+from ..service.util import build, encode_frames, small_dataset
+
+
+@pytest.fixture(scope="module")
+def report_frames():
+    """Two real InpHT report frames (different batch sizes)."""
+    return encode_frames(build("InpHT"), small_dataset(n=48, d=4), 24)
+
+
+@pytest.fixture(scope="module")
+def mixed_stream(report_frames):
+    """A full session byte stream: HELLO, two report frames, FIN."""
+    items = [
+        ControlMessage(HELLO, {"spec": {"protocol": "InpHT"}, "attributes": []}),
+        report_frames[0],
+        report_frames[1],
+        ControlMessage(FIN, {}),
+    ]
+    stream = b"".join(
+        encode_control(item.kind, item.payload)
+        if isinstance(item, ControlMessage)
+        else item
+        for item in items
+    )
+    return stream, items
+
+
+def _assert_items_equal(observed, expected):
+    assert len(observed) == len(expected)
+    for seen, wanted in zip(observed, expected):
+        if isinstance(wanted, ControlMessage):
+            assert isinstance(seen, ControlMessage)
+            assert seen.kind == wanted.kind
+            assert seen.payload == wanted.payload
+        else:
+            assert isinstance(seen, bytes)
+            assert seen == wanted
+
+
+class TestControlCodec:
+    @pytest.mark.parametrize("kind", sorted(CONTROL_KINDS))
+    def test_round_trip(self, kind):
+        payload = {"value": 7, "nested": {"list": [1, 2, 3]}}
+        decoder = FrameDecoder()
+        (message,) = decoder.feed(encode_control(kind, payload))
+        assert message == ControlMessage(kind, payload)
+        assert decoder.at_frame_boundary
+
+    def test_empty_payload_defaults_to_object(self):
+        decoder = FrameDecoder()
+        (message,) = decoder.feed(encode_control(FIN))
+        assert message == ControlMessage(FIN, {})
+
+    def test_unknown_kind_rejected_on_encode(self):
+        with pytest.raises(WireFormatError, match="unknown control kind"):
+            encode_control("NOPE", {})
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(WireFormatError, match="not JSON-serializable"):
+            encode_control(OK, {"oops": object()})
+
+
+class TestReassembly:
+    def test_whole_stream_at_once(self, mixed_stream):
+        stream, expected = mixed_stream
+        decoder = FrameDecoder()
+        _assert_items_equal(decoder.feed(stream), expected)
+        assert decoder.at_frame_boundary
+
+    def test_byte_at_a_time(self, mixed_stream):
+        """Feeding single bytes crosses every split boundary in the stream."""
+        stream, expected = mixed_stream
+        decoder = FrameDecoder()
+        observed = []
+        for position in range(len(stream)):
+            observed.extend(decoder.feed(stream[position : position + 1]))
+        _assert_items_equal(observed, expected)
+        assert decoder.at_frame_boundary
+
+    def test_every_two_part_split(self, report_frames):
+        """One frame cut at every byte offset reassembles identically."""
+        frame = report_frames[0]
+        for split in range(len(frame) + 1):
+            decoder = FrameDecoder()
+            observed = decoder.feed(frame[:split])
+            observed += decoder.feed(frame[split:])
+            assert observed == [frame], f"split at byte {split}"
+
+    def test_random_chunkings(self, mixed_stream):
+        stream, expected = mixed_stream
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            decoder = FrameDecoder()
+            observed = []
+            position = 0
+            while position < len(stream):
+                step = int(rng.integers(1, 4096))
+                observed.extend(decoder.feed(stream[position : position + step]))
+                position += step
+            _assert_items_equal(observed, expected)
+
+    def test_partial_frame_stays_buffered(self, report_frames):
+        frame = report_frames[0]
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert not decoder.at_frame_boundary
+        assert decoder.buffered_bytes == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [frame]
+        assert decoder.at_frame_boundary
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="magic"):
+            decoder.feed(b"XXXXxxxxxxxxxxxx")
+
+    def test_bad_magic_mid_stream(self, report_frames):
+        """Corruption raises even when a complete frame precedes it.
+
+        The whole chunk is condemned: a connection whose stream corrupts is
+        rejected, and frames without an ACK carry no delivery guarantee.
+        """
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="magic"):
+            decoder.feed(report_frames[0] + b"GARBAGEG")
+        good = FrameDecoder().feed(report_frames[0])
+        assert good == [report_frames[0]]
+
+    def test_wrong_report_version(self, report_frames):
+        frame = bytearray(report_frames[0])
+        frame[4] ^= 0xFF  # version u16 little-endian low byte
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="version"):
+            decoder.feed(bytes(frame))
+
+    def test_wrong_control_version(self):
+        frame = bytearray(encode_control(OK, {}))
+        frame[4] ^= 0xFF
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="version"):
+            decoder.feed(bytes(frame))
+
+    def test_oversized_report_payload_rejected_early(self):
+        """A forged length field fails before any payload arrives."""
+        kind = b"InpHT"
+        header = (
+            struct.pack("<4sHH", b"RPRB", 1, len(kind))
+            + kind
+            + struct.pack("<Q", 1 << 40)
+        )
+        decoder = FrameDecoder(max_frame_bytes=1 << 20)
+        with pytest.raises(WireFormatError, match="limit"):
+            decoder.feed(header)
+
+    def test_oversized_control_payload_rejected_early(self):
+        kind = b"HELLO"
+        header = (
+            struct.pack("<4sHH", b"RPRC", SERVER_PROTOCOL_VERSION, len(kind))
+            + kind
+            + struct.pack("<Q", MAX_CONTROL_BYTES + 1)
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="limit"):
+            decoder.feed(header)
+
+    def test_non_json_control_payload(self):
+        frame = bytearray(encode_control(ACK, {"frames": 1}))
+        frame[-6:] = b"not-js"
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="JSON"):
+            decoder.feed(bytes(frame))
+
+    def test_non_object_control_payload(self):
+        body = json.dumps([1, 2, 3]).encode()
+        kind = b"ACK"
+        frame = (
+            struct.pack("<4sHH", b"RPRC", SERVER_PROTOCOL_VERSION, len(kind))
+            + kind
+            + struct.pack("<Q", len(body))
+            + body
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="JSON object"):
+            decoder.feed(frame)
+
+    def test_unknown_control_kind(self):
+        body = b"{}"
+        kind = b"WHAT"
+        frame = (
+            struct.pack("<4sHH", b"RPRC", SERVER_PROTOCOL_VERSION, len(kind))
+            + kind
+            + struct.pack("<Q", len(body))
+            + body
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError, match="unknown control kind"):
+            decoder.feed(frame)
+
+    def test_poisoned_decoder_stays_poisoned(self, report_frames):
+        decoder = FrameDecoder()
+        with pytest.raises(WireFormatError):
+            decoder.feed(b"XXXXxxxxxxxxxxxx")
+        with pytest.raises(WireFormatError):
+            decoder.feed(report_frames[0])
+
+    def test_bad_max_frame_bytes(self):
+        with pytest.raises(WireFormatError, match="max_frame_bytes"):
+            FrameDecoder(max_frame_bytes=0)
+
+
+class TestDecodedFramesStillDecode:
+    def test_report_frame_passthrough_is_bitwise(self, report_frames):
+        """The decoder relays report frames byte-identically, so the wire
+        codec decodes them exactly as if they never crossed a socket."""
+        protocol = build("InpHT")
+        decoder = FrameDecoder()
+        for frame in report_frames:
+            (relayed,) = decoder.feed(frame)
+            assert relayed == frame
+            reports = protocol.decode_reports(relayed)
+            assert reports.num_users > 0

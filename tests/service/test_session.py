@@ -430,3 +430,76 @@ class TestTuningOptionMerge:
             np.savez(handle, header=np.array(json.dumps(header)), **arrays)
         with pytest.raises(WireFormatError, match="corrupted header"):
             AggregationSession.restore(bad)
+
+
+class TestAtomicCheckpoint:
+    """checkpoint() must never destroy the previous checkpoint file.
+
+    The write goes to a sibling temp file that is atomically renamed over
+    the target, so a crash (or full disk) mid-write leaves the old
+    checkpoint byte-identical and restorable.
+    """
+
+    def test_interrupted_write_preserves_previous_checkpoint(
+        self, tmp_path, dataset, monkeypatch
+    ):
+        protocol = build("InpHT")
+        frames = encode_frames(protocol, dataset, BATCH_SIZE)
+        session = AggregationSession(protocol.spec(), dataset.domain)
+        for frame in frames[:2]:
+            session.submit(frame)
+        path = tmp_path / "session.npz"
+        session.checkpoint(path)
+        good_bytes = path.read_bytes()
+
+        for frame in frames[2:]:
+            session.submit(frame)
+
+        real_savez = np.savez
+
+        def torn_write(handle, **arrays):
+            # Simulate a crash mid-checkpoint: some bytes land, then boom.
+            handle.write(b"partial garbage that is not an npz archive")
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(np, "savez", torn_write)
+        with pytest.raises(OSError, match="disk full"):
+            session.checkpoint(path)
+        monkeypatch.setattr(np, "savez", real_savez)
+
+        # The previous checkpoint survived byte-for-byte and still restores.
+        assert path.read_bytes() == good_bytes
+        restored = AggregationSession.restore(path)
+        assert restored.num_reports == 2 * BATCH_SIZE
+        # No temp-file litter either.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_rewrite_replaces_previous_checkpoint(self, tmp_path, dataset):
+        protocol = build("InpRR")
+        frames = encode_frames(protocol, dataset, BATCH_SIZE)
+        session = AggregationSession(protocol.spec(), dataset.domain)
+        session.submit(frames[0])
+        path = tmp_path / "session.npz"
+        session.checkpoint(path)
+        for frame in frames[1:]:
+            session.submit(frame)
+        session.checkpoint(path)
+        restored = AggregationSession.restore(path)
+        assert restored.num_reports == dataset.size
+        assert_estimates_equal(
+            estimates_of(restored.snapshot()), estimates_of(session.snapshot())
+        )
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_checkpoint_mode_honors_umask(self, tmp_path, dataset):
+        """The atomic temp-file write must not leak NamedTemporaryFile's
+        0600 mode onto the checkpoint; other-user readers keep working."""
+        protocol = build("InpRR")
+        session = AggregationSession(protocol.spec(), dataset.domain)
+        session.submit(encode_frames(protocol, dataset, None)[0])
+        previous_umask = os.umask(0o022)
+        try:
+            path = session.checkpoint(tmp_path / "mode.npz")
+        finally:
+            os.umask(previous_umask)
+        assert (path.stat().st_mode & 0o777) == 0o644

@@ -498,3 +498,229 @@ class TestServiceRoundTrip:
             "encode", "--protocol", "InpHT", "--epsilon", "1.0",
             "--width", "2", "-n", "20", "-d", "4",
         ]) == 0
+
+
+class TestListJson:
+    """`repro list --json` is the machine-readable contract for tooling
+    (loadgen config validation); the human tables stay the default."""
+
+    def test_json_listing_structure(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "experiments",
+            "protocols",
+            "datasets",
+            "executors",
+        }
+        assert set(payload["experiments"]) == set(EXPERIMENTS)
+        from repro.protocols.registry import available_protocols
+
+        assert set(payload["protocols"]) == set(available_protocols())
+        entry = payload["protocols"]["InpOLH"]
+        assert entry["core"] is False
+        assert "decode_batch_size" in entry["options"]
+        assert "decode_batch_size" in entry["tuning_options"]
+        assert "num_buckets" in entry["default_options"]
+        assert payload["protocols"]["InpHT"]["core"] is True
+        assert "taxi" in payload["datasets"]
+        assert "serial" in payload["executors"]
+
+    def test_human_listing_includes_protocols(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "protocols:" in output
+        assert "InpHT" in output
+        assert "baseline" in output
+
+
+class TestServeLoadValidation:
+    def test_serve_requires_a_contract(self, capsys):
+        assert main(["serve", "--dimension", "4"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_serve_rejects_spec_and_protocol_together(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            '{"format_version": 1, "protocol": "InpRR", "epsilon": 1.0, '
+            '"max_width": 2, "options": {}}'
+        )
+        assert main([
+            "serve", "--spec", str(spec_path), "--protocol", "InpRR",
+            "--epsilon", "1.0", "--width", "2", "--dimension", "4",
+        ]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_requires_a_domain(self, capsys):
+        assert main([
+            "serve", "--protocol", "InpRR", "--epsilon", "1.0", "--width", "2",
+        ]) == 2
+        assert "--dimension" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_protocol(self, capsys):
+        assert main([
+            "serve", "--protocol", "InpMagic", "--epsilon", "1.0",
+            "--width", "2", "--dimension", "4",
+        ]) == 2
+        assert "InpMagic" in capsys.readouterr().err
+
+    def test_serve_checkpoint_interval_requires_dir(self, capsys):
+        assert main([
+            "serve", "--protocol", "InpRR", "--epsilon", "1.0", "--width", "2",
+            "--dimension", "4", "--checkpoint-interval", "5",
+        ]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_load_requires_a_contract(self, capsys):
+        assert main(["load", "--dimension", "4"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_load_inline_protocol_requires_epsilon_and_width(self, capsys):
+        assert main(["load", "--protocol", "InpRR", "--dimension", "4"]) == 2
+        assert "--epsilon" in capsys.readouterr().err
+
+    def test_load_against_dead_port_fails_cleanly(self, capsys):
+        assert main([
+            "load", "--protocol", "InpRR", "--epsilon", "1.0", "--width", "2",
+            "--dimension", "4", "--port", "1", "--clients", "1",
+            "--records-per-client", "8", "--connect-timeout", "0.2",
+        ]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+
+class TestServeLoadRoundTrip:
+    """The socket round trip: `repro serve` in a real child process,
+    `repro load` in-process, estimates equal to run_streaming."""
+
+    def test_serve_load_matches_run_streaming(self, tmp_path, capsys):
+        import os
+        import re
+        import subprocess
+        import sys
+
+        import numpy as np
+
+        import repro
+        from repro.experiments.harness import make_dataset
+        from repro.protocols.registry import make_protocol
+
+        source_root = __import__("pathlib").Path(
+            repro.__file__
+        ).resolve().parents[1]
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.pathsep.join(
+            [str(source_root)]
+            + ([environment["PYTHONPATH"]] if "PYTHONPATH" in environment else [])
+        )
+        server_json = tmp_path / "server.json"
+        ckpt_dir = tmp_path / "ckpt"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--protocol", "InpRR", "--epsilon", "1.1", "--width", "2",
+                "--dimension", "5", "--port", "0", "--shards", "2",
+                "--stop-after-reports", "600",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--json", str(server_json),
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=environment,
+        )
+        try:
+            ready = process.stderr.readline()
+            match = re.search(r"on 127\.0\.0\.1:(\d+)", ready)
+            assert match, f"no readiness line: {ready!r}"
+            port = match.group(1)
+            load_json = tmp_path / "load.json"
+            assert main([
+                "load",
+                "--protocol", "InpRR", "--epsilon", "1.1", "--width", "2",
+                "--dimension", "5", "--port", port, "--clients", "10",
+                "--dataset", "uniform", "-n", "600", "--batch-size", "100",
+                "--seed", "11", "--malformed", "2",
+                "--json", str(load_json),
+            ]) == 0
+            rendered = capsys.readouterr().out
+            assert "600 acked" in rendered
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stderr.close()
+        assert process.returncode == 0
+
+        payload = json.loads(server_json.read_text())
+        assert payload["num_reports"] == 600
+        assert payload["server"]["connections"]["rejected"] == 2
+        assert sorted(
+            path.name for path in ckpt_dir.glob("shard-*.npz")
+        ) == ["shard-00.npz", "shard-01.npz"]
+
+        generator = np.random.default_rng(11)
+        dataset = make_dataset("uniform", 600, 5, generator)
+        baseline = make_protocol("InpRR", 1.1, 2).run_streaming(
+            dataset, rng=generator, batch_size=100
+        )
+        expected = [
+            [float(value) for value in table.values]
+            for _, table in sorted(baseline.query_all().items())
+        ]
+        observed = [entry["values"] for entry in payload["marginals"]]
+        assert observed == expected
+
+        fleet_report = json.loads(load_json.read_text())
+        assert fleet_report["acked_reports"] == 600
+        assert fleet_report["rejected_connections"] == 2
+
+    def test_serve_with_no_reports_emits_consistent_json(self, tmp_path):
+        import os
+        import re
+        import signal as signal_module
+        import subprocess
+        import sys
+
+        import repro
+
+        source_root = __import__("pathlib").Path(
+            repro.__file__
+        ).resolve().parents[1]
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.pathsep.join(
+            [str(source_root)]
+            + ([environment["PYTHONPATH"]] if "PYTHONPATH" in environment else [])
+        )
+        server_json = tmp_path / "empty.json"
+        rendered_txt = tmp_path / "empty.txt"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--protocol", "InpRR", "--epsilon", "1.0", "--width", "2",
+                "--dimension", "4", "--port", "0",
+                "--json", str(server_json), "--output", str(rendered_txt),
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=environment,
+        )
+        try:
+            ready = process.stderr.readline()
+            assert re.search(r"on 127\.0\.0\.1:\d+", ready), ready
+            process.send_signal(signal_module.SIGTERM)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stderr.close()
+        assert process.returncode == 0
+        payload = json.loads(server_json.read_text())
+        # Same shape as the non-empty path: consumers read num_reports,
+        # spec, attributes and marginals without special-casing.
+        assert payload["num_reports"] == 0
+        assert payload["marginals"] == []
+        assert payload["spec"]["protocol"] == "InpRR"
+        assert payload["attributes"] == ["attr0", "attr1", "attr2", "attr3"]
+        assert payload["server"]["connections"]["total"] == 0
+        assert "reports   : 0" in rendered_txt.read_text()
