@@ -13,7 +13,14 @@ Run with:  PYTHONPATH=src python benchmarks/bench_server_throughput.py [--smoke]
 
 Results merge into ``BENCH_server.json`` (schema ``bench-server/v1``),
 following the ``BENCH_kernels.json`` profile layout, so CI and future PRs
-have a machine-readable throughput baseline to compare against.
+have a machine-readable throughput baseline to compare against.  Every
+cell records best-of-``repeats`` throughput plus the per-repeat samples
+and their standard deviation, so a reader can tell a real regression from
+scheduler noise.
+
+``--check`` turns the run into a regression gate (mirroring
+``scripts/run_benchmarks.py``): it fails when any (protocol, concurrency)
+cell's fresh reports/sec falls below half the checked-in baseline's.
 """
 
 from __future__ import annotations
@@ -52,9 +59,12 @@ PROFILES = {
         "batch_size": 300,
         "shards": 2,
         "concurrencies": (1, 8),
-        "repeats": 1,
+        "repeats": 2,
     },
 }
+
+#: A cell regresses when its reports/sec falls below baseline / 2.
+REGRESSION_FACTOR = 2.0
 
 #: One protocol whose aggregation is a cheap vector sum, one whose decode
 #: dominates the server's per-frame work.
@@ -93,6 +103,7 @@ def bench_protocol(name, params):
     results = {}
     for concurrency in params["concurrencies"]:
         best = None
+        samples = []
         for _ in range(params["repeats"]):
             report = asyncio.run(
                 _collect_once(
@@ -104,26 +115,63 @@ def bench_protocol(name, params):
                     params["population"],
                 )
             )
+            samples.append(report.reports_per_second)
             if best is None or report.duration_seconds < best.duration_seconds:
                 best = report
+        stddev = float(np.std(samples))
         results[str(concurrency)] = {
             "duration_seconds": best.duration_seconds,
             "reports_per_second": best.reports_per_second,
+            "reports_per_second_stddev": stddev,
+            "reports_per_second_samples": samples,
             "megabytes_per_second": best.megabytes_per_second,
             "params": {
                 "clients": concurrency,
                 "frames": len(frames),
                 "bytes": total_bytes,
                 "reports": best.acked_reports,
+                "repeats": params["repeats"],
                 "shards": params["shards"],
             },
         }
         print(
             f"  {name:8s} clients={concurrency:<3d} "
-            f"{best.reports_per_second:>12,.0f} reports/s  "
+            f"{best.reports_per_second:>12,.0f} reports/s "
+            f"(±{stddev:>10,.0f} over {params['repeats']} repeat(s))  "
             f"{best.megabytes_per_second:>8.2f} MB/s"
         )
     return results
+
+
+def load_report(path: Path) -> dict:
+    with path.open() as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report
+
+
+def check_regressions(result: dict, baseline_profile: dict) -> list:
+    """Compare fresh per-cell reports/sec against the recorded baseline."""
+    failures = []
+    for name, cells in result["protocols"].items():
+        recorded_cells = baseline_profile.get("protocols", {}).get(name, {})
+        for concurrency, entry in cells.items():
+            recorded = recorded_cells.get(concurrency)
+            if recorded is None:
+                continue
+            floor = recorded["reports_per_second"] / REGRESSION_FACTOR
+            if entry["reports_per_second"] < floor:
+                failures.append(
+                    f"{name} clients={concurrency}: "
+                    f"{entry['reports_per_second']:,.0f} reports/s fell below "
+                    f"{floor:,.0f} (baseline "
+                    f"{recorded['reports_per_second']:,.0f} / "
+                    f"{REGRESSION_FACTOR:g})"
+                )
+    return failures
 
 
 def run_profile(profile_name):
@@ -152,8 +200,35 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_server.json",
         help="JSON file to write/merge results into",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="checked-in baseline JSON to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if any cell's reports/sec regressed >2x vs the baseline",
+    )
     arguments = parser.parse_args(argv)
     profile_name = "smoke" if arguments.smoke else "full"
+
+    # Snapshot the baseline *before* any writing: with the default paths
+    # the output and the baseline are the same file, and gating against
+    # the just-written results would make the check vacuous.
+    baseline_profile = None
+    baseline_path = None
+    if arguments.check:
+        baseline_path = arguments.baseline or (REPO_ROOT / "BENCH_server.json")
+        baseline = load_report(baseline_path)
+        baseline_profile = baseline["profiles"].get(profile_name)
+        if baseline_profile is None:
+            raise SystemExit(
+                f"{baseline_path} records no {profile_name!r} profile to "
+                f"gate against"
+            )
+
     result = run_profile(profile_name)
 
     report = {"schema": SCHEMA, "profiles": {}}
@@ -167,6 +242,17 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {arguments.output}")
+
+    if arguments.check:
+        failures = check_regressions(result, baseline_profile)
+        if failures:
+            print(
+                "FAIL: server throughput regressed >2x vs "
+                f"{baseline_path}:\n  " + "\n  ".join(failures),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"regression gate passed against {baseline_path}")
     return 0
 
 

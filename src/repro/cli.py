@@ -50,10 +50,12 @@ import json
 import os
 import signal
 import sys
+import tempfile
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from .core.backends import BACKEND_ENV_VAR, set_default_backend
 from .core.domain import Domain
 from .core.exceptions import ReproError
 from .core.rng import spawn_rngs
@@ -75,7 +77,12 @@ from .experiments.config import SweepConfig
 from .experiments.harness import DATASET_NAMES, SweepResult, make_dataset
 from .io import load_protocol_spec, save_protocol_spec, save_sweep_json
 from .protocols.registry import available_protocols, make_protocol
-from .server import CollectionServer, LoadGenerator
+from .server import (
+    CollectionServer,
+    LoadGenerator,
+    MultiProcessCollector,
+    install_uvloop,
+)
 from .service import AggregationSession, ProtocolSpec, split_report_frames
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -282,6 +289,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-frame-bytes", type=_positive_int, default=None, metavar="N",
         help="per-connection report-frame size cap (backpressure bound)",
+    )
+    serve_parser.add_argument(
+        "--processes", type=_positive_int, default=1, metavar="P",
+        help="run P collector processes sharing the port via SO_REUSEPORT; "
+        "their checkpoints merge to the same estimates as one process "
+        "(default: 1)",
+    )
+    serve_parser.add_argument(
+        "--uvloop", action="store_true",
+        help="install the uvloop event-loop policy when available "
+        "(falls back to stock asyncio with a warning)",
+    )
+    serve_parser.add_argument(
+        "--kernel-backend", metavar="NAME", default=None,
+        help="decode-kernel backend for this collection (numpy, threaded, "
+        "numba or auto; default: $REPRO_KERNEL_BACKEND, then auto)",
     )
     serve_parser.add_argument(
         "--checkpoint-dir", metavar="DIR",
@@ -818,6 +841,77 @@ async def _serve_main(server: CollectionServer) -> None:
             loop.remove_signal_handler(signum)
 
 
+def _serve_multiprocess(arguments: argparse.Namespace, spec, domain):
+    """``serve --processes P``: SO_REUSEPORT workers merged via checkpoints.
+
+    Returns ``(combined_session, stats_payload)``.  Without an explicit
+    ``--checkpoint-dir`` the worker checkpoints (the merge channel) live in
+    a temporary directory deleted after the merge.
+    """
+    checkpoint_dir = arguments.checkpoint_dir
+    scratch = None
+    if checkpoint_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        checkpoint_dir = scratch.name
+    try:
+        extra = {}
+        if arguments.max_frame_bytes is not None:
+            extra["max_frame_bytes"] = arguments.max_frame_bytes
+        collector = MultiProcessCollector(
+            spec,
+            domain,
+            processes=arguments.processes,
+            checkpoint_dir=checkpoint_dir,
+            host=arguments.host,
+            port=arguments.port,
+            shards=arguments.shards,
+            stop_after_reports=arguments.stop_after_reports,
+            use_uvloop=arguments.uvloop,
+            **extra,
+        )
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(
+                    signum, lambda *_: collector.stop()
+                )
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        try:
+            collector.start()
+            print(
+                f"serving {spec.describe()} over {domain.dimension} "
+                f"attribute(s) on {arguments.host}:{collector.port} "
+                f"({arguments.processes} process(es), "
+                f"{arguments.shards} shard(s) each)",
+                file=sys.stderr,
+                flush=True,
+            )
+            combined = collector.join()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    metadata = combined.metadata
+    print(
+        f"collected {combined.num_reports} reports in "
+        f"{metadata['wire_batches']} frame(s) across "
+        f"{arguments.processes} worker process(es)",
+        file=sys.stderr,
+    )
+    stats = {
+        "address": {"host": arguments.host, "port": collector.port},
+        "spec": spec.to_dict(),
+        "processes": arguments.processes,
+        "reports": combined.num_reports,
+        "frames": metadata["wire_batches"],
+        "bytes": metadata["wire_bytes_total"],
+    }
+    return combined, stats
+
+
 def _run_serve(arguments: argparse.Namespace) -> int:
     try:
         spec, domain = _contract_from_args(arguments)
@@ -827,30 +921,47 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        extra = {}
-        if arguments.max_frame_bytes is not None:
-            extra["max_frame_bytes"] = arguments.max_frame_bytes
-        server = CollectionServer(
-            spec,
-            domain,
-            host=arguments.host,
-            port=arguments.port,
-            shards=arguments.shards,
-            checkpoint_dir=arguments.checkpoint_dir,
-            checkpoint_interval=arguments.checkpoint_interval,
-            stop_after_reports=arguments.stop_after_reports,
-            **extra,
-        )
-        asyncio.run(_serve_main(server))
-        stats = server.stats()
-        print(
-            f"collected {stats['reports']} reports in {stats['frames']} "
-            f"frame(s) over {stats['connections']['total']} connection(s) "
-            f"({stats['connections']['rejected']} rejected)",
-            file=sys.stderr,
-        )
-        combined = server.combined_session()
-        if server.num_reports == 0:
+        if arguments.kernel_backend:
+            # Validate and pin the decode backend; the env var carries the
+            # choice into --processes workers regardless of start method.
+            set_default_backend(arguments.kernel_backend)
+            os.environ[BACKEND_ENV_VAR] = arguments.kernel_backend
+        if arguments.processes > 1:
+            if arguments.checkpoint_interval is not None:
+                print(
+                    "serve: --checkpoint-interval is not supported with "
+                    "--processes > 1 (workers checkpoint on shutdown)",
+                    file=sys.stderr,
+                )
+                return 2
+            combined, stats = _serve_multiprocess(arguments, spec, domain)
+        else:
+            if arguments.uvloop:
+                install_uvloop()
+            extra = {}
+            if arguments.max_frame_bytes is not None:
+                extra["max_frame_bytes"] = arguments.max_frame_bytes
+            server = CollectionServer(
+                spec,
+                domain,
+                host=arguments.host,
+                port=arguments.port,
+                shards=arguments.shards,
+                checkpoint_dir=arguments.checkpoint_dir,
+                checkpoint_interval=arguments.checkpoint_interval,
+                stop_after_reports=arguments.stop_after_reports,
+                **extra,
+            )
+            asyncio.run(_serve_main(server))
+            stats = server.stats()
+            print(
+                f"collected {stats['reports']} reports in {stats['frames']} "
+                f"frame(s) over {stats['connections']['total']} connection(s) "
+                f"({stats['connections']['rejected']} rejected)",
+                file=sys.stderr,
+            )
+            combined = server.combined_session()
+        if combined.num_reports == 0:
             print(
                 "serve: collected no reports; nothing to estimate",
                 file=sys.stderr,

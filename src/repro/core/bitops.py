@@ -25,6 +25,12 @@ from typing import Iterator, List, Sequence
 
 import numpy as np
 
+from .backends import (
+    HAS_BITWISE_COUNT,
+    _popcount_swar,
+    resolve_backend,
+)
+
 __all__ = [
     "popcount",
     "popcount_reference",
@@ -46,39 +52,16 @@ __all__ = [
 ]
 
 
-#: Whether this numpy ships the hardware-popcount ufunc (numpy >= 2.0).
-HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-
-# SWAR (SIMD-within-a-register) popcount constants for 64-bit words.
-_SWAR_M1 = np.uint64(0x5555555555555555)
-_SWAR_M2 = np.uint64(0x3333333333333333)
-_SWAR_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
-_SWAR_H01 = np.uint64(0x0101010101010101)
-
-
-def _popcount_swar(words: np.ndarray) -> np.ndarray:
-    """Branch-free popcount of a ``uint64`` array in five vector passes.
-
-    The classic parallel bit-count: fold adjacent 1-, 2- and 4-bit fields
-    into byte-wise counts, then sum the eight bytes with one overflowing
-    multiply.  Used when :data:`HAS_BITWISE_COUNT` is false.
-    """
-    x = words.astype(np.uint64, copy=True)
-    x -= (x >> np.uint64(1)) & _SWAR_M1
-    x = (x & _SWAR_M2) + ((x >> np.uint64(2)) & _SWAR_M2)
-    x = (x + (x >> np.uint64(4))) & _SWAR_M4
-    with np.errstate(over="ignore"):
-        x *= _SWAR_H01
-    return (x >> np.uint64(56)).astype(np.int64)
-
-
 def popcount(values):
     """Number of set bits of ``values`` (scalar int or integer array).
 
-    Array inputs take a constant-pass fast path: ``np.bitwise_count`` where
-    available, otherwise a SWAR fold over 64-bit words
-    (:func:`popcount_reference` keeps the original one-bit-per-pass loop for
-    conformance testing).  Plain Python ints defer to ``int.bit_count``.
+    Array inputs go through the selected kernel backend
+    (:func:`repro.core.backends.resolve_backend`): the numpy backend uses
+    ``np.bitwise_count`` where available and a SWAR fold over 64-bit words
+    otherwise; the threaded backend chunks large arrays over a thread pool
+    (:func:`popcount_reference` keeps the original one-bit-per-pass loop
+    for conformance testing).  Plain Python ints defer to
+    ``int.bit_count``.
     """
     if np.isscalar(values) and not isinstance(values, np.generic):
         return int(values).bit_count()
@@ -86,10 +69,7 @@ def popcount(values):
     if arr.dtype == object:
         return np.vectorize(lambda v: int(v).bit_count(), otypes=[np.int64])(arr)
     words = arr.astype(np.uint64)
-    if HAS_BITWISE_COUNT:
-        count = np.bitwise_count(words).astype(np.int64)
-    else:
-        count = _popcount_swar(words)
+    count = resolve_backend().popcount(words)
     return count if count.shape else int(count)
 
 
@@ -116,18 +96,15 @@ def popcount_reference(values):
 def parity(values):
     """Parity (0/1) of the number of set bits in ``values``.
 
-    Arrays are folded with six XOR shifts (no popcount needed); scalars use
-    ``int.bit_count``.
+    Arrays are folded with six XOR shifts (no popcount needed) by the
+    selected kernel backend; scalars use ``int.bit_count``.
     """
     if np.isscalar(values) and not isinstance(values, np.generic):
         return int(values).bit_count() & 1
     arr = np.asarray(values)
     if arr.dtype == object:
         return popcount(arr) & 1
-    x = arr.astype(np.uint64)
-    for shift in (32, 16, 8, 4, 2, 1):
-        x = x ^ (x >> np.uint64(shift))
-    result = (x & np.uint64(1)).astype(np.int64)
+    result = resolve_backend().parity(arr.astype(np.uint64))
     return result if result.shape else int(result)
 
 

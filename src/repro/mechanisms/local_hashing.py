@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from ..core.backends import _SEED_MIX, _avalanche, fold_buckets, resolve_backend
 from ..core.exceptions import ProtocolConfigurationError
 from ..core.privacy import PrivacyBudget
 from ..core.rng import RngLike, ensure_rng
@@ -39,46 +40,21 @@ _MERSENNE_PRIME = (1 << 61) - 1
 #: / ``InpOLH(..., decode_batch_size=...)`` for tuning.
 DEFAULT_DECODE_BATCH_SIZE = 1024
 
-#: Target element count of one (user block x domain block) intermediate.
-_DECODE_BLOCK_ELEMENTS = 1 << 20
-
-
-#: The (value, seed) pair is mixed as ``value + seed * _SEED_MIX`` before the
-#: avalanche, so decode loops can hoist the per-seed term out of their domain
-#: scans.
-_SEED_MIX = np.uint64(0x9E3779B97F4A7C15)
-
-
-def _avalanche(mixed: np.ndarray) -> np.ndarray:
-    """The seed-independent splitmix64 finaliser (in-place on ``mixed``).
-
-    The single definition of the hash's bit mixing, shared by the client-side
-    :func:`_hash` and the aggregator's blocked decode in
-    :meth:`OptimizedLocalHashing.support_counts` — the two must agree exactly
-    or support counts degrade to noise.
-    """
-    with np.errstate(over="ignore"):
-        mixed ^= mixed >> np.uint64(30)
-        mixed *= np.uint64(0xBF58476D1CE4E5B9)
-        mixed ^= mixed >> np.uint64(27)
-        mixed *= np.uint64(0x94D049BB133111EB)
-        mixed ^= mixed >> np.uint64(31)
-    return mixed
-
-
 def _hash(values: np.ndarray, seeds: np.ndarray, buckets: int) -> np.ndarray:
     """Vectorised universal-style hash ``h_seed(value) -> [0, buckets)``.
 
     Mixes the (value, seed) pair through a splitmix64-style avalanche so that
     even small, sequential domains spread uniformly — a plain affine
     multiply-mod hash is far too regular on ``0..2^d - 1`` inputs and would
-    bias the collision-debiasing step of the oracles built on top.
+    bias the collision-debiasing step of the oracles built on top.  The
+    avalanche and bucket fold live in :mod:`repro.core.backends` so the
+    client-side hash and every decode backend share one definition.
     """
     values = np.asarray(values, dtype=np.uint64)
     seeds = np.asarray(seeds, dtype=np.uint64)
     with np.errstate(over="ignore"):
         mixed = _avalanche(values + seeds * _SEED_MIX)
-    return (mixed % np.uint64(buckets)).astype(np.int64)
+    return fold_buckets(mixed, buckets).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -99,12 +75,18 @@ class OptimizedLocalHashing:
         (``0`` selects :data:`DEFAULT_DECODE_BATCH_SIZE`).  A pure
         performance knob: the counts are exact for any value, so it is
         excluded from equality/merge-signature comparisons.
+    kernel_backend:
+        Which kernel backend decodes support counts (``""`` defers to
+        :func:`repro.core.backends.resolve_backend`'s env/default chain).
+        Every backend produces identical counts, so this is a pure
+        performance knob like ``decode_batch_size``.
     """
 
     domain_size: int
     budget: PrivacyBudget
     num_buckets: int = 0
     decode_batch_size: int = field(default=0, compare=False)
+    kernel_backend: str = field(default="", compare=False)
 
     def __post_init__(self):
         if int(self.domain_size) < 2:
@@ -123,6 +105,11 @@ class OptimizedLocalHashing:
             )
         if decode_batch == 0:
             decode_batch = DEFAULT_DECODE_BATCH_SIZE
+        if not isinstance(self.kernel_backend, str):
+            raise ProtocolConfigurationError(
+                f"kernel_backend must be a backend name string, got "
+                f"{type(self.kernel_backend).__name__}"
+            )
         object.__setattr__(self, "domain_size", int(self.domain_size))
         object.__setattr__(self, "num_buckets", buckets)
         object.__setattr__(self, "decode_batch_size", decode_batch)
@@ -166,14 +153,14 @@ class OptimizedLocalHashing:
         bucket equals their hash of ``x``.  It is a per-user sum, so supports
         computed on disjoint report batches add exactly.
 
-        This is the ``O(N * 2^d)`` hot loop of the library, so it runs
-        cache-blocked over both users and the domain (each intermediate is a
-        few MB), entirely in ``uint64`` (no signed round-trip copy of the
-        hash matrix), with the per-seed mixing offset hoisted out of the
-        domain loop and matches accumulated into a lean ``int64`` counter.
-        :meth:`support_counts_reference` keeps the original implementation;
-        both produce identical counts for any ``batch_size`` (``0`` selects
-        :attr:`decode_batch_size`).
+        This is the ``O(N * 2^d)`` hot loop of the library; the scan itself
+        is delegated to the selected kernel backend
+        (:func:`repro.core.backends.resolve_backend` — numpy blocked scan,
+        thread-pool fan-out, or the optional numba JIT).  Every backend
+        produces identical ``int64`` counts for any ``batch_size`` (``0``
+        selects :attr:`decode_batch_size`);
+        :meth:`support_counts_reference` keeps the original implementation
+        as the conformance ground truth.
         """
         seeds = np.asarray(seeds, dtype=np.int64)
         noisy_buckets = np.asarray(noisy_buckets, dtype=np.int64)
@@ -186,23 +173,10 @@ class OptimizedLocalHashing:
             raise ProtocolConfigurationError(
                 f"decode batch size must be >= 1, got {batch}"
             )
-        num_users = seeds.shape[0]
-        buckets = np.uint64(self.num_buckets)
-        with np.errstate(over="ignore"):
-            offsets = seeds.astype(np.uint64) * _SEED_MIX
-        targets = noisy_buckets.astype(np.uint64)
-        user_block = max(1, _DECODE_BLOCK_ELEMENTS // batch)
-        support = np.zeros(self.domain_size, dtype=np.int64)
-        for dstart in range(0, self.domain_size, batch):
-            dstop = min(dstart + batch, self.domain_size)
-            candidates = np.arange(dstart, dstop, dtype=np.uint64)[None, :]
-            for ustart in range(0, num_users, user_block):
-                ustop = min(ustart + user_block, num_users)
-                with np.errstate(over="ignore"):
-                    mixed = _avalanche(candidates + offsets[ustart:ustop, None])
-                    mixed %= buckets
-                matches = mixed == targets[ustart:ustop, None]
-                support[dstart:dstop] += np.count_nonzero(matches, axis=0)
+        backend = resolve_backend(self.kernel_backend)
+        support = backend.support_counts(
+            seeds, noisy_buckets, self.domain_size, self.num_buckets, batch
+        )
         return support.astype(np.float64)
 
     def support_counts_reference(

@@ -96,8 +96,10 @@ class InpOLH(MarginalReleaseProtocol):
     """Optimised Local Hashing applied to the full-domain index.
 
     ``decode_batch_size`` tunes how many domain elements the ``O(N * 2^d)``
-    support-count decode hashes per block (0 = the library default); it is a
-    pure performance knob with no effect on the estimates.
+    support-count decode hashes per block (0 = the library default) and
+    ``kernel_backend`` picks the decode kernel implementation
+    (:mod:`repro.core.backends`; ``""`` defers to the env/default chain).
+    Both are pure performance knobs with no effect on the estimates.
     """
 
     name = "InpOLH"
@@ -108,21 +110,25 @@ class InpOLH(MarginalReleaseProtocol):
         max_width: int,
         num_buckets: int = 0,
         decode_batch_size: int = 0,
+        kernel_backend: str = "",
     ):
         super().__init__(budget, max_width)
         self._num_buckets = int(num_buckets)
         self._decode_batch_size = int(decode_batch_size)
+        self._kernel_backend = str(kernel_backend)
 
     def spec_options(self):
         return {
             "num_buckets": self._num_buckets,
             "decode_batch_size": self._decode_batch_size,
+            "kernel_backend": self._kernel_backend,
         }
 
     def tuning_options(self):
-        # decode_batch_size only blocks the O(N * 2^d) decode; it never
-        # changes the estimates, so differently tuned collectors may merge.
-        return frozenset({"decode_batch_size"})
+        # decode_batch_size and kernel_backend only shape the O(N * 2^d)
+        # decode; they never change the estimates, so differently tuned
+        # collectors may merge.
+        return frozenset({"decode_batch_size", "kernel_backend"})
 
     def oracle(self, dimension: int) -> OptimizedLocalHashing:
         """The OLH frequency oracle over ``{0,1}^d``."""
@@ -131,6 +137,7 @@ class InpOLH(MarginalReleaseProtocol):
             budget=self.budget,
             num_buckets=self._num_buckets,
             decode_batch_size=self._decode_batch_size,
+            kernel_backend=self._kernel_backend,
         )
 
     def encode_batch(self, records, rng: RngLike = None) -> InpOLHReports:

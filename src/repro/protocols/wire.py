@@ -56,6 +56,7 @@ __all__ = [
     "report_schema_for",
     "encode_reports",
     "decode_reports",
+    "concat_report_batches",
     "iter_report_frames",
     "split_report_frames",
 ]
@@ -226,8 +227,12 @@ def decode_reports(
     The buffer must hold one complete frame and nothing else; use
     :func:`iter_report_frames` for concatenated frames.  ``expected_kind``
     additionally pins the frame to one protocol's reports.
+
+    ``bytearray``/``memoryview`` input is parsed in place (no up-front
+    ``bytes`` copy) — the zero-copy server ingest path hands receive-buffer
+    views straight in.
     """
-    buffer = bytes(data)
+    buffer = data if isinstance(data, bytes) else memoryview(data)
     reports, consumed = _decode_frame(buffer, expected_kind=expected_kind)
     if consumed != len(buffer):
         raise WireFormatError(
@@ -236,6 +241,59 @@ def decode_reports(
             f"iter_report_frames for concatenated frames)"
         )
     return reports
+
+
+def concat_report_batches(batches):
+    """Concatenate decoded report batches into one equivalent batch.
+
+    The server's micro-batcher coalesces the frames of many connections
+    into a single accumulator ``update`` call; this is the schema-driven
+    concatenation that makes the coalesced update bit-for-bit identical to
+    submitting the batches one by one.  Per-user fields concatenate along
+    the user axis; sum-form fields (``per_user=False``, exact integer
+    counts held in float64) add elementwise under a strict shape check;
+    scalar fields add as Python ints.  Either grouping feeds the same
+    exact integer sums into the accumulator, so the estimates agree to
+    the last bit.
+    """
+    batches = list(batches)
+    if not batches:
+        raise WireFormatError("cannot concatenate zero report batches")
+    if len(batches) == 1:
+        return batches[0]
+    schema = report_schema_for(type(batches[0]))
+    for other in batches[1:]:
+        if type(other) is not type(batches[0]):
+            raise WireFormatError(
+                f"cannot concatenate {type(batches[0]).__name__} with "
+                f"{type(other).__name__} report batches"
+            )
+    values: Dict[str, Any] = {}
+    for spec in schema.fields:
+        arrays = [np.asarray(getattr(batch, spec.name)) for batch in batches]
+        if spec.per_user:
+            try:
+                values[spec.name] = np.concatenate(arrays, axis=0)
+            except ValueError as error:
+                raise WireFormatError(
+                    f"{schema.kind} field {spec.name!r} batches do not "
+                    f"concatenate: {error}"
+                ) from error
+        else:
+            first = arrays[0]
+            for array in arrays[1:]:
+                if array.shape != first.shape:
+                    raise WireFormatError(
+                        f"{schema.kind} field {spec.name!r} batches disagree "
+                        f"on shape: {first.shape} vs {array.shape}"
+                    )
+            total = first.copy()
+            for array in arrays[1:]:
+                total += array
+            values[spec.name] = total
+    for name in schema.scalar_fields:
+        values[name] = sum(int(getattr(batch, name)) for batch in batches)
+    return schema.report_class(**values)
 
 
 def iter_report_frames(
@@ -353,7 +411,7 @@ def _parse_frame_header(buffer: bytes, offset: int) -> Tuple[str, int, int]:
         )
     kind_start = offset + _PREFIX.size
     try:
-        kind = buffer[kind_start : kind_start + kind_length].decode("utf-8")
+        kind = bytes(buffer[kind_start : kind_start + kind_length]).decode("utf-8")
     except UnicodeDecodeError as error:
         raise WireFormatError(
             f"report frame kind is not valid UTF-8: {error}"

@@ -37,13 +37,18 @@ from .framing import (
     SERVER_PROTOCOL_VERSION,
     ControlMessage,
     FrameDecoder,
+    FrameDecoderReference,
     encode_control,
 )
 from .handshake import check_hello, hello_payload, spec_hash
 from .loadgen import ClientResult, LoadGenerator, LoadReport
+from .multiproc import MultiProcessCollector
 from .server import (
+    DEFAULT_BATCH_MAX_USERS,
+    DEFAULT_BATCH_WINDOW_SECONDS,
     DEFAULT_MAX_FRAME_BYTES,
     CollectionServer,
+    install_uvloop,
     merge_checkpoints,
 )
 
@@ -62,14 +67,19 @@ __all__ = [
     "ControlMessage",
     "encode_control",
     "FrameDecoder",
+    "FrameDecoderReference",
     # handshake
     "spec_hash",
     "hello_payload",
     "check_hello",
     # server
     "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_BATCH_MAX_USERS",
+    "DEFAULT_BATCH_WINDOW_SECONDS",
     "CollectionServer",
+    "install_uvloop",
     "merge_checkpoints",
+    "MultiProcessCollector",
     # loadgen
     "ClientResult",
     "LoadGenerator",

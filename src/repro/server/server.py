@@ -37,9 +37,10 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import socket
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.domain import Domain
 from ..core.exceptions import ProtocolConfigurationError, ReproError
@@ -60,7 +61,10 @@ from .handshake import check_hello, spec_hash
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_BATCH_MAX_USERS",
+    "DEFAULT_BATCH_WINDOW_SECONDS",
     "CollectionServer",
+    "install_uvloop",
     "merge_checkpoints",
 ]
 
@@ -71,7 +75,138 @@ _logger = logging.getLogger(__name__)
 #: connection cannot make one shard buffer a gigabyte on a forged header.
 DEFAULT_MAX_FRAME_BYTES = 64 << 20
 
+#: Default micro-batch flush threshold: pending user reports per shard.
+DEFAULT_BATCH_MAX_USERS = 8192
+
+#: Default micro-batch flush ladder timeout (seconds).
+DEFAULT_BATCH_WINDOW_SECONDS = 0.005
+
 PathLike = Union[str, Path]
+
+
+def install_uvloop(required: bool = False) -> bool:
+    """Install the uvloop event-loop policy when the package is available.
+
+    The collection server is pure-asyncio, so ``uvloop`` is a drop-in
+    accelerator for its socket layer.  It is an optional dependency
+    (``pip install .[fast]``): when absent this logs a warning and leaves
+    the default policy in place — unless ``required``, which raises
+    :class:`ProtocolConfigurationError` instead.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        if required:
+            raise ProtocolConfigurationError(
+                "uvloop is not installed; pip install '.[fast]' to enable it"
+            ) from None
+        _logger.warning(
+            "uvloop is not installed; staying on the default asyncio "
+            "event loop (pip install '.[fast]' to enable it)"
+        )
+        return False
+    uvloop.install()
+    _logger.info("uvloop event-loop policy installed")
+    return True
+
+
+class _ShardBatcher:
+    """Per-shard micro-batching queue for decoded report batches.
+
+    Connection handlers decode frames off the wire and :meth:`enqueue`
+    them here; the batcher coalesces frames from every connection mapped
+    to its shard and folds them into the shard session as *one*
+    accumulator update per flush
+    (:meth:`AggregationSession.submit_decoded`), amortising the per-update
+    kernel dispatch across connections.  Exactness is inherited from the
+    concatenation algebra — see
+    :func:`~repro.protocols.wire.concat_report_batches`.
+
+    Flush triggers: pending users reaching ``max_users``, the
+    ``window_seconds`` ladder timer, a connection's ``FIN`` (the handler
+    flushes synchronously so its ACK covers its reports), and the server's
+    stop/checkpoint/finalize paths.
+
+    Everything runs on the event-loop thread, so there are no locks, and
+    every flush is synchronous: by the time :meth:`flush` returns, each
+    pending frame is either in the session or its connection's
+    ``on_error`` sink has been called.  When a coalesced update fails, the
+    batch is replayed frame by frame so the error lands only on the sinks
+    of the frames that caused it (``on_discard`` then reverses the
+    handler's optimistic counter increments for those frames).  Per-frame
+    sinks instead of per-frame futures keep the happy path free of event
+    loop bookkeeping — at ingest rates the future churn is measurable.
+    """
+
+    def __init__(
+        self,
+        session: AggregationSession,
+        *,
+        max_users: int,
+        window_seconds: float,
+        on_discard: Callable[[int, int, int], None],
+    ):
+        self._session = session
+        self._max_users = max_users
+        self._window = window_seconds
+        self._on_discard = on_discard
+        self._pending: List[tuple] = []  # (decoded batch, wire bytes, sink)
+        self._pending_users = 0
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def pending_frames(self) -> int:
+        return len(self._pending)
+
+    def enqueue(
+        self,
+        decoded,
+        nbytes: int,
+        on_error: Callable[[BaseException], None],
+    ) -> None:
+        """Queue one decoded batch.
+
+        ``on_error`` is called — synchronously, during whichever flush
+        drains this frame — if and only if the batch is rejected.
+        """
+        self._pending.append((decoded, nbytes, on_error))
+        self._pending_users += int(decoded.num_users)
+        if self._pending_users >= self._max_users:
+            self.flush()
+        elif self._timer is None:
+            if self._loop is None:
+                self._loop = asyncio.get_running_loop()
+            self._timer = self._loop.call_later(self._window, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Fold everything pending into the shard session, synchronously."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        self._pending_users = 0
+        if not pending:
+            return
+        try:
+            self._session.submit_decoded(
+                [decoded for decoded, _, _ in pending],
+                wire_bytes=sum(nbytes for _, nbytes, _ in pending),
+            )
+        except ReproError:
+            # One bad batch poisons a coalesced update.  Replay frame by
+            # frame so the error lands on the connection that sent it and
+            # everyone else's reports still count.
+            for decoded, nbytes, on_error in pending:
+                try:
+                    self._session.submit_decoded([decoded], wire_bytes=nbytes)
+                except ReproError as error:
+                    self._on_discard(1, int(decoded.num_users), nbytes)
+                    on_error(error)
 
 
 class _Reject(Exception):
@@ -108,6 +243,19 @@ class CollectionServer:
         by the accumulators' merge algebra.
     max_frame_bytes:
         Per-frame payload cap for this server (backpressure bound).
+    batch_max_users, batch_window_seconds:
+        The ingest micro-batching knobs: each shard coalesces decoded
+        report frames (across connections) and folds them into its
+        session as one accumulator update per flush.  A flush fires when
+        the shard's pending user reports reach ``batch_max_users`` or
+        ``batch_window_seconds`` after the first pending frame, whichever
+        comes first (and always on FIN/stop/checkpoint).  Pure
+        performance knobs: the estimates are grouping-invariant.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several collector processes can
+        share one address, the kernel load-balancing connections across
+        them (the ``--processes`` tier; see
+        :mod:`repro.server.multiproc`).
     checkpoint_dir, checkpoint_interval:
         When set, every shard is checkpointed to
         ``checkpoint_dir/shard-NN.npz`` every ``checkpoint_interval``
@@ -115,6 +263,11 @@ class CollectionServer:
     stop_after_reports:
         When set, :meth:`serve_until_stopped` returns once this many user
         reports have been collected (the current connections drain first).
+    report_observer:
+        Optional callable invoked with signed user-report deltas as they
+        are counted (positive on ingest, negative when a deferred flush
+        rejects a frame) — the hook the multi-process tier uses to
+        maintain a shared report counter.
     """
 
     def __init__(
@@ -127,10 +280,14 @@ class CollectionServer:
         shards: int = 1,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         read_chunk_bytes: int = 1 << 16,
+        batch_max_users: int = DEFAULT_BATCH_MAX_USERS,
+        batch_window_seconds: float = DEFAULT_BATCH_WINDOW_SECONDS,
+        reuse_port: bool = False,
         checkpoint_dir: Optional[PathLike] = None,
         checkpoint_interval: Optional[float] = None,
         stop_after_reports: Optional[int] = None,
         drain_timeout: float = 10.0,
+        report_observer: Optional[Callable[[int], None]] = None,
     ):
         if shards < 1:
             raise ProtocolConfigurationError(
@@ -146,6 +303,18 @@ class CollectionServer:
         if read_chunk_bytes < 1:
             raise ProtocolConfigurationError(
                 f"read_chunk_bytes must be >= 1, got {read_chunk_bytes}"
+            )
+        if batch_max_users < 1:
+            raise ProtocolConfigurationError(
+                f"batch_max_users must be >= 1, got {batch_max_users}"
+            )
+        if batch_window_seconds <= 0:
+            raise ProtocolConfigurationError(
+                f"batch_window_seconds must be > 0, got {batch_window_seconds}"
+            )
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ProtocolConfigurationError(
+                "this platform does not support SO_REUSEPORT"
             )
         if checkpoint_interval is not None:
             if checkpoint_dir is None:
@@ -176,6 +345,17 @@ class CollectionServer:
         self._requested_port = port
         self._max_frame_bytes = int(max_frame_bytes)
         self._read_chunk_bytes = int(read_chunk_bytes)
+        self._reuse_port = bool(reuse_port)
+        self._report_observer = report_observer
+        self._batchers = [
+            _ShardBatcher(
+                session,
+                max_users=int(batch_max_users),
+                window_seconds=float(batch_window_seconds),
+                on_discard=self._discount,
+            )
+            for session in self._sessions
+        ]
         self._checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -279,8 +459,9 @@ class CollectionServer:
         # A stopped server may be started again (the shard sessions carry
         # over); clear any stale stop request so serve_until_stopped serves.
         self._stop_event.clear()
+        extra = {"reuse_port": True} if self._reuse_port else {}
         self._server = await asyncio.start_server(
-            self._on_client, self._host, self._requested_port
+            self._on_client, self._host, self._requested_port, **extra
         )
         self._port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
@@ -333,6 +514,7 @@ class CollectionServer:
                 for writer in list(self._writers):
                     writer.close()
                 await asyncio.gather(*pending, return_exceptions=True)
+        self._flush_all()
         if self._checkpoint_task is not None:
             self._checkpoint_task.cancel()
             try:
@@ -348,8 +530,22 @@ class CollectionServer:
     # ------------------------------------------------------------------ #
     # aggregation results
 
+    def _flush_all(self) -> None:
+        """Flush every shard's pending micro-batch into its session."""
+        for batcher in self._batchers:
+            batcher.flush()
+
+    def _discount(self, frames: int, users: int, nbytes: int) -> None:
+        """Reverse optimistic counter increments for flush-rejected frames."""
+        self._frames_total -= frames
+        self._reports_total -= users
+        self._bytes_total -= nbytes
+        if self._report_observer is not None:
+            self._report_observer(-users)
+
     def combined_session(self) -> AggregationSession:
         """A fresh session holding every shard's state, shards untouched."""
+        self._flush_all()
         combined = AggregationSession(self._spec, self._domain)
         for session in self._sessions:
             combined.merge(session)
@@ -365,6 +561,7 @@ class CollectionServer:
             raise ProtocolConfigurationError(
                 "this server was built without a checkpoint_dir"
             )
+        self._flush_all()
         paths = []
         for index, session in enumerate(self._sessions):
             paths.append(
@@ -407,7 +604,32 @@ class CollectionServer:
         index = self._connections_total
         self._connections_total += 1
         self._connections_active += 1
-        shard = self._sessions[index % len(self._sessions)]
+        shard_index = index % len(self._sessions)
+        shard = self._sessions[shard_index]
+        batcher = self._batchers[shard_index]
+        # Report frames are decoded here but folded in by the shard
+        # batcher, possibly while this handler is blocked reading the next
+        # chunk.  Every flush is synchronous, so a flush failure of one of
+        # OUR frames calls this sink in the flushing context: it sends the
+        # ERR and closes the transport right there — the blocked read then
+        # wakes with EOF — and the read loop stays a plain
+        # ``await reader.read()`` with no per-chunk waiter machinery.
+        flush_error: List[BaseException] = []
+
+        def _on_flush_error(error: BaseException) -> None:
+            if flush_error:
+                return  # already rejected; only the first error reports
+            flush_error.append(error)
+            self._connections_rejected += 1
+            _logger.info(
+                "rejecting connection %d (bad submission): %s", index, error
+            )
+            try:
+                writer.write(encode_control(ERR, {"error": str(error)}))
+                writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass  # the peer is already gone; the rejection still counted
+
         greeted = False
         finished = False
         frames = reports = received = 0
@@ -415,9 +637,14 @@ class CollectionServer:
             decoder = FrameDecoder(max_frame_bytes=self._max_frame_bytes)
             while not finished:
                 chunk = await reader.read(self._read_chunk_bytes)
+                if flush_error:
+                    # The flush callback already sent the ERR, counted the
+                    # rejection and closed the transport.
+                    return
                 if not chunk:
                     break
-                for item in decoder.feed(chunk):
+                decoder.absorb(chunk)
+                for item in decoder.frames():
                     if isinstance(item, ControlMessage):
                         if item.kind == HELLO:
                             if greeted:
@@ -436,7 +663,7 @@ class CollectionServer:
                                     OK,
                                     {
                                         "spec_hash": self._spec_hash,
-                                        "shard": index % len(self._sessions),
+                                        "shard": shard_index,
                                     },
                                 )
                             )
@@ -444,6 +671,14 @@ class CollectionServer:
                         elif item.kind == FIN:
                             if not greeted:
                                 raise _Reject("FIN before HELLO")
+                            # Flush synchronously so every report this
+                            # connection sent is in the shard (or rejected)
+                            # before the ACK goes out.  A rejection has
+                            # already sent the ERR through the error sink
+                            # by the time flush() returns.
+                            batcher.flush()
+                            if flush_error:
+                                return
                             writer.write(
                                 encode_control(
                                     ACK,
@@ -464,15 +699,25 @@ class CollectionServer:
                     else:
                         if not greeted:
                             raise _Reject("report frame before HELLO")
-                        before = shard.num_reports
-                        shard.submit(item)
-                        added = shard.num_reports - before
+                        # Decode off the receive-buffer view (zero-copy up
+                        # to the npz parse); a malformed payload raises
+                        # right here, on the connection that sent it.
+                        decoded = shard.protocol.decode_reports(item)
+                        users = int(decoded.num_users)
+                        nbytes = len(item)
+                        batcher.enqueue(decoded, nbytes, _on_flush_error)
+                        # Counters advance optimistically; _discount
+                        # reverses them if the deferred flush rejects the
+                        # frame (such a connection gets ERR, not ACK, so
+                        # its per-connection counts are never reported).
                         frames += 1
-                        reports += added
-                        received += len(item)
+                        reports += users
+                        received += nbytes
                         self._frames_total += 1
-                        self._reports_total += added
-                        self._bytes_total += len(item)
+                        self._reports_total += users
+                        self._bytes_total += nbytes
+                        if self._report_observer is not None:
+                            self._report_observer(users)
                         if (
                             self._stop_after_reports is not None
                             and self._reports_total >= self._stop_after_reports
@@ -506,7 +751,12 @@ class CollectionServer:
             )
             await self._send_error(writer, {"error": str(error)})
         except (ConnectionError, OSError):
-            self._connections_dropped += 1
+            if flush_error:
+                # The transport died because the flush callback closed it;
+                # that path already counted the rejection.
+                pass
+            else:
+                self._connections_dropped += 1
         finally:
             self._connections_active -= 1
 

@@ -143,6 +143,35 @@ class AggregationSession:
         self._report_batches += 1
         return self
 
+    def submit_decoded(self, batches, *, wire_bytes: int = None) -> int:
+        """Fold several already-decoded wire batches in as one update.
+
+        The server's micro-batcher decodes frames from many connections
+        off the wire, coalesces them here, and pays the accumulator
+        ``update`` cost once.  The batches are concatenated with
+        :func:`~repro.protocols.wire.concat_report_batches` — exact by the
+        integer-sum argument documented there — so the session state is
+        bit-for-bit what ``len(batches)`` individual :meth:`submit` calls
+        would have produced.  Counters advance as if each batch had been
+        submitted as a wire frame (``wire_bytes`` is the total serialized
+        size of the coalesced frames, when known).  Returns the number of
+        user reports folded in.
+        """
+        from ..protocols.wire import concat_report_batches
+
+        batches = list(batches)
+        if not batches:
+            return 0
+        combined = concat_report_batches(batches)
+        users = int(combined.num_users)
+        self._accumulator.update(combined)
+        self._report_batches += len(batches)
+        self._wire_batches += len(batches)
+        self._wire_reports += users
+        if wire_bytes is not None:
+            self._wire_bytes += int(wire_bytes)
+        return users
+
     def snapshot(self):
         """Current estimates without consuming or mutating session state.
 

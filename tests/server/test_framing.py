@@ -26,6 +26,7 @@ from repro.server.framing import (
     SERVER_PROTOCOL_VERSION,
     ControlMessage,
     FrameDecoder,
+    FrameDecoderReference,
     encode_control,
 )
 
@@ -238,6 +239,111 @@ class TestRejection:
     def test_bad_max_frame_bytes(self):
         with pytest.raises(WireFormatError, match="max_frame_bytes"):
             FrameDecoder(max_frame_bytes=0)
+
+
+def _materialize(item):
+    """Normalize a decoded item for cross-decoder comparison."""
+    if isinstance(item, memoryview):
+        return bytes(item)
+    return item
+
+
+def _drain_pair(fast, reference, chunk):
+    """Feed one chunk to both decoders, returning (items, items).
+
+    Raises whatever either decoder raises; the caller asserts the two
+    failure modes agree.
+    """
+    fast.absorb(chunk)
+    observed = [_materialize(item) for item in fast.frames()]
+    expected = reference.feed(chunk)
+    return observed, expected
+
+
+class TestReferenceConformance:
+    """The zero-copy decoder is byte-for-byte the old (reference) decoder.
+
+    ``FrameDecoderReference`` is the pre-optimization implementation kept
+    verbatim as ground truth; these properties prove the head-offset /
+    lazy-compaction rewrite changes nothing observable.
+    """
+
+    def test_byte_at_a_time_equivalence(self, mixed_stream):
+        """Single-byte feeds cross every split boundary in the stream."""
+        stream, _ = mixed_stream
+        fast, reference = FrameDecoder(), FrameDecoderReference()
+        for position in range(len(stream)):
+            chunk = stream[position : position + 1]
+            observed, expected = _drain_pair(fast, reference, chunk)
+            assert observed == expected
+            assert fast.buffered_bytes == reference.buffered_bytes
+            assert fast.at_frame_boundary == reference.at_frame_boundary
+
+    def test_every_two_part_split_equivalence(self, report_frames):
+        frame = report_frames[0]
+        for split in range(len(frame) + 1):
+            fast, reference = FrameDecoder(), FrameDecoderReference()
+            for chunk in (frame[:split], frame[split:]):
+                observed, expected = _drain_pair(fast, reference, chunk)
+                assert observed == expected, f"split at byte {split}"
+
+    def test_random_chunkings_equivalence(self, mixed_stream):
+        """Interleaved control/report frames under arbitrary fragmentation."""
+        stream, _ = mixed_stream
+        rng = np.random.default_rng(20180610)
+        for _ in range(25):
+            fast, reference = FrameDecoder(), FrameDecoderReference()
+            position = 0
+            while position < len(stream):
+                step = int(rng.integers(1, 1024))
+                chunk = stream[position : position + step]
+                observed, expected = _drain_pair(fast, reference, chunk)
+                assert observed == expected
+                assert fast.buffered_bytes == reference.buffered_bytes
+                position += step
+
+    def test_oversized_frame_rejection_parity(self):
+        kind = b"InpHT"
+        header = (
+            struct.pack("<4sHH", b"RPRB", 1, len(kind))
+            + kind
+            + struct.pack("<Q", 1 << 40)
+        )
+        fast = FrameDecoder(max_frame_bytes=1 << 20)
+        reference = FrameDecoderReference(max_frame_bytes=1 << 20)
+        with pytest.raises(WireFormatError) as fast_error:
+            fast.absorb(header)
+            list(fast.frames())
+        with pytest.raises(WireFormatError) as reference_error:
+            reference.feed(header)
+        assert str(fast_error.value) == str(reference_error.value)
+
+    def test_poisoning_parity(self, report_frames):
+        fast, reference = FrameDecoder(), FrameDecoderReference()
+        bad = b"XXXXxxxxxxxxxxxx"
+        with pytest.raises(WireFormatError) as fast_error:
+            _drain_pair(fast, reference, bad)
+        with pytest.raises(WireFormatError) as reference_error:
+            reference.feed(bad)
+        assert str(fast_error.value) == str(reference_error.value)
+        for decoder in (fast, reference):
+            with pytest.raises(WireFormatError):
+                decoder.feed(report_frames[0])
+
+    def test_absorb_frames_yields_zero_copy_views(self, report_frames):
+        """The fast path hands out memoryviews over the internal buffer."""
+        frame = report_frames[0]
+        decoder = FrameDecoder()
+        decoder.absorb(frame)
+        (item,) = list(decoder.frames())
+        assert isinstance(item, memoryview)
+        assert bytes(item) == frame
+
+    def test_feed_still_returns_bytes(self, report_frames):
+        """The compatibility wrapper keeps the old bytes-based contract."""
+        decoder = FrameDecoder()
+        (item,) = decoder.feed(report_frames[0])
+        assert isinstance(item, bytes)
 
 
 class TestDecodedFramesStillDecode:

@@ -15,6 +15,7 @@ import asyncio
 import numpy as np
 import pytest
 
+from repro.core.backends import use_backend
 from repro.core.domain import Domain
 from repro.core.exceptions import (
     CollectionServiceError,
@@ -135,6 +136,32 @@ class TestEndToEndEquality:
             )
         )
         assert_estimates_equal(estimates_of(server.finalize()), expected)
+
+    @pytest.mark.parametrize("backend", ["numpy", "threaded"])
+    def test_olh_socket_equality_per_kernel_backend(self, backend, dataset):
+        """The headline proof holds under every kernel backend.
+
+        The baseline runs under the ambient (auto) backend and the socket
+        collection under an explicitly pinned one, so this also proves
+        cross-backend equality: backend choice is a pure performance knob,
+        invisible in the estimates.
+        """
+        protocol = build("InpOLH")
+        frames = encode_frames(protocol, dataset, BATCH_SIZE)
+        expected = estimates_of(
+            protocol.run_streaming(
+                dataset,
+                rng=np.random.default_rng(SEED),
+                batch_size=BATCH_SIZE,
+            )
+        )
+        with use_backend(backend):
+            server, report = collect_over_sockets(
+                protocol, frames, dataset.domain, shards=2, num_clients=3
+            )
+            assert report.acked_reports == dataset.size
+            observed = estimates_of(server.finalize())
+        assert_estimates_equal(observed, expected)
 
     def test_shard_counts_cover_all_sessions(self, dataset):
         protocol = build("InpRR")
