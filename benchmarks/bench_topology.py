@@ -1,0 +1,204 @@
+"""Multi-collector topology: fan-out throughput and recovery cost.
+
+Measures what the fan-in tree adds on top of one collector:
+
+* **scale-out** — fleet throughput (reports/sec) through 1 vs 3 front-line
+  collectors, durable ACKs on (every connection group is checkpointed
+  before its ACK, so this is the honest deployment-shaped number, well
+  below the in-memory server benchmark);
+* **collect** — wall-clock to PULL every collector's atomic snapshot and
+  merge the tree;
+* **recovery** — wall-clock for the supervisor to notice a SIGKILLed
+  collector, restore its durable ``state.npz``, and re-merge it into a
+  finalized tree.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_topology.py [--smoke]
+
+Results merge into ``BENCH_topology.json`` (schema ``bench-topology/v1``)
+following the ``BENCH_server.json`` profile layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.domain import Domain
+from repro.datasets.synthetic import uniform_dataset
+from repro.protocols.registry import make_protocol
+from repro.server import LoadGenerator
+from repro.topology import TopologySupervisor
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA = "bench-topology/v1"
+LN3 = float(np.log(3.0))
+
+PROFILES = {
+    "full": {
+        "population": 20_000,
+        "dimension": 8,
+        "batch_size": 500,
+        "clients": 16,
+        "tree_sizes": (1, 3),
+        "repeats": 3,
+    },
+    "smoke": {
+        "population": 4_000,
+        "dimension": 6,
+        "batch_size": 250,
+        "clients": 8,
+        "tree_sizes": (1, 3),
+        "repeats": 1,
+    },
+}
+
+PROTOCOLS = ("InpRR", "InpOLH")
+
+
+async def _run_tree(spec, domain, frames, collectors, clients, base_dir):
+    """One fleet run through a fresh tree; returns timing components."""
+    supervisor = TopologySupervisor(
+        spec, domain, collectors=collectors, base_dir=base_dir
+    )
+    supervisor.start()
+    try:
+        fleet = LoadGenerator(
+            spec,
+            domain,
+            targets=list(supervisor.addresses),
+            failover=supervisor.failover,
+            frames=frames,
+            num_clients=clients,
+        )
+        report = await fleet.run()
+        if report.rejected_connections:
+            raise RuntimeError("fleet was rejected; numbers are meaningless")
+
+        started = time.perf_counter()
+        aggregator = await supervisor.collect()
+        collect_seconds = time.perf_counter() - started
+
+        # Recovery: SIGKILL the last collector, then time notice + restore
+        # of its durable state + a full re-merge of the tree.
+        supervisor.kill(collectors - 1)
+        started = time.perf_counter()
+        supervisor.health_check()
+        recovered = await supervisor.collect()
+        recovery_seconds = time.perf_counter() - started
+
+        merged = recovered.merged_session()
+        if merged.num_reports != report.acked_reports:
+            raise RuntimeError(
+                f"recovery lost reports: {merged.num_reports} != "
+                f"{report.acked_reports}"
+            )
+        del aggregator
+        return report, collect_seconds, recovery_seconds
+    finally:
+        supervisor.shutdown()
+
+
+def bench_protocol(name, params):
+    protocol = make_protocol(name, LN3, 2)
+    domain = Domain.binary(params["dimension"])
+    rng = np.random.default_rng(20180610)
+    dataset = uniform_dataset(params["population"], params["dimension"], rng=rng)
+    frames = LoadGenerator.frames_for_dataset(
+        protocol.spec(), dataset, params["batch_size"], rng=rng
+    )
+    results = {}
+    for collectors in params["tree_sizes"]:
+        best = None
+        samples = []
+        collect_seconds = recovery_seconds = None
+        for _ in range(params["repeats"]):
+            with tempfile.TemporaryDirectory(prefix="bench-topo-") as scratch:
+                report, collected, recovered = asyncio.run(
+                    _run_tree(
+                        protocol.spec(),
+                        domain,
+                        frames,
+                        collectors,
+                        params["clients"],
+                        Path(scratch),
+                    )
+                )
+            samples.append(report.reports_per_second)
+            if best is None or report.duration_seconds < best.duration_seconds:
+                best = report
+                collect_seconds = collected
+                recovery_seconds = recovered
+        results[str(collectors)] = {
+            "duration_seconds": best.duration_seconds,
+            "reports_per_second": best.reports_per_second,
+            "reports_per_second_samples": samples,
+            "collect_seconds": collect_seconds,
+            "recovery_seconds": recovery_seconds,
+            "params": {
+                "collectors": collectors,
+                "clients": params["clients"],
+                "frames": len(frames),
+                "reports": best.acked_reports,
+                "repeats": params["repeats"],
+            },
+        }
+        print(
+            f"  {name:8s} collectors={collectors}  "
+            f"{best.reports_per_second:>10,.0f} reports/s (durable ACKs)  "
+            f"collect {collect_seconds * 1e3:>6.1f} ms  "
+            f"kill+recover+re-merge {recovery_seconds * 1e3:>6.1f} ms"
+        )
+    return results
+
+
+def run_profile(profile_name):
+    params = dict(PROFILES[profile_name])
+    print(f"profile {profile_name}: {params}")
+    return {
+        "params": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in params.items()
+        },
+        "protocols": {name: bench_protocol(name, params) for name in PROTOCOLS},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the CI-sized smoke profile"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_topology.json",
+        help="JSON file to write/merge results into",
+    )
+    arguments = parser.parse_args(argv)
+    profile_name = "smoke" if arguments.smoke else "full"
+
+    result = run_profile(profile_name)
+
+    report = {"schema": SCHEMA, "profiles": {}}
+    if arguments.output.exists():
+        with arguments.output.open() as handle:
+            existing = json.load(handle)
+        if existing.get("schema") == SCHEMA:
+            report = existing
+    report["profiles"][profile_name] = result
+    with arguments.output.open("w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

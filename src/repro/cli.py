@@ -84,6 +84,7 @@ from .server import (
     install_uvloop,
 )
 from .service import AggregationSession, ProtocolSpec, split_report_frames
+from .topology import ROUTING_POLICIES
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -383,6 +384,108 @@ def _build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument(
         "--json", metavar="PATH",
         help="write the fleet's throughput report to this JSON file",
+    )
+    load_parser.add_argument(
+        "--topology", metavar="DIR", default=None,
+        help="drive a whole `repro topo launch` tree: read the collection "
+        "contract, collector addresses, routing policy and failover oracle "
+        "from DIR/topology.json (waits for the manifest to appear); "
+        "contract/--host/--port flags are then taken from the manifest",
+    )
+    load_parser.add_argument(
+        "--token-prefix", metavar="P", default=None,
+        help="idempotency-token prefix for --topology mode (default: a "
+        "fresh per-run value; reusing a prefix against the same tree "
+        "dedupes the groups as replays)",
+    )
+
+    topo_parser = subparsers.add_parser(
+        "topo",
+        help="launch/inspect/finalize a local multi-collector fan-in "
+        "topology (N durable collectors + supervisor + failover oracle)",
+    )
+    topo_subparsers = topo_parser.add_subparsers(
+        dest="topo_command", required=True
+    )
+
+    topo_launch = topo_subparsers.add_parser(
+        "launch",
+        help="spawn N durable collector processes plus the supervisor "
+        "oracle, write DIR/topology.json, serve until stopped, then "
+        "fan in and print the merged estimates",
+    )
+    _add_contract_arguments(topo_launch)
+    topo_launch.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="topology directory: per-collector durable checkpoints and "
+        "the topology.json manifest live here",
+    )
+    topo_launch.add_argument(
+        "--collectors", type=_positive_int, default=3, metavar="N",
+        help="number of front-line collector processes (default: 3)",
+    )
+    topo_launch.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="S",
+        help="AggregationSession shards inside each collector (default: 1)",
+    )
+    topo_launch.add_argument(
+        "--routing", choices=list(ROUTING_POLICIES), default="round-robin",
+        help="routing policy clients should use (recorded in the manifest)",
+    )
+    topo_launch.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address for every collector (default: 127.0.0.1)",
+    )
+    topo_launch.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SEC",
+        help="also refresh each collector's durable state.npz every SEC "
+        "seconds (on top of the per-ACK transactional writes)",
+    )
+    topo_launch.add_argument(
+        "--stop-after-reports", type=_positive_int, default=None, metavar="N",
+        help="finalize the tree (and print the estimates) once N reports "
+        "are durably acknowledged across collectors; without it, serve "
+        "until SIGINT/SIGTERM",
+    )
+    topo_launch.add_argument(
+        "--kill-after-reports", type=_positive_int, default=None, metavar="K",
+        help="fault injection: SIGKILL one collector once K reports are "
+        "durably acknowledged (its checkpoint is recovered and re-merged)",
+    )
+    topo_launch.add_argument(
+        "--kill-collector", type=int, default=0, metavar="I",
+        help="which collector --kill-after-reports kills (default: 0)",
+    )
+    topo_launch.add_argument(
+        "--json", metavar="PATH",
+        help="write the final estimates plus topology stats to this file",
+    )
+    topo_launch.add_argument(
+        "--output", metavar="PATH",
+        help="also write the rendered text estimates to this file",
+    )
+
+    topo_inspect = topo_subparsers.add_parser(
+        "inspect",
+        help="print a live tree's per-collector stats and the supervisor's "
+        "recovered-state verdicts as JSON",
+    )
+    topo_inspect.add_argument(
+        "--dir", required=True, metavar="DIR", help="topology directory"
+    )
+
+    topo_finalize = topo_subparsers.add_parser(
+        "finalize",
+        help="fan in a tree non-destructively: pull every live collector's "
+        "state over the wire, recover dead ones from their durable "
+        "checkpoints, merge, and print the estimates",
+    )
+    topo_finalize.add_argument(
+        "--dir", required=True, metavar="DIR", help="topology directory"
+    )
+    topo_finalize.add_argument(
+        "--json", metavar="PATH",
+        help="write the merged estimates to this JSON file",
     )
     return parser
 
@@ -989,9 +1092,61 @@ def _run_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _load_topology_contract(arguments: argparse.Namespace):
+    """Resolve (spec, domain, fleet kwargs) from a topology manifest."""
+    import time as _time
+
+    from .topology import wait_for_manifest
+    from .topology.pull import pull_control
+
+    manifest = wait_for_manifest(
+        arguments.topology, timeout=arguments.connect_timeout
+    )
+    spec = ProtocolSpec.from_dict(manifest["spec"])
+    domain = Domain(manifest["attributes"])
+    targets = [
+        (collector["host"], int(collector["port"]))
+        for collector in manifest["collectors"]
+    ]
+    oracle = manifest.get("supervisor") or {}
+    failover = None
+    if oracle.get("port"):
+        host, port = str(oracle["host"]), int(oracle["port"])
+
+        async def failover(address):
+            answer = await pull_control(host, port, {"what": "recovered"})
+            payload = answer.payload
+            return {
+                "dead": f"{address[0]}:{address[1]}"
+                in (payload.get("dead") or []),
+                "acked_tokens": payload.get("acked_tokens") or {},
+            }
+
+    token_prefix = arguments.token_prefix
+    if token_prefix is None:
+        # Fresh per run: tokens are idempotency keys inside the collectors'
+        # durable state, so replaying a previous run's prefix against the
+        # same tree would dedupe every group away.
+        token_prefix = f"load-{os.getpid()}-{_time.time_ns():x}"
+    kwargs = {
+        "targets": targets,
+        "routing": manifest["routing"],
+        "token_prefix": token_prefix,
+        "failover": failover,
+    }
+    return spec, domain, kwargs
+
+
 def _run_load(arguments: argparse.Namespace) -> int:
     try:
-        spec, domain = _contract_from_args(arguments)
+        if arguments.topology:
+            spec, domain, topology_kwargs = _load_topology_contract(arguments)
+        else:
+            spec, domain = _contract_from_args(arguments)
+            topology_kwargs = {
+                "host": arguments.host,
+                "port": arguments.port,
+            }
         frames = None
         if arguments.dataset:
             # Build the dataset and encode with run_streaming's exact rng
@@ -1011,9 +1166,8 @@ def _run_load(arguments: argparse.Namespace) -> int:
         fleet = LoadGenerator(
             spec,
             domain,
-            arguments.host,
-            arguments.port,
             frames=frames,
+            **topology_kwargs,
             num_clients=arguments.clients,
             records_per_client=arguments.records_per_client,
             batch_size=arguments.batch_size,
@@ -1035,6 +1189,8 @@ def _run_load(arguments: argparse.Namespace) -> int:
                 f"frames      : {report.frames} sent, "
                 f"{report.acked_frames} acked",
                 f"reports     : {report.acked_reports} acked",
+                f"failover    : {report.retries} retried group(s), "
+                f"{report.recovered_groups} recovered from dead collectors",
                 f"bytes       : {report.bytes}",
                 f"duration    : {report.duration_seconds:.3f} s",
                 f"throughput  : {report.reports_per_second:,.0f} reports/s, "
@@ -1048,6 +1204,292 @@ def _run_load(arguments: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote {arguments.json}", file=sys.stderr)
     return 0
+
+
+async def _topo_durable_reports(supervisor) -> int:
+    """Durably acknowledged reports across the whole tree, counted once.
+
+    Live collectors report ``sum(shard_reports)`` — shard sessions only
+    grow when a group is folded (ACK'd) in durable mode — and dead ones
+    contribute their recovered checkpoint.  Restarted collectors resume
+    from the same checkpoint the supervisor drops on restart, so nothing
+    is counted twice.
+    """
+    from .topology.pull import pull_stats
+
+    total = sum(
+        state.num_reports for state in supervisor.recovered_states().values()
+    )
+    for handle in supervisor.handles:
+        if handle.status != "live":
+            continue
+        try:
+            stats = await pull_stats(handle.host, handle.port, timeout=5.0)
+        except ReproError:
+            continue  # death between health checks; next tick recovers it
+        total += sum(stats.get("shard_reports", []))
+    return total
+
+
+async def _topo_launch_main(arguments, topology) -> Dict:
+    """Serve the tree until stopped/complete; returns the final stats."""
+    supervisor = topology.supervisor
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_requested.set)
+            registered.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-unix loops / nested loops: Ctrl-C still interrupts
+    killed = None
+    try:
+        await topology.start()
+        ports = ", ".join(str(port) for _, port in supervisor.addresses)
+        print(
+            f"topology: {arguments.collectors} collector(s) for "
+            f"{supervisor.spec.describe()} on {arguments.host} "
+            f"port(s) {ports}; supervisor oracle on port "
+            f"{topology.endpoint.port}; manifest {topology.manifest_path}",
+            file=sys.stderr,
+            flush=True,
+        )
+        while not stop_requested.is_set():
+            supervisor.health_check()
+            durable = await _topo_durable_reports(supervisor)
+            if (
+                killed is None
+                and arguments.kill_after_reports is not None
+                and durable >= arguments.kill_after_reports
+            ):
+                index = arguments.kill_collector
+                if not 0 <= index < arguments.collectors:
+                    raise ReproError(
+                        f"--kill-collector {index} is out of range for "
+                        f"{arguments.collectors} collector(s)"
+                    )
+                if supervisor.is_alive(index):
+                    supervisor.kill(index)
+                    killed = supervisor.handles[index].collector_id
+                    print(
+                        f"topology: killed collector {killed} after "
+                        f"{durable} durable report(s)",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+            if (
+                arguments.stop_after_reports is not None
+                and durable >= arguments.stop_after_reports
+            ):
+                break
+            try:
+                await asyncio.wait_for(stop_requested.wait(), 0.2)
+            except asyncio.TimeoutError:
+                pass
+        aggregator = await topology.collect()
+        merged = aggregator.merged_session()
+        recovered_reports = sum(
+            state.num_reports
+            for state in supervisor.recovered_states().values()
+        )
+        return {
+            "merged": merged,
+            "stats": {
+                "collectors": supervisor.describe(),
+                "routing": topology.routing,
+                "dead": [
+                    handle.collector_id
+                    for handle in supervisor.handles
+                    if handle.status == "dead"
+                ],
+                "killed": killed,
+                "recovered_reports": recovered_reports,
+                "reports": merged.num_reports,
+            },
+        }
+    finally:
+        for signum in registered:
+            loop.remove_signal_handler(signum)
+        await topology.stop()
+
+
+def _run_topo_launch(arguments: argparse.Namespace) -> int:
+    from .topology import LocalTopology
+
+    try:
+        spec, domain = _contract_from_args(arguments)
+        topology = LocalTopology(
+            spec,
+            domain,
+            base_dir=arguments.dir,
+            collectors=arguments.collectors,
+            shards=arguments.shards,
+            routing=arguments.routing,
+            host=arguments.host,
+            checkpoint_interval=arguments.checkpoint_interval,
+        )
+        outcome = asyncio.run(_topo_launch_main(arguments, topology))
+        merged = outcome["merged"]
+        stats = outcome["stats"]
+    except (ReproError, OSError, ValueError) as error:
+        print(f"topo launch: {error}", file=sys.stderr)
+        return 2
+    dead = stats["dead"]
+    recovered_reports = stats["recovered_reports"]
+    print(
+        f"topology collected {merged.num_reports} report(s); "
+        f"dead: {dead or 'none'}; recovered {recovered_reports} report(s) "
+        "from durable checkpoints",
+        file=sys.stderr,
+    )
+    estimator = merged.snapshot() if merged.num_reports else None
+    rendered = _render_estimates(estimator, merged)
+    payload = _estimates_payload(estimator, merged)
+    payload["topology"] = stats
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
+def _run_topo_inspect(arguments: argparse.Namespace) -> int:
+    from .topology import load_manifest
+    from .topology.pull import pull_control, pull_stats
+
+    try:
+        manifest = load_manifest(arguments.dir)
+
+        async def gather():
+            collectors = []
+            for entry in manifest["collectors"]:
+                host, port = entry["host"], int(entry["port"])
+                try:
+                    stats = await pull_stats(host, port, timeout=5.0)
+                    collectors.append({"reachable": True, "stats": stats})
+                except ReproError as error:
+                    collectors.append(
+                        {
+                            "reachable": False,
+                            "collector_id": entry["collector_id"],
+                            "error": str(error),
+                        }
+                    )
+            oracle = manifest.get("supervisor") or {}
+            verdict = None
+            if oracle.get("port"):
+                try:
+                    answer = await pull_control(
+                        str(oracle["host"]),
+                        int(oracle["port"]),
+                        {"what": "recovered"},
+                        timeout=5.0,
+                    )
+                    verdict = answer.payload
+                except ReproError as error:
+                    verdict = {"error": str(error)}
+            return {
+                "manifest": manifest,
+                "collectors": collectors,
+                "supervisor": verdict,
+            }
+
+        payload = asyncio.run(gather())
+    except (ReproError, OSError, ValueError) as error:
+        print(f"topo inspect: {error}", file=sys.stderr)
+        return 2
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def _run_topo_finalize(arguments: argparse.Namespace) -> int:
+    """Fan in an existing tree from outside the launcher process.
+
+    Live collectors are pulled over the wire; unreachable ones fall back
+    to their last durable ``state.npz`` — the same supersede-by-collector-
+    id merge the supervisor performs, so the result is identical to what
+    the launcher would print.
+    """
+    from pathlib import Path
+
+    from .server import DURABLE_STATE_FILENAME
+    from .topology import FanInAggregator, load_manifest
+
+    try:
+        manifest = load_manifest(arguments.dir)
+        spec = ProtocolSpec.from_dict(manifest["spec"])
+        domain = Domain(manifest["attributes"])
+        aggregator = FanInAggregator(spec, domain)
+        fallbacks = []
+
+        async def gather():
+            for entry in manifest["collectors"]:
+                try:
+                    await aggregator.pull(
+                        entry["host"], int(entry["port"]), timeout=5.0
+                    )
+                except ReproError:
+                    fallbacks.append(entry)
+
+        asyncio.run(gather())
+        for entry in fallbacks:
+            state_path = Path(entry["checkpoint_dir"]) / DURABLE_STATE_FILENAME
+            if state_path.exists():
+                session = AggregationSession.restore(state_path)
+                tokens = session.checkpoint_extra.get("acked_tokens", {})
+                aggregator.ingest_session(
+                    entry["collector_id"],
+                    session,
+                    tokens if isinstance(tokens, dict) else {},
+                )
+                print(
+                    f"topo finalize: collector {entry['collector_id']} is "
+                    f"unreachable; recovered {session.num_reports} report(s) "
+                    f"from {state_path}",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"topo finalize: collector {entry['collector_id']} is "
+                    f"unreachable and left no durable checkpoint at "
+                    f"{state_path}; counting it as empty",
+                    file=sys.stderr,
+                )
+        merged = aggregator.merged_session()
+        estimator = merged.snapshot() if merged.num_reports else None
+        rendered = _render_estimates(estimator, merged)
+        payload = _estimates_payload(estimator, merged)
+        payload["topology"] = {
+            "collectors": list(aggregator.collector_ids),
+            "unreachable": [entry["collector_id"] for entry in fallbacks],
+            "reports": merged.num_reports,
+        }
+    except (ReproError, OSError, ValueError) as error:
+        print(f"topo finalize: {error}", file=sys.stderr)
+        return 2
+    print(rendered)
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
+def _run_topo(arguments: argparse.Namespace) -> int:
+    if arguments.topo_command == "launch":
+        return _run_topo_launch(arguments)
+    if arguments.topo_command == "inspect":
+        return _run_topo_inspect(arguments)
+    return _run_topo_finalize(arguments)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1064,6 +1506,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_serve(arguments)
         if arguments.command == "load":
             return _run_load(arguments)
+        if arguments.command == "topo":
+            return _run_topo(arguments)
         return _run_experiment(arguments)
     except BrokenPipeError:
         # Downstream closed early (e.g. `repro aggregate | head`); point

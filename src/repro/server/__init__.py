@@ -32,9 +32,12 @@ from .framing import (
     FIN,
     HELLO,
     MAX_CONTROL_BYTES,
+    MAX_STATE_BYTES,
     OK,
+    PULL,
     REPORT_MAGIC,
     SERVER_PROTOCOL_VERSION,
+    STATE,
     ControlMessage,
     FrameDecoder,
     FrameDecoderReference,
@@ -47,6 +50,7 @@ from .server import (
     DEFAULT_BATCH_MAX_USERS,
     DEFAULT_BATCH_WINDOW_SECONDS,
     DEFAULT_MAX_FRAME_BYTES,
+    DURABLE_STATE_FILENAME,
     CollectionServer,
     install_uvloop,
     merge_checkpoints,
@@ -63,6 +67,9 @@ __all__ = [
     "ERR",
     "FIN",
     "ACK",
+    "PULL",
+    "STATE",
+    "MAX_STATE_BYTES",
     "CONTROL_KINDS",
     "ControlMessage",
     "encode_control",
@@ -76,6 +83,7 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_BATCH_MAX_USERS",
     "DEFAULT_BATCH_WINDOW_SECONDS",
+    "DURABLE_STATE_FILENAME",
     "CollectionServer",
     "install_uvloop",
     "merge_checkpoints",

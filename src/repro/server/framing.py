@@ -9,11 +9,15 @@ payload``):
   ``reports.to_bytes()`` (:mod:`repro.protocols.wire`).  The server relays
   them whole to an :class:`~repro.service.AggregationSession`, paying the
   npz decode cost once at the shard.
-* **control frames** — magic ``b"RPRC"``, a small UTF-8 JSON payload.  The
+* **control frames** — magic ``b"RPRC"``, a UTF-8 JSON payload.  The
   kinds are the session protocol's verbs: ``HELLO`` (client → server, the
   spec handshake), ``OK``/``ERR`` (server → client), ``FIN`` (client →
-  server, end of stream) and ``ACK`` (server → client, per-connection
-  frame/report counts).
+  server, end of stream), ``ACK`` (server → client, per-connection
+  frame/report counts), plus the topology tier's fan-in pair — ``PULL``
+  (aggregator → collector, request stats or session state) and ``STATE``
+  (collector → aggregator, the answer; its payload may carry a
+  base64-encoded session checkpoint, so it alone is capped at
+  :data:`MAX_STATE_BYTES` instead of :data:`MAX_CONTROL_BYTES`).
 
 :class:`FrameDecoder` is the incremental half: TCP hands the receiver
 arbitrary byte chunks, so the decoder buffers input and emits a frame only
@@ -42,6 +46,7 @@ from ..protocols.wire import (
 __all__ = [
     "SERVER_PROTOCOL_VERSION",
     "MAX_CONTROL_BYTES",
+    "MAX_STATE_BYTES",
     "REPORT_MAGIC",
     "CONTROL_MAGIC",
     "HELLO",
@@ -49,6 +54,8 @@ __all__ = [
     "ERR",
     "FIN",
     "ACK",
+    "PULL",
+    "STATE",
     "CONTROL_KINDS",
     "ControlMessage",
     "encode_control",
@@ -63,6 +70,11 @@ SERVER_PROTOCOL_VERSION = 1
 #: declared length above this is a corrupted or hostile header.
 MAX_CONTROL_BYTES = 1 << 20
 
+#: ``STATE`` answers alone may carry a whole base64-encoded session
+#: checkpoint, so they get a larger (but still bounded) declared-payload
+#: cap than the other control verbs.
+MAX_STATE_BYTES = 64 << 20
+
 CONTROL_MAGIC = b"RPRC"
 
 HELLO = "HELLO"
@@ -70,7 +82,16 @@ OK = "OK"
 ERR = "ERR"
 FIN = "FIN"
 ACK = "ACK"
-CONTROL_KINDS = frozenset({HELLO, OK, ERR, FIN, ACK})
+PULL = "PULL"
+STATE = "STATE"
+CONTROL_KINDS = frozenset({HELLO, OK, ERR, FIN, ACK, PULL, STATE})
+
+_STATE_KIND_BYTES = STATE.encode("utf-8")
+
+
+def _control_payload_cap(kind_bytes: bytes) -> int:
+    """Declared-payload bound for a control frame, decided by its kind."""
+    return MAX_STATE_BYTES if kind_bytes == _STATE_KIND_BYTES else MAX_CONTROL_BYTES
 
 @dataclass(frozen=True)
 class ControlMessage:
@@ -81,7 +102,8 @@ class ControlMessage:
 
 
 def encode_control(kind: str, payload: Dict[str, Any] = None) -> bytes:
-    """Serialize one control frame (``HELLO``/``OK``/``ERR``/``FIN``/``ACK``)."""
+    """Serialize one control frame (``HELLO``/``OK``/``ERR``/``FIN``/``ACK``/
+    ``PULL``/``STATE``)."""
     if kind not in CONTROL_KINDS:
         raise WireFormatError(
             f"unknown control kind {kind!r}; expected one of "
@@ -93,10 +115,11 @@ def encode_control(kind: str, payload: Dict[str, Any] = None) -> bytes:
         raise WireFormatError(
             f"control payload for {kind!r} is not JSON-serializable: {error}"
         ) from error
-    if len(body) > MAX_CONTROL_BYTES:
+    payload_cap = _control_payload_cap(kind.encode("utf-8"))
+    if len(body) > payload_cap:
         raise WireFormatError(
             f"control payload for {kind!r} serializes to {len(body)} bytes, "
-            f"above the {MAX_CONTROL_BYTES}-byte limit"
+            f"above the {payload_cap}-byte limit"
         )
     name = kind.encode("utf-8")
     return (
@@ -133,7 +156,9 @@ class FrameDecoder:
     way.  ``max_frame_bytes`` bounds the declared payload of report frames
     (the server's backpressure knob — a connection can never force the
     decoder to buffer more than one maximal frame plus one read chunk);
-    control frames are always capped at :data:`MAX_CONTROL_BYTES`.
+    control frames are capped per kind — :data:`MAX_STATE_BYTES` for
+    ``STATE`` (which may carry a checkpoint), :data:`MAX_CONTROL_BYTES`
+    for every other verb.
 
     A structural error poisons the decoder: the stream position is no
     longer trustworthy, so every later :meth:`feed`/:meth:`absorb`
@@ -234,9 +259,9 @@ class FrameDecoder:
             return None
         magic, version, kind_length = _PREFIX.unpack_from(buffer, head)
         if magic == REPORT_MAGIC:
-            expected_version, payload_cap = WIRE_FORMAT_VERSION, self._max_frame_bytes
+            expected_version = WIRE_FORMAT_VERSION
         elif magic == CONTROL_MAGIC:
-            expected_version, payload_cap = SERVER_PROTOCOL_VERSION, MAX_CONTROL_BYTES
+            expected_version = SERVER_PROTOCOL_VERSION
         else:
             raise WireFormatError(
                 f"stream does not hold a collection frame (magic {bytes(magic)!r}, "
@@ -251,6 +276,17 @@ class FrameDecoder:
         header_end = head + _PREFIX.size + kind_length + _LENGTH.size
         if len(buffer) < header_end:
             return None
+        if magic == REPORT_MAGIC:
+            payload_cap = self._max_frame_bytes
+        else:
+            # The kind bytes sit between the prefix and the length field, so
+            # they are buffered whenever the length is — the cap can be
+            # decided per kind (STATE frames carry checkpoints, the rest are
+            # small JSON) without waiting for more input.
+            kind_start = head + _PREFIX.size
+            payload_cap = _control_payload_cap(
+                bytes(buffer[kind_start : kind_start + kind_length])
+            )
         (payload_length,) = _LENGTH.unpack_from(
             buffer, head + _PREFIX.size + kind_length
         )
@@ -356,9 +392,9 @@ class FrameDecoderReference:
             return None, 0
         magic, version, kind_length = _PREFIX.unpack_from(buffer, 0)
         if magic == REPORT_MAGIC:
-            expected_version, payload_cap = WIRE_FORMAT_VERSION, self._max_frame_bytes
+            expected_version = WIRE_FORMAT_VERSION
         elif magic == CONTROL_MAGIC:
-            expected_version, payload_cap = SERVER_PROTOCOL_VERSION, MAX_CONTROL_BYTES
+            expected_version = SERVER_PROTOCOL_VERSION
         else:
             raise WireFormatError(
                 f"stream does not hold a collection frame (magic {bytes(magic)!r}, "
@@ -373,6 +409,13 @@ class FrameDecoderReference:
         header_end = _PREFIX.size + kind_length + _LENGTH.size
         if len(buffer) < header_end:
             return None, 0
+        if magic == REPORT_MAGIC:
+            payload_cap = self._max_frame_bytes
+        else:
+            kind_start = _PREFIX.size
+            payload_cap = _control_payload_cap(
+                bytes(buffer[kind_start : kind_start + kind_length])
+            )
         (payload_length,) = _LENGTH.unpack_from(buffer, _PREFIX.size + kind_length)
         if payload_length > payload_cap:
             raise WireFormatError(

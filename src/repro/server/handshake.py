@@ -14,7 +14,7 @@ hardware still interoperate.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.exceptions import ReproError
 from ..service.spec import ProtocolSpec
@@ -31,13 +31,26 @@ def spec_hash(spec: ProtocolSpec) -> str:
     return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
 
 
-def hello_payload(spec: ProtocolSpec, attributes: Sequence[str]) -> Dict[str, Any]:
-    """The ``HELLO`` payload a client sends to open a collection stream."""
-    return {
+def hello_payload(
+    spec: ProtocolSpec,
+    attributes: Sequence[str],
+    *,
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The ``HELLO`` payload a client sends to open a collection stream.
+
+    ``token`` is an optional opaque group identifier: a ``durable_acks``
+    collector records it at ACK time and answers a replay of the same
+    token idempotently (retry-after-failure never double-counts a group).
+    """
+    payload = {
         "spec": spec.to_dict(),
         "spec_hash": spec_hash(spec.canonical()),
         "attributes": list(attributes),
     }
+    if token is not None:
+        payload["token"] = str(token)
+    return payload
 
 
 def check_hello(
@@ -83,5 +96,10 @@ def check_hello(
     elif list(client_attributes) != list(attributes):
         problems.append(
             f"attributes: {list(attributes)!r} != {list(client_attributes)!r}"
+        )
+    token = payload.get("token")
+    if token is not None and not isinstance(token, str):
+        problems.append(
+            f"token: must be a string when present, got {type(token).__name__}"
         )
     return problems

@@ -12,6 +12,16 @@ fault injection (``malformed_connections`` opens extra poison connections
 that send garbage and expect a per-connection ``ERR`` rejection — proving
 the server survives hostile input while the well-formed fleet proceeds).
 
+The fleet can also drive a whole multi-collector tree: pass ``targets``
+(several collector addresses) instead of ``host``/``port`` and each group
+of frames is routed by a :mod:`repro.topology.router` policy.  With a
+``token_prefix`` every group carries a unique idempotency token in its
+``HELLO``, and with a ``failover`` oracle (the topology supervisor's
+verdict on a broken address) a client survives a collector death
+mid-stream: groups the dead collector durably acknowledged are counted
+from the recovered token set, everything else is replayed to a surviving
+collector — never both, so nothing is lost and nothing double-counts.
+
 :meth:`LoadGenerator.run` returns a :class:`LoadReport` with the achieved
 throughput (reports/sec, MB/sec) and per-client accounting.
 """
@@ -19,10 +29,11 @@ throughput (reports/sec, MB/sec) and per-client accounting.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +71,8 @@ class ClientResult:
     acked_frames: int = 0
     acked_reports: int = 0
     rejected_connections: int = 0
+    retries: int = 0
+    recovered_groups: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -77,6 +90,8 @@ class LoadReport:
     acked_frames: int
     acked_reports: int
     rejected_connections: int
+    retries: int = 0
+    recovered_groups: int = 0
     per_client: List[ClientResult] = field(default_factory=list)
 
     @property
@@ -105,6 +120,8 @@ class LoadReport:
             "acked_frames": self.acked_frames,
             "acked_reports": self.acked_reports,
             "rejected_connections": self.rejected_connections,
+            "retries": self.retries,
+            "recovered_groups": self.recovered_groups,
             "reports_per_second": self.reports_per_second,
             "megabytes_per_second": self.megabytes_per_second,
             "per_client": [client.to_dict() for client in self.per_client],
@@ -177,15 +194,44 @@ class LoadGenerator:
         still applies backpressure in between).  Per-frame draining costs
         a scheduler round-trip per frame and was the client-side ingest
         bottleneck.
+    targets, routing:
+        Instead of one ``host``/``port``, a list of collector addresses
+        and the routing policy (``round-robin`` or ``hash``) that deals
+        connection groups across them.
+    token_prefix:
+        When set, every group's ``HELLO`` carries the idempotency token
+        ``{token_prefix}/c{client}/g{group}`` — required for exact
+        retry/failover against ``durable_acks`` collectors.
+    failover:
+        A callable ``address -> {"dead": bool, "acked_tokens": {...}}``
+        (sync or async) consulted after a failed group delivery; typically
+        :meth:`repro.topology.TopologySupervisor.failover` or its wire
+        twin.  ``dead: True`` means the address's durable checkpoint has
+        been recovered, so the token set is complete: recovered groups are
+        counted, the rest replay to surviving collectors.
+    max_retries, retry_backoff:
+        Transient-failure policy per group: how many same-address retries
+        before giving up, and the (linear) backoff between them.
+    on_group_done:
+        Test hook called (sync or async) after every delivered group with
+        ``(client_id, group_index)`` — the fault-injection harness uses it
+        to kill collectors at deterministic points mid-stream.
     """
 
     def __init__(
         self,
         spec,
         domain: Domain,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         *,
+        targets: Optional[Sequence[Tuple[str, int]]] = None,
+        routing: str = "round-robin",
+        token_prefix: Optional[str] = None,
+        failover: Optional[Callable[..., Any]] = None,
+        max_retries: int = 3,
+        retry_backoff: float = 0.2,
+        on_group_done: Optional[Callable[[int, int], Any]] = None,
         frames: Optional[Sequence[bytes]] = None,
         num_clients: int = 4,
         records_per_client: int = 256,
@@ -200,6 +246,23 @@ class LoadGenerator:
     ):
         if not isinstance(spec, ProtocolSpec):
             spec = ProtocolSpec.from_protocol(spec)
+        if (host is None) != (port is None):
+            raise ProtocolConfigurationError(
+                "host and port must be given together"
+            )
+        if (host is None) == (targets is None):
+            raise ProtocolConfigurationError(
+                "give either host/port (one collector) or targets "
+                "(a topology), not both"
+            )
+        if max_retries < 0:
+            raise ProtocolConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if retry_backoff < 0:
+            raise ProtocolConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         if num_clients < 1:
             raise ProtocolConfigurationError(
                 f"num_clients must be >= 1, got {num_clients}"
@@ -223,8 +286,21 @@ class LoadGenerator:
         self._spec = spec
         self._protocol = spec.build()
         self._domain = domain
-        self._host = host
-        self._port = int(port)
+        # Runtime import: repro.topology imports repro.server, so pulling
+        # the router in at module scope would be a cycle.
+        from ..topology.router import make_router
+
+        self._router = make_router(
+            routing,
+            targets if targets is not None else [(host, port)],
+        )
+        self._token_prefix = (
+            str(token_prefix) if token_prefix is not None else None
+        )
+        self._failover = failover
+        self._max_retries = int(max_retries)
+        self._retry_backoff = float(retry_backoff)
+        self._on_group_done = on_group_done
         self._frames = list(frames) if frames is not None else None
         self._num_clients = num_clients
         self._records_per_client = records_per_client
@@ -239,6 +315,11 @@ class LoadGenerator:
         self._hello = encode_control(
             HELLO, hello_payload(spec, domain.attributes)
         )
+
+    @property
+    def router(self):
+        """The live :class:`~repro.topology.Router` dealing out groups."""
+        return self._router
 
     # ------------------------------------------------------------------ #
     # frame preparation
@@ -346,6 +427,10 @@ class LoadGenerator:
             rejected_connections=sum(
                 result.rejected_connections for result in results
             ),
+            retries=sum(result.retries for result in results),
+            recovered_groups=sum(
+                result.recovered_groups for result in results
+            ),
             per_client=list(results),
         )
 
@@ -353,21 +438,98 @@ class LoadGenerator:
         self, result: ClientResult, frames: List[bytes]
     ) -> ClientResult:
         group_size = self._frames_per_connection or max(len(frames), 1)
-        for start in range(0, len(frames), group_size):
-            await self._send_group(result, frames[start : start + group_size])
+        for group_index, start in enumerate(
+            range(0, len(frames), group_size)
+        ):
+            await self._deliver_group(
+                result, group_index, frames[start : start + group_size]
+            )
+            if self._on_group_done is not None:
+                outcome = self._on_group_done(result.client_id, group_index)
+                if inspect.isawaitable(outcome):
+                    await outcome
         return result
 
-    async def _send_group(
-        self, result: ClientResult, frames: List[bytes]
+    def _token(self, client_id: int, group_index: int) -> Optional[str]:
+        if self._token_prefix is None:
+            return None
+        return f"{self._token_prefix}/c{client_id}/g{group_index}"
+
+    async def _deliver_group(
+        self, result: ClientResult, group_index: int, frames: List[bytes]
     ) -> None:
-        reader, writer = await self._connect()
+        """Deliver one group exactly once, across failures.
+
+        The loop: route, send, and on failure ask the ``failover`` oracle
+        about the address.  Three verdicts are possible —
+
+        * not dead (or no oracle): transient failure, retry the same
+          address up to ``max_retries`` with linear backoff;
+        * dead, our token recovered: the group already counts in the dead
+          collector's recovered checkpoint — record the ACK'd totals the
+          collector durably wrote, do NOT replay;
+        * dead, token not recovered: the group was never acknowledged —
+          replay it to a surviving collector (which has never seen this
+          token, so no dedupe is needed there).
+        """
+        token = self._token(result.client_id, group_index)
+        attempts = 0
+        while True:
+            address = self._router.route(
+                key=(result.client_id, group_index)
+            )
+            try:
+                await self._send_group(result, frames, address, token)
+                return
+            except CollectionServiceError:
+                verdict = await self._consult_failover(address)
+                if verdict.get("dead"):
+                    self._router.mark_dead(address)
+                    recovered = verdict.get("acked_tokens") or {}
+                    if token is not None and token in recovered:
+                        counts = recovered[token]
+                        result.acked_frames += int(counts.get("frames", 0))
+                        result.acked_reports += int(counts.get("reports", 0))
+                        result.recovered_groups += 1
+                        return
+                    # Replay to a survivor: new target, fresh attempts.
+                    attempts = 0
+                    result.retries += 1
+                    continue
+                attempts += 1
+                if attempts > self._max_retries:
+                    raise
+                result.retries += 1
+                await asyncio.sleep(self._retry_backoff * attempts)
+
+    async def _consult_failover(self, address) -> Dict[str, Any]:
+        if self._failover is None:
+            return {"dead": False}
+        verdict = self._failover(address)
+        if inspect.isawaitable(verdict):
+            verdict = await verdict
+        if not isinstance(verdict, dict):
+            raise CollectionServiceError(
+                f"failover oracle returned {type(verdict).__name__}, "
+                "expected a dict verdict"
+            )
+        return verdict
+
+    async def _send_group(
+        self,
+        result: ClientResult,
+        frames: List[bytes],
+        address: Tuple[str, int],
+        token: Optional[str] = None,
+    ) -> None:
+        reader, writer = await self._connect(address)
         result.connections += 1
         try:
             try:
                 channel = _ControlChannel(
                     reader, self._read_chunk_bytes, self._io_timeout
                 )
-                await self._handshake(writer, channel)
+                await self._handshake(writer, channel, token)
                 for position, frame in enumerate(frames, start=1):
                     writer.write(frame)
                     if position % self._drain_every == 0:
@@ -405,7 +567,9 @@ class LoadGenerator:
 
     async def _poison_connection(self, result: ClientResult) -> None:
         """Handshake, then send garbage and expect a per-connection ERR."""
-        reader, writer = await self._connect()
+        reader, writer = await self._connect(
+            self._router.route(key=("poison", result.client_id))
+        )
         result.connections += 1
         try:
             channel = _ControlChannel(
@@ -432,9 +596,22 @@ class LoadGenerator:
             except (ConnectionError, OSError):
                 pass
 
-    async def _handshake(self, writer, channel: _ControlChannel) -> None:
+    async def _handshake(
+        self,
+        writer,
+        channel: _ControlChannel,
+        token: Optional[str] = None,
+    ) -> None:
+        hello = (
+            self._hello
+            if token is None
+            else encode_control(
+                HELLO,
+                hello_payload(self._spec, self._domain.attributes, token=token),
+            )
+        )
         try:
-            writer.write(self._hello)
+            writer.write(hello)
             await writer.drain()
         except (ConnectionError, OSError) as error:
             raise CollectionServiceError(
@@ -453,20 +630,28 @@ class LoadGenerator:
                 f"expected OK after HELLO, got {response.kind}"
             )
 
-    async def _connect(self):
+    async def _connect(self, address: Tuple[str, int]):
         """Open one connection, retrying until ``connect_timeout`` passes.
 
         Retrying covers the CI shape where the fleet starts while the
-        server process is still binding its socket.
+        server process is still binding its socket.  A *dead* collector
+        refuses instantly, so the failover path caps the wait at one
+        backoff tick when an oracle is available to consult instead.
         """
-        deadline = time.monotonic() + self._connect_timeout
+        host, port = address
+        timeout = (
+            min(self._connect_timeout, max(self._retry_backoff, 0.05))
+            if self._failover is not None
+            else self._connect_timeout
+        )
+        deadline = time.monotonic() + timeout
         while True:
             try:
-                return await asyncio.open_connection(self._host, self._port)
+                return await asyncio.open_connection(host, port)
             except OSError as error:
                 if time.monotonic() >= deadline:
                     raise CollectionServiceError(
-                        f"cannot connect to {self._host}:{self._port} within "
-                        f"{self._connect_timeout:.1f}s: {error}"
+                        f"cannot connect to {host}:{port} within "
+                        f"{timeout:.1f}s: {error}"
                     ) from error
                 await asyncio.sleep(0.05)

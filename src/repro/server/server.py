@@ -36,6 +36,7 @@ previous checkpoint to a torn write.
 from __future__ import annotations
 
 import asyncio
+import base64
 import logging
 import socket
 import time
@@ -43,7 +44,11 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.domain import Domain
-from ..core.exceptions import ProtocolConfigurationError, ReproError
+from ..core.exceptions import (
+    ProtocolConfigurationError,
+    ReproError,
+    WireFormatError,
+)
 from ..protocols.wire import MAX_PAYLOAD_BYTES
 from ..service.session import AggregationSession
 from ..service.spec import ProtocolSpec
@@ -53,6 +58,8 @@ from .framing import (
     HELLO,
     OK,
     ERR,
+    PULL,
+    STATE,
     ControlMessage,
     FrameDecoder,
     encode_control,
@@ -63,6 +70,7 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_BATCH_MAX_USERS",
     "DEFAULT_BATCH_WINDOW_SECONDS",
+    "DURABLE_STATE_FILENAME",
     "CollectionServer",
     "install_uvloop",
     "merge_checkpoints",
@@ -80,6 +88,11 @@ DEFAULT_BATCH_MAX_USERS = 8192
 
 #: Default micro-batch flush ladder timeout (seconds).
 DEFAULT_BATCH_WINDOW_SECONDS = 0.005
+
+#: Filename of the single-file transactional checkpoint written by a
+#: collector running in ``durable_acks`` mode (the whole merged state plus
+#: the acknowledged-group token map, refreshed atomically before each ACK).
+DURABLE_STATE_FILENAME = "state.npz"
 
 PathLike = Union[str, Path]
 
@@ -268,6 +281,23 @@ class CollectionServer:
         are counted (positive on ingest, negative when a deferred flush
         rejects a frame) — the hook the multi-process tier uses to
         maintain a shared report counter.
+    collector_id:
+        Stable name this collector reports in ``STATE`` answers and stamps
+        into its durable checkpoints (defaults to ``host:port``).  The
+        topology tier keys fan-in merges and failure recovery by it.
+    durable_acks:
+        Transactional ingest for the topology tier.  Report frames are
+        held per connection and folded into the shard only at ``FIN`` —
+        then the whole merged state (plus the acknowledged-group token
+        map) is checkpointed atomically to
+        ``checkpoint_dir/state.npz`` *before* the ``ACK`` goes out.  The
+        last durable checkpoint therefore always contains every
+        acknowledged group, which is what lets a supervisor re-merge a
+        dead collector without losing ACK'd reports.  Clients may carry a
+        ``token`` in their ``HELLO``; a replayed token is re-ACK'd with
+        its recorded counts instead of double-folded, making retries
+        idempotent.  Requires ``checkpoint_dir``; an existing
+        ``state.npz`` there is restored on construction (crash restart).
     """
 
     def __init__(
@@ -288,6 +318,8 @@ class CollectionServer:
         stop_after_reports: Optional[int] = None,
         drain_timeout: float = 10.0,
         report_observer: Optional[Callable[[int], None]] = None,
+        collector_id: Optional[str] = None,
+        durable_acks: bool = False,
     ):
         if shards < 1:
             raise ProtocolConfigurationError(
@@ -328,6 +360,11 @@ class CollectionServer:
         if stop_after_reports is not None and stop_after_reports < 1:
             raise ProtocolConfigurationError(
                 f"stop_after_reports must be >= 1, got {stop_after_reports}"
+            )
+        if durable_acks and checkpoint_dir is None:
+            raise ProtocolConfigurationError(
+                "durable_acks requires checkpoint_dir (the ACK is durable "
+                "precisely because the state hits disk first)"
             )
         self._sessions = [
             AggregationSession(spec, domain) for _ in range(shards)
@@ -382,6 +419,36 @@ class CollectionServer:
         self._bytes_total = 0
         self._checkpoints_written = 0
 
+        self._explicit_collector_id = collector_id
+        self._durable_acks = bool(durable_acks)
+        self._acked_tokens: Dict[str, Dict[str, int]] = {}
+        if self._durable_acks:
+            self._resume_durable_state()
+
+    def _resume_durable_state(self) -> None:
+        """Fold a previous ``state.npz`` back in (crash-restart path)."""
+        state_path = self._checkpoint_dir / DURABLE_STATE_FILENAME
+        if not state_path.exists():
+            return
+        restored = AggregationSession.restore(state_path)
+        self._sessions[0].merge(restored)
+        tokens = restored.checkpoint_extra.get("acked_tokens", {})
+        if isinstance(tokens, dict):
+            self._acked_tokens.update(
+                {str(key): dict(value) for key, value in tokens.items()}
+            )
+        metadata = restored.metadata
+        self._reports_total = restored.num_reports
+        self._frames_total = int(metadata["wire_batches"])
+        self._bytes_total = int(metadata["wire_bytes_total"])
+        _logger.info(
+            "resumed %d durable report(s) across %d acknowledged group(s) "
+            "from %s",
+            restored.num_reports,
+            len(self._acked_tokens),
+            state_path,
+        )
+
     # ------------------------------------------------------------------ #
     # introspection
 
@@ -401,6 +468,22 @@ class CollectionServer:
     def port(self) -> Optional[int]:
         """The bound port (``None`` before :meth:`start`)."""
         return self._port
+
+    @property
+    def collector_id(self) -> str:
+        """The stable name this collector signs STATE answers with."""
+        if self._explicit_collector_id is not None:
+            return self._explicit_collector_id
+        return f"{self._host}:{self._port or self._requested_port}"
+
+    @property
+    def durable_acks(self) -> bool:
+        return self._durable_acks
+
+    @property
+    def acked_tokens(self) -> Dict[str, Dict[str, int]]:
+        """Recorded counts per acknowledged group token (a copy)."""
+        return {token: dict(counts) for token, counts in self._acked_tokens.items()}
 
     @property
     def num_shards(self) -> int:
@@ -427,6 +510,9 @@ class CollectionServer:
             elapsed = (self._stopped_at or now) - self._started_at
         return {
             "address": {"host": self._host, "port": self._port},
+            "collector_id": self.collector_id,
+            "durable_acks": self._durable_acks,
+            "acked_groups": len(self._acked_tokens),
             "spec": self._spec.to_dict(),
             "spec_hash": self._spec_hash,
             "uptime_seconds": elapsed,
@@ -556,11 +642,18 @@ class CollectionServer:
         return self.combined_session().snapshot()
 
     def checkpoint(self) -> List[Path]:
-        """Checkpoint every shard to ``checkpoint_dir/shard-NN.npz`` now."""
+        """Checkpoint every shard to ``checkpoint_dir/shard-NN.npz`` now.
+
+        In ``durable_acks`` mode the checkpoint is instead the single
+        transactional ``state.npz`` (merged shards + token map) — one file,
+        so there is never a torn multi-file snapshot to recover from.
+        """
         if self._checkpoint_dir is None:
             raise ProtocolConfigurationError(
                 "this server was built without a checkpoint_dir"
             )
+        if self._durable_acks:
+            return [self.durable_checkpoint()]
         self._flush_all()
         paths = []
         for index, session in enumerate(self._sessions):
@@ -571,6 +664,23 @@ class CollectionServer:
             )
         self._checkpoints_written += 1
         return paths
+
+    def durable_checkpoint(self) -> Path:
+        """Atomically write the merged state + token map to ``state.npz``."""
+        if self._checkpoint_dir is None:
+            raise ProtocolConfigurationError(
+                "this server was built without a checkpoint_dir"
+            )
+        combined = self.combined_session()
+        path = combined.checkpoint(
+            self._checkpoint_dir / DURABLE_STATE_FILENAME,
+            extra={
+                "collector_id": self.collector_id,
+                "acked_tokens": self._acked_tokens,
+            },
+        )
+        self._checkpoints_written += 1
+        return path
 
     async def _checkpoint_loop(self) -> None:
         while True:
@@ -632,6 +742,12 @@ class CollectionServer:
 
         greeted = False
         finished = False
+        control_plane = False
+        token: Optional[str] = None
+        # durable_acks mode: decoded frames wait here and fold only at FIN
+        # (one transactional group per connection); each entry is
+        # ``(decoded batch, users, nbytes)``.
+        pending: List[tuple] = []
         frames = reports = received = 0
         try:
             decoder = FrameDecoder(max_frame_bytes=self._max_frame_bytes)
@@ -658,6 +774,12 @@ class CollectionServer:
                             if problems:
                                 raise _Reject("spec mismatch", problems)
                             greeted = True
+                            raw_token = item.payload.get("token")
+                            token = (
+                                str(raw_token)
+                                if raw_token is not None
+                                else None
+                            )
                             writer.write(
                                 encode_control(
                                     OK,
@@ -668,27 +790,38 @@ class CollectionServer:
                                 )
                             )
                             await writer.drain()
+                        elif item.kind == PULL:
+                            # The topology tier's fan-in probe: answer with
+                            # stats or the full session state.  Allowed
+                            # before HELLO — the puller is a control-plane
+                            # peer, not a report client.
+                            control_plane = True
+                            await self._answer_pull(writer, item.payload)
                         elif item.kind == FIN:
                             if not greeted:
                                 raise _Reject("FIN before HELLO")
-                            # Flush synchronously so every report this
-                            # connection sent is in the shard (or rejected)
-                            # before the ACK goes out.  A rejection has
-                            # already sent the ERR through the error sink
-                            # by the time flush() returns.
-                            batcher.flush()
-                            if flush_error:
-                                return
-                            writer.write(
-                                encode_control(
-                                    ACK,
-                                    {
-                                        "frames": frames,
-                                        "reports": reports,
-                                        "bytes": received,
-                                    },
+                            if self._durable_acks:
+                                # Transactional group commit: fold, make the
+                                # state durable, only then ACK.
+                                ack_payload = self._fold_durable(
+                                    shard, pending, token
                                 )
-                            )
+                            else:
+                                # Flush synchronously so every report this
+                                # connection sent is in the shard (or
+                                # rejected) before the ACK goes out.  A
+                                # rejection has already sent the ERR through
+                                # the error sink by the time flush()
+                                # returns.
+                                batcher.flush()
+                                if flush_error:
+                                    return
+                                ack_payload = {
+                                    "frames": frames,
+                                    "reports": reports,
+                                    "bytes": received,
+                                }
+                            writer.write(encode_control(ACK, ack_payload))
                             await writer.drain()
                             finished = True
                             break
@@ -705,7 +838,10 @@ class CollectionServer:
                         decoded = shard.protocol.decode_reports(item)
                         users = int(decoded.num_users)
                         nbytes = len(item)
-                        batcher.enqueue(decoded, nbytes, _on_flush_error)
+                        if self._durable_acks:
+                            pending.append((decoded, users, nbytes))
+                        else:
+                            batcher.enqueue(decoded, nbytes, _on_flush_error)
                         # Counters advance optimistically; _discount
                         # reverses them if the deferred flush rejects the
                         # frame (such a connection gets ERR, not ACK, so
@@ -724,6 +860,10 @@ class CollectionServer:
                         ):
                             self._stop_event.set()
             if finished:
+                self._connections_completed += 1
+            elif control_plane and decoder.at_frame_boundary:
+                # A PULL peer that hangs up cleanly finished its business;
+                # it never FINs because it never submits.
                 self._connections_completed += 1
             else:
                 # EOF without FIN: the client vanished.  Whatever complete
@@ -758,7 +898,90 @@ class CollectionServer:
             else:
                 self._connections_dropped += 1
         finally:
+            if pending:
+                # Unfolded durable frames die with the connection: reverse
+                # the optimistic counters so nothing unacknowledged counts.
+                self._discount(
+                    len(pending),
+                    sum(users for _, users, _ in pending),
+                    sum(nbytes for _, _, nbytes in pending),
+                )
+                pending.clear()
             self._connections_active -= 1
+
+    def _fold_durable(
+        self,
+        shard: AggregationSession,
+        pending: List[tuple],
+        token: Optional[str],
+    ) -> Dict[str, Any]:
+        """Commit one connection's group: fold → checkpoint → ACK payload.
+
+        The ordering is the durability argument: the token is recorded
+        before the checkpoint is attempted and the checkpoint is written
+        before the caller ACKs, so the last ``state.npz`` on disk always
+        holds a superset of the acknowledged groups, and a replayed token
+        is re-ACK'd with its recorded counts instead of double-folded.
+        """
+        group_frames = len(pending)
+        group_users = sum(users for _, users, _ in pending)
+        group_bytes = sum(nbytes for _, _, nbytes in pending)
+        if token is not None and token in self._acked_tokens:
+            # Replay of an already-committed group (client retry after a
+            # lost ACK or a restart): drop the duplicate fold, reverse this
+            # connection's optimistic counters, answer idempotently.
+            del pending[:]
+            self._discount(group_frames, group_users, group_bytes)
+            recorded = dict(self._acked_tokens[token])
+            recorded["duplicate"] = True
+            return recorded
+        batches = [decoded for decoded, _, _ in pending]
+        del pending[:]
+        try:
+            shard.submit_decoded(batches, wire_bytes=group_bytes)
+        except ReproError as error:
+            self._discount(group_frames, group_users, group_bytes)
+            raise _Reject(str(error)) from error
+        payload = {
+            "frames": group_frames,
+            "reports": group_users,
+            "bytes": group_bytes,
+        }
+        if token is not None:
+            self._acked_tokens[token] = dict(payload)
+        self.durable_checkpoint()
+        return payload
+
+    async def _answer_pull(self, writer, payload: Dict[str, Any]) -> None:
+        """Answer one ``PULL`` with a ``STATE`` frame (stats or state)."""
+        what = payload.get("what", "state")
+        if what == "stats":
+            body: Dict[str, Any] = {
+                "collector_id": self.collector_id,
+                "what": "stats",
+                "stats": self.stats(),
+            }
+        elif what == "state":
+            combined = self.combined_session()
+            blob = combined.checkpoint_bytes(
+                extra={
+                    "collector_id": self.collector_id,
+                    "acked_tokens": self._acked_tokens,
+                }
+            )
+            body = {
+                "collector_id": self.collector_id,
+                "what": "state",
+                "reports": combined.num_reports,
+                "acked_tokens": self._acked_tokens,
+                "state_b64": base64.b64encode(blob).decode("ascii"),
+            }
+        else:
+            raise _Reject(
+                f"unknown PULL target {what!r}; expected 'stats' or 'state'"
+            )
+        writer.write(encode_control(STATE, body))
+        await writer.drain()
 
     @staticmethod
     async def _send_error(writer, payload: Dict[str, Any]) -> None:
@@ -769,19 +992,67 @@ class CollectionServer:
             pass  # the peer is already gone; the rejection still counted
 
 
-def merge_checkpoints(paths: Sequence[PathLike]) -> AggregationSession:
+def merge_checkpoints(
+    paths: Union[PathLike, Sequence[PathLike]],
+    *,
+    expected_shards: Optional[int] = None,
+) -> AggregationSession:
     """Restore shard checkpoints and merge them into one session.
 
     The inverse of :meth:`CollectionServer.checkpoint`: hand it the
-    ``shard-NN.npz`` files (any order) and the returned session resumes the
-    aggregation exactly where the collector stopped.
+    ``shard-NN.npz`` files (any order) — or the checkpoint *directory*
+    itself, which is globbed for them — and the returned session resumes
+    the aggregation exactly where the collector stopped.
+
+    A missing or partial checkpoint directory fails with a readable error
+    naming the shard files found versus expected instead of leaking the
+    underlying npz loading exception: pass ``expected_shards`` (the
+    collector's shard count) to assert completeness, and any unreadable
+    file is reported alongside the sibling checkpoints that *are* present.
     """
-    paths = list(paths)
-    if not paths:
+    if isinstance(paths, (str, Path)):
+        directory = Path(paths)
+        if not directory.is_dir():
+            raise ProtocolConfigurationError(
+                f"merge_checkpoints got {directory}, which is not a "
+                "directory of shard checkpoints (pass the collector's "
+                "checkpoint directory, or a sequence of shard-NN.npz paths)"
+            )
+        path_list = sorted(directory.glob("shard-*.npz"))
+        if not path_list:
+            found = sorted(entry.name for entry in directory.iterdir())
+            raise ProtocolConfigurationError(
+                f"no shard checkpoints (shard-NN.npz) in {directory}; "
+                f"found: {found if found else 'an empty directory'}"
+            )
+    else:
+        path_list = [Path(path) for path in paths]
+    if not path_list:
         raise ProtocolConfigurationError(
             "merge_checkpoints needs at least one checkpoint path"
         )
-    merged = AggregationSession.restore(paths[0])
-    for path in paths[1:]:
-        merged.merge(AggregationSession.restore(path))
+    if expected_shards is not None and len(path_list) != expected_shards:
+        names = sorted(path.name for path in path_list)
+        raise ProtocolConfigurationError(
+            f"expected {expected_shards} shard checkpoint(s) but found "
+            f"{len(path_list)}: {names} — the checkpoint directory is "
+            "partial (collector interrupted before every shard was written?)"
+        )
+    merged: Optional[AggregationSession] = None
+    for path in path_list:
+        try:
+            restored = AggregationSession.restore(path)
+        except WireFormatError as error:
+            parent = path.parent
+            siblings = (
+                sorted(entry.name for entry in parent.glob("*.npz"))
+                if parent.is_dir()
+                else []
+            )
+            raise WireFormatError(
+                f"cannot merge shard checkpoint {path}: {error} "
+                f"(checkpoint files present in {parent}: "
+                f"{siblings if siblings else 'none'})"
+            ) from error
+        merged = restored if merged is None else merged.merge(restored)
     return merged

@@ -18,12 +18,13 @@ untrusted storage — a malformed file raises
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import tempfile
 import zipfile
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -79,6 +80,10 @@ class AggregationSession:
         self._wire_batches = 0
         self._wire_bytes = 0
         self._wire_reports = 0
+        #: Application metadata carried by the checkpoint this session was
+        #: restored from (``{}`` for a fresh session).  The topology tier
+        #: stores collector identity and acknowledged-group tokens here.
+        self.checkpoint_extra: Dict[str, Any] = {}
 
     @property
     def spec(self) -> ProtocolSpec:
@@ -226,16 +231,15 @@ class AggregationSession:
         self._wire_bytes += other._wire_bytes
         return self
 
-    def checkpoint(self, path: PathLike) -> Path:
-        """Write the session (spec + domain + accumulator state) to ``path``.
+    def checkpoint_bytes(self, *, extra: Optional[Dict[str, Any]] = None) -> bytes:
+        """The checkpoint archive as in-memory bytes (no file involved).
 
-        The file is self-contained: :meth:`restore` rebuilds an equivalent
-        session in a fresh process and the resumed aggregation finalizes to
-        estimates bit-for-bit identical to an uninterrupted run.  The write
-        is atomic (temp file + ``os.replace``), so an interrupted
-        checkpoint leaves the previous one intact.
+        Byte-for-byte the content :meth:`checkpoint` would have written,
+        ready to ship over a wire (the topology tier's ``STATE`` frames) and
+        to hand to :meth:`restore_bytes` on the other side.  ``extra`` is an
+        optional JSON-serializable metadata object stored in the header and
+        surfaced as :attr:`checkpoint_extra` after restore.
         """
-        path = Path(path)
         state = self._accumulator.state_dict()
         header = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
@@ -248,9 +252,45 @@ class AggregationSession:
                 "wire_bytes_total": self._wire_bytes,
             },
         }
+        if extra is not None:
+            if not isinstance(extra, dict):
+                raise ProtocolConfigurationError(
+                    f"checkpoint extra metadata must be a dict, "
+                    f"got {type(extra).__name__}"
+                )
+            try:
+                json.dumps(extra)
+            except (TypeError, ValueError) as error:
+                raise ProtocolConfigurationError(
+                    f"checkpoint extra metadata is not JSON-serializable: "
+                    f"{error}"
+                ) from error
+            header["extra"] = extra
         arrays = {
             _STATE_PREFIX + key: np.asarray(value) for key, value in state.items()
         }
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            **{_HEADER_KEY: np.array(json.dumps(header))},
+            **arrays,
+        )
+        return buffer.getvalue()
+
+    def checkpoint(
+        self, path: PathLike, *, extra: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        """Write the session (spec + domain + accumulator state) to ``path``.
+
+        The file is self-contained: :meth:`restore` rebuilds an equivalent
+        session in a fresh process and the resumed aggregation finalizes to
+        estimates bit-for-bit identical to an uninterrupted run.  The write
+        is atomic (temp file + ``os.replace``), so an interrupted
+        checkpoint leaves the previous one intact.  ``extra`` is optional
+        JSON metadata stored in the header (see :meth:`checkpoint_bytes`).
+        """
+        path = Path(path)
+        data = self.checkpoint_bytes(extra=extra)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so a crash (or full disk) mid-write can never
         # destroy the previous checkpoint: the new bytes land in a sibling
@@ -265,11 +305,7 @@ class AggregationSession:
         temp_path = Path(handle.name)
         try:
             with handle:
-                np.savez(
-                    handle,
-                    **{_HEADER_KEY: np.array(json.dumps(header))},
-                    **arrays,
-                )
+                handle.write(data)
                 handle.flush()
                 os.fsync(handle.fileno())
             # NamedTemporaryFile creates 0600; give the checkpoint the same
@@ -298,6 +334,21 @@ class AggregationSession:
             raise WireFormatError(
                 f"cannot read session checkpoint {path}: {error}"
             ) from error
+        return cls._restore_archive(archive, str(path))
+
+    @classmethod
+    def restore_bytes(cls, data: bytes) -> "AggregationSession":
+        """Rebuild a session from :meth:`checkpoint_bytes` output."""
+        try:
+            archive = np.load(io.BytesIO(bytes(data)), allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            raise WireFormatError(
+                f"cannot read session checkpoint <bytes>: {error}"
+            ) from error
+        return cls._restore_archive(archive, "<bytes>")
+
+    @classmethod
+    def _restore_archive(cls, archive, path: str) -> "AggregationSession":
         with archive:
             if _HEADER_KEY not in archive.files:
                 raise WireFormatError(
@@ -345,6 +396,12 @@ class AggregationSession:
             raise WireFormatError(
                 f"session checkpoint {path} carries no accumulator state"
             )
+        extra = header.get("extra", {})
+        if not isinstance(extra, dict):
+            raise WireFormatError(
+                f"session checkpoint {path} has a corrupted 'extra' header "
+                f"field (expected an object, got {type(extra).__name__})"
+            )
         session = cls(spec, domain)
         session._accumulator.load_state(state)
         counters = header["session"]
@@ -352,6 +409,7 @@ class AggregationSession:
         session._wire_batches = int(counters.get("wire_batches", 0))
         session._wire_reports = int(counters.get("wire_reports", 0))
         session._wire_bytes = int(counters.get("wire_bytes_total", 0))
+        session.checkpoint_extra = extra
         return session
 
     def __repr__(self) -> str:

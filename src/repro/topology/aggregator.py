@@ -1,0 +1,112 @@
+"""The fan-in tier: merge per-collector snapshots into one session.
+
+:class:`FanInAggregator` holds at most one :class:`~.pull.PulledState` per
+collector id — ingesting is *last-write-wins*, so duplicated pulls are
+harmless (a later snapshot of the same collector is a superset of the
+earlier one) and dropped pulls are repaired by simply pulling again.  The
+final :meth:`merged_session` runs the exact
+:meth:`~repro.service.AggregationSession.merge` algebra over whatever
+snapshots are held, which is why the tree finalizes bit-for-bit identical
+to a flat ``run_streaming`` no matter how clients were routed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.domain import Domain
+from ..core.exceptions import CollectionServiceError
+from ..service.session import AggregationSession
+from ..service.spec import ProtocolSpec
+from .pull import PulledState, pull_state
+
+__all__ = ["FanInAggregator"]
+
+
+class FanInAggregator:
+    """Collect per-collector state snapshots and merge them exactly."""
+
+    def __init__(self, spec, domain: Domain):
+        # Borrow AggregationSession's spec/domain validation.
+        template = AggregationSession(spec, domain)
+        self._spec: ProtocolSpec = template.spec
+        self._domain = domain
+        self._states: Dict[str, PulledState] = {}
+
+    @property
+    def spec(self) -> ProtocolSpec:
+        return self._spec
+
+    @property
+    def collector_ids(self) -> Tuple[str, ...]:
+        """Collectors with an ingested snapshot (sorted)."""
+        return tuple(sorted(self._states))
+
+    @property
+    def num_reports(self) -> int:
+        """Reports across every held snapshot (each collector once)."""
+        return sum(state.num_reports for state in self._states.values())
+
+    def ingest(self, state: PulledState) -> "FanInAggregator":
+        """Hold one collector's snapshot; idempotent per collector id.
+
+        A snapshot of an already-seen collector *replaces* the previous
+        one: collector state only grows, so the newest snapshot supersedes
+        — this is what makes duplicated pulls and re-pulls after drops
+        exact no-ops on the final merge.
+        """
+        if not isinstance(state, PulledState):
+            raise CollectionServiceError(
+                f"FanInAggregator.ingest needs a PulledState, "
+                f"got {type(state).__name__}"
+            )
+        self._states[state.collector_id] = state
+        return self
+
+    def ingest_session(
+        self,
+        collector_id: str,
+        session: AggregationSession,
+        acked_tokens: Optional[Dict[str, Dict[str, int]]] = None,
+    ) -> "FanInAggregator":
+        """Ingest a locally-recovered session (a dead collector's
+        checkpoint) under its collector id."""
+        return self.ingest(
+            PulledState(
+                collector_id=str(collector_id),
+                session=session,
+                acked_tokens=dict(acked_tokens or {}),
+            )
+        )
+
+    def discard(self, collector_id: str) -> bool:
+        """Drop a held snapshot (e.g. its collector restarted and will be
+        pulled live instead).  True if one was held."""
+        return self._states.pop(str(collector_id), None) is not None
+
+    async def pull(
+        self, host: str, port: int, *, timeout: float = 10.0
+    ) -> PulledState:
+        """Pull one collector over the wire and ingest its snapshot."""
+        state = await pull_state(host, port, timeout=timeout)
+        self.ingest(state)
+        return state
+
+    def acked_tokens(self) -> Dict[str, Dict[str, int]]:
+        """Union of acknowledged-group tokens across held snapshots."""
+        union: Dict[str, Dict[str, int]] = {}
+        for state in self._states.values():
+            for token, counts in state.acked_tokens.items():
+                union[token] = dict(counts)
+        return union
+
+    def merged_session(self) -> AggregationSession:
+        """A fresh session holding every snapshot's state, exactly once."""
+        merged = AggregationSession(self._spec, self._domain)
+        for _, state in sorted(self._states.items()):
+            merged.merge(state.session)
+        return merged
+
+    def finalize(self):
+        """Merge and finalize to the protocol's estimator."""
+        return self.merged_session().snapshot()

@@ -1,0 +1,169 @@
+"""The fan-in wire client: PULL a collector, decode its STATE answer.
+
+A pull is a *non-consuming snapshot read*: the collector answers with its
+current merged state (or stats) and keeps serving.  That makes pulls
+naturally idempotent — a dropped answer is simply re-pulled, a duplicated
+one overwrites the previous snapshot with an equal-or-newer superset —
+which is the property the fault-injection harness leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.exceptions import CollectionServiceError, WireFormatError
+from ..server.framing import (
+    ERR,
+    PULL,
+    STATE,
+    ControlMessage,
+    FrameDecoder,
+    encode_control,
+)
+from ..service.session import AggregationSession
+
+__all__ = ["PulledState", "pull_control", "pull_state", "pull_stats"]
+
+_READ_CHUNK = 1 << 16
+
+
+@dataclass
+class PulledState:
+    """One collector's snapshot: identity, session state, ACK'd tokens."""
+
+    collector_id: str
+    session: AggregationSession
+    acked_tokens: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def num_reports(self) -> int:
+        return self.session.num_reports
+
+
+async def pull_control(
+    host: str,
+    port: int,
+    payload: Optional[Dict[str, Any]] = None,
+    *,
+    timeout: float = 10.0,
+) -> ControlMessage:
+    """Send one ``PULL`` and return the first control frame answered.
+
+    Raises :class:`CollectionServiceError` on an ``ERR`` answer, a
+    truncated stream, or a timeout.
+    """
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (OSError, asyncio.TimeoutError) as error:
+        raise CollectionServiceError(
+            f"cannot connect to collector {host}:{port} for a PULL: "
+            f"{error or 'timed out'}"
+        ) from error
+    try:
+        writer.write(encode_control(PULL, payload or {}))
+        await writer.drain()
+        decoder = FrameDecoder()
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise CollectionServiceError(
+                    f"PULL of {host}:{port} timed out after {timeout:.1f}s"
+                )
+            chunk = await asyncio.wait_for(
+                reader.read(_READ_CHUNK), remaining
+            )
+            if not chunk:
+                raise CollectionServiceError(
+                    f"collector {host}:{port} closed the stream before "
+                    "answering the PULL"
+                )
+            decoder.absorb(chunk)
+            for item in decoder.frames():
+                if not isinstance(item, ControlMessage):
+                    raise CollectionServiceError(
+                        f"collector {host}:{port} answered a PULL with a "
+                        "report frame"
+                    )
+                if item.kind == ERR:
+                    raise CollectionServiceError(
+                        f"collector {host}:{port} rejected the PULL: "
+                        f"{item.payload.get('error', item.payload)}"
+                    )
+                if item.kind != STATE:
+                    raise CollectionServiceError(
+                        f"collector {host}:{port} answered a PULL with "
+                        f"{item.kind!r}, expected STATE"
+                    )
+                return item
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def decode_state(payload: Dict[str, Any]) -> PulledState:
+    """Decode a ``STATE`` payload carrying a base64 session checkpoint."""
+    if payload.get("what") != "state":
+        raise CollectionServiceError(
+            f"STATE answer is not a state snapshot (what="
+            f"{payload.get('what')!r})"
+        )
+    blob = payload.get("state_b64")
+    if not isinstance(blob, str):
+        raise CollectionServiceError(
+            "STATE answer carries no state_b64 checkpoint"
+        )
+    try:
+        data = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (binascii.Error, ValueError, UnicodeEncodeError) as error:
+        raise CollectionServiceError(
+            f"STATE answer carries undecodable base64 state: {error}"
+        ) from error
+    try:
+        session = AggregationSession.restore_bytes(data)
+    except WireFormatError as error:
+        raise CollectionServiceError(
+            f"STATE answer carries a corrupted session checkpoint: {error}"
+        ) from error
+    tokens = session.checkpoint_extra.get("acked_tokens", {})
+    if not isinstance(tokens, dict):
+        tokens = {}
+    return PulledState(
+        collector_id=str(payload.get("collector_id", "collector")),
+        session=session,
+        acked_tokens={str(key): dict(value) for key, value in tokens.items()},
+    )
+
+
+async def pull_state(
+    host: str, port: int, *, timeout: float = 10.0
+) -> PulledState:
+    """Pull one collector's full session state."""
+    answer = await pull_control(
+        host, port, {"what": "state"}, timeout=timeout
+    )
+    return decode_state(answer.payload)
+
+
+async def pull_stats(
+    host: str, port: int, *, timeout: float = 10.0
+) -> Dict[str, Any]:
+    """Pull one collector's stats counters."""
+    answer = await pull_control(
+        host, port, {"what": "stats"}, timeout=timeout
+    )
+    stats = answer.payload.get("stats")
+    if not isinstance(stats, dict):
+        raise CollectionServiceError(
+            f"collector {host}:{port} answered a stats PULL without stats"
+        )
+    return stats

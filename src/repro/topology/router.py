@@ -1,0 +1,180 @@
+"""Client routing across front-line collectors.
+
+A :class:`Router` decides which collector a client connection goes to and
+keeps serving when collectors die (:meth:`Router.mark_dead` takes an
+address out of rotation).  Two policies:
+
+* :class:`RoundRobinRouter` — connections are dealt to live collectors in
+  turn; simplest and perfectly balanced under homogeneous load.
+* :class:`ConsistentHashRouter` — connections hash onto a ring of virtual
+  nodes (SHA-256, so placement is stable across processes and runs);
+  killing a collector remaps only the keys that hashed to it, everyone
+  else keeps their collector.
+
+Routing is a pure performance/placement choice: the accumulator algebra
+makes the final merged estimates routing-invariant, which is what the
+tree-shape invariance suite asserts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence, Tuple
+
+from ..core.exceptions import CollectionServiceError, ProtocolConfigurationError
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "Address",
+    "Router",
+    "RoundRobinRouter",
+    "ConsistentHashRouter",
+    "make_router",
+]
+
+Address = Tuple[str, int]
+
+ROUTING_POLICIES = ("round-robin", "hash")
+
+
+def _normalize(targets: Sequence) -> List[Address]:
+    normalized: List[Address] = []
+    for target in targets:
+        try:
+            host, port = target
+        except (TypeError, ValueError):
+            raise ProtocolConfigurationError(
+                f"router targets must be (host, port) pairs, got {target!r}"
+            ) from None
+        normalized.append((str(host), int(port)))
+    if not normalized:
+        raise ProtocolConfigurationError("a router needs at least one target")
+    if len(set(normalized)) != len(normalized):
+        raise ProtocolConfigurationError(
+            f"router targets must be distinct, got {normalized}"
+        )
+    return normalized
+
+
+class Router:
+    """Shared liveness bookkeeping; subclasses implement :meth:`route`."""
+
+    def __init__(self, targets: Sequence):
+        self._targets = _normalize(targets)
+        self._dead: set = set()
+
+    @property
+    def targets(self) -> Tuple[Address, ...]:
+        """Every configured collector address, live or not."""
+        return tuple(self._targets)
+
+    @property
+    def live(self) -> Tuple[Address, ...]:
+        """Addresses still in rotation."""
+        return tuple(
+            address for address in self._targets if address not in self._dead
+        )
+
+    @property
+    def dead(self) -> Tuple[Address, ...]:
+        return tuple(
+            address for address in self._targets if address in self._dead
+        )
+
+    def mark_dead(self, address) -> bool:
+        """Take ``address`` out of rotation; True if it was live."""
+        address = (str(address[0]), int(address[1]))
+        if address not in self._targets or address in self._dead:
+            return False
+        self._dead.add(address)
+        self._on_membership_change()
+        return True
+
+    def route(self, key=None) -> Address:
+        """The live collector this key's connection should go to."""
+        raise NotImplementedError
+
+    def _require_live(self) -> Tuple[Address, ...]:
+        live = self.live
+        if not live:
+            raise CollectionServiceError(
+                f"no live collectors left to route to (all of "
+                f"{list(self._targets)} are marked dead)"
+            )
+        return live
+
+    def _on_membership_change(self) -> None:
+        pass
+
+
+class RoundRobinRouter(Router):
+    """Deal connections to live collectors in turn (key ignored)."""
+
+    def __init__(self, targets: Sequence):
+        super().__init__(targets)
+        self._next = 0
+
+    def route(self, key=None) -> Address:
+        live = self._require_live()
+        address = live[self._next % len(live)]
+        self._next += 1
+        return address
+
+
+class ConsistentHashRouter(Router):
+    """Hash connections onto a ring of virtual nodes over live collectors.
+
+    ``virtual_nodes`` replicas per collector smooth the load split; the
+    ring is rebuilt from the live set on membership changes, so a death
+    remaps only the dead collector's arc.
+    """
+
+    def __init__(self, targets: Sequence, *, virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ProtocolConfigurationError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}"
+            )
+        self._virtual_nodes = int(virtual_nodes)
+        super().__init__(targets)
+        self._rebuild_ring()
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        # SHA-256, not hash(): placement must be identical in every client
+        # process regardless of PYTHONHASHSEED.
+        digest = hashlib.sha256(value.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _rebuild_ring(self) -> None:
+        points = []
+        for address in self.live:
+            label = f"{address[0]}:{address[1]}"
+            for replica in range(self._virtual_nodes):
+                points.append((self._hash(f"{label}#{replica}"), address))
+        points.sort()
+        self._ring_keys = [point for point, _ in points]
+        self._ring_addresses = [address for _, address in points]
+
+    def _on_membership_change(self) -> None:
+        self._rebuild_ring()
+
+    def route(self, key=None) -> Address:
+        self._require_live()
+        position = self._hash(repr(key))
+        index = bisect.bisect_right(self._ring_keys, position)
+        if index == len(self._ring_keys):
+            index = 0
+        return self._ring_addresses[index]
+
+
+def make_router(policy: str, targets: Sequence, **kwargs) -> Router:
+    """Build a router by policy name (``round-robin`` or ``hash``)."""
+    if policy == "round-robin":
+        return RoundRobinRouter(targets, **kwargs)
+    if policy == "hash":
+        return ConsistentHashRouter(targets, **kwargs)
+    raise ProtocolConfigurationError(
+        f"unknown routing policy {policy!r}; expected one of "
+        f"{list(ROUTING_POLICIES)}"
+    )

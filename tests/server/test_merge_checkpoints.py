@@ -1,0 +1,116 @@
+"""``merge_checkpoints`` error reporting for missing/partial directories.
+
+The recovery path runs when an operator is already having a bad day — a
+collector died and its checkpoint directory may be absent, empty, or half
+written.  Every failure here must *name the shard files found versus
+expected* instead of leaking a raw ``numpy.load`` traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import ProtocolConfigurationError, WireFormatError
+from repro.server import merge_checkpoints
+from repro.service.session import AggregationSession
+
+from ..service.util import (
+    assert_estimates_equal,
+    build,
+    encode_frames,
+    estimates_of,
+    small_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    protocol = build("InpPS")
+    dataset = small_dataset()
+    domain = Domain.binary(dataset.dimension)
+    frames = encode_frames(protocol, dataset, batch_size=12)
+    return protocol, domain, frames
+
+
+def _write_shards(setting, directory, num_shards):
+    """Shard the frames round-robin and checkpoint each shard session."""
+    protocol, domain, frames = setting
+    directory.mkdir(parents=True, exist_ok=True)
+    flat = AggregationSession(protocol.spec(), domain)
+    for shard in range(num_shards):
+        session = AggregationSession(protocol.spec(), domain)
+        for frame in frames[shard::num_shards]:
+            session.submit(frame)
+            flat.submit(frame)
+        session.checkpoint(directory / f"shard-{shard:02d}.npz")
+    return flat
+
+
+class TestHappyPath:
+    def test_merges_a_directory_exactly(self, setting, tmp_path):
+        flat = _write_shards(setting, tmp_path, num_shards=2)
+        merged = merge_checkpoints(tmp_path, expected_shards=2)
+        assert merged.num_reports == flat.num_reports
+        assert_estimates_equal(
+            estimates_of(merged.snapshot()), estimates_of(flat.snapshot())
+        )
+
+    def test_accepts_explicit_paths_in_any_order(self, setting, tmp_path):
+        flat = _write_shards(setting, tmp_path, num_shards=2)
+        paths = sorted(tmp_path.glob("shard-*.npz"), reverse=True)
+        merged = merge_checkpoints(paths)
+        assert merged.num_reports == flat.num_reports
+
+
+class TestReadableFailures:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(
+            ProtocolConfigurationError, match="not a directory"
+        ):
+            merge_checkpoints(tmp_path / "never-created")
+
+    def test_empty_directory_says_so(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(
+            ProtocolConfigurationError, match="an empty directory"
+        ):
+            merge_checkpoints(empty)
+
+    def test_directory_without_shards_lists_what_is_there(self, tmp_path):
+        decoy = tmp_path / "decoys"
+        decoy.mkdir()
+        (decoy / "state.npz").write_bytes(b"not a shard")
+        (decoy / "notes.txt").write_text("hello")
+        with pytest.raises(ProtocolConfigurationError) as excinfo:
+            merge_checkpoints(decoy)
+        message = str(excinfo.value)
+        assert "shard-NN.npz" in message
+        assert "state.npz" in message and "notes.txt" in message
+
+    def test_partial_directory_names_found_shards(self, setting, tmp_path):
+        _write_shards(setting, tmp_path, num_shards=2)
+        (tmp_path / "shard-01.npz").unlink()
+        with pytest.raises(ProtocolConfigurationError) as excinfo:
+            merge_checkpoints(tmp_path, expected_shards=2)
+        message = str(excinfo.value)
+        assert "expected 2 shard checkpoint(s) but found 1" in message
+        assert "shard-00.npz" in message
+        assert "partial" in message
+
+    def test_empty_path_sequence(self):
+        with pytest.raises(
+            ProtocolConfigurationError, match="at least one"
+        ):
+            merge_checkpoints([])
+
+    def test_corrupted_shard_names_its_siblings(self, setting, tmp_path):
+        _write_shards(setting, tmp_path, num_shards=2)
+        (tmp_path / "shard-01.npz").write_bytes(b"\x00garbage\x00")
+        with pytest.raises(WireFormatError) as excinfo:
+            merge_checkpoints(tmp_path, expected_shards=2)
+        message = str(excinfo.value)
+        assert "shard-01.npz" in message
+        assert "shard-00.npz" in message  # the sibling that *is* readable
+        assert "Traceback" not in message

@@ -1,0 +1,113 @@
+"""FanInAggregator: exact merges, idempotent ingestion, supersession."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import CollectionServiceError
+from repro.service.session import AggregationSession
+from repro.topology import FanInAggregator, PulledState
+
+from ..service.util import (
+    assert_estimates_equal,
+    build,
+    encode_frames,
+    estimates_of,
+    small_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    protocol = build("MargPS")
+    dataset = small_dataset()
+    domain = Domain.binary(dataset.dimension)
+    frames = encode_frames(protocol, dataset, batch_size=12)
+    return protocol, domain, frames
+
+
+def _session_with(protocol, domain, frames):
+    session = AggregationSession(protocol.spec(), domain)
+    for frame in frames:
+        session.submit(frame)
+    return session
+
+
+def _flat(protocol, domain, frames):
+    return _session_with(protocol, domain, frames)
+
+
+class TestMerge:
+    def test_fan_in_equals_flat(self, setting):
+        protocol, domain, frames = setting
+        aggregator = FanInAggregator(protocol.spec(), domain)
+        for index in range(3):
+            aggregator.ingest_session(
+                f"c{index}", _session_with(protocol, domain, frames[index::3])
+            )
+        flat = _flat(protocol, domain, frames)
+        merged = aggregator.merged_session()
+        assert merged.num_reports == flat.num_reports
+        assert_estimates_equal(
+            estimates_of(merged.snapshot()), estimates_of(flat.snapshot())
+        )
+
+    def test_duplicate_ingest_counts_once(self, setting):
+        """A re-pulled (duplicated) snapshot replaces, never adds."""
+        protocol, domain, frames = setting
+        aggregator = FanInAggregator(protocol.spec(), domain)
+        session = _session_with(protocol, domain, frames)
+        for _ in range(3):
+            aggregator.ingest_session("c0", session)
+        assert aggregator.collector_ids == ("c0",)
+        assert aggregator.num_reports == session.num_reports
+
+    def test_newer_snapshot_supersedes(self, setting):
+        """Pull, more traffic, re-pull: the newer superset wins."""
+        protocol, domain, frames = setting
+        aggregator = FanInAggregator(protocol.spec(), domain)
+        early = _session_with(protocol, domain, frames[:2])
+        aggregator.ingest_session("c0", early)
+        late = _session_with(protocol, domain, frames)
+        aggregator.ingest_session("c0", late)
+        flat = _flat(protocol, domain, frames)
+        assert_estimates_equal(
+            estimates_of(aggregator.finalize()),
+            estimates_of(flat.snapshot()),
+        )
+
+    def test_discard_forgets_a_collector(self, setting):
+        protocol, domain, frames = setting
+        aggregator = FanInAggregator(protocol.spec(), domain)
+        aggregator.ingest_session("c0", _session_with(protocol, domain, frames))
+        assert aggregator.discard("c0")
+        assert not aggregator.discard("c0")
+        assert aggregator.num_reports == 0
+
+    def test_acked_tokens_union(self, setting):
+        protocol, domain, frames = setting
+        aggregator = FanInAggregator(protocol.spec(), domain)
+        aggregator.ingest_session(
+            "c0",
+            _session_with(protocol, domain, frames[:1]),
+            {"t/c0/g0": {"frames": 1, "reports": 12}},
+        )
+        aggregator.ingest_session(
+            "c1",
+            _session_with(protocol, domain, frames[1:2]),
+            {"t/c0/g1": {"frames": 1, "reports": 12}},
+        )
+        assert set(aggregator.acked_tokens()) == {"t/c0/g0", "t/c0/g1"}
+
+    def test_ingest_rejects_non_state(self, setting):
+        protocol, domain, _ = setting
+        aggregator = FanInAggregator(protocol.spec(), domain)
+        with pytest.raises(CollectionServiceError, match="PulledState"):
+            aggregator.ingest("not a state")
+
+    def test_pulled_state_reports_property(self, setting):
+        protocol, domain, frames = setting
+        session = _session_with(protocol, domain, frames[:1])
+        state = PulledState(collector_id="c9", session=session)
+        assert state.num_reports == session.num_reports

@@ -1,0 +1,102 @@
+"""Routing policies: balance, stability, and dead-collector eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import CollectionServiceError, ProtocolConfigurationError
+from repro.topology import (
+    ConsistentHashRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+
+TARGETS = [("127.0.0.1", 9001), ("127.0.0.1", 9002), ("127.0.0.1", 9003)]
+
+
+class TestValidation:
+    def test_needs_targets(self):
+        with pytest.raises(ProtocolConfigurationError, match="at least one"):
+            RoundRobinRouter([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ProtocolConfigurationError, match="distinct"):
+            RoundRobinRouter([("h", 1), ("h", 1)])
+
+    def test_rejects_non_pairs(self):
+        with pytest.raises(ProtocolConfigurationError, match="pairs"):
+            RoundRobinRouter(["localhost"])
+
+    def test_unknown_policy(self):
+        with pytest.raises(ProtocolConfigurationError, match="round-robin"):
+            make_router("random", TARGETS)
+
+    def test_base_route_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Router(TARGETS).route()
+
+
+class TestRoundRobin:
+    def test_deals_in_turn(self):
+        router = RoundRobinRouter(TARGETS)
+        assert [router.route() for _ in range(6)] == TARGETS + TARGETS
+
+    def test_death_removes_from_rotation(self):
+        router = RoundRobinRouter(TARGETS)
+        assert router.mark_dead(TARGETS[1])
+        assert TARGETS[1] not in {router.route() for _ in range(10)}
+        assert router.dead == (TARGETS[1],)
+
+    def test_mark_dead_is_idempotent(self):
+        router = RoundRobinRouter(TARGETS)
+        assert router.mark_dead(TARGETS[0])
+        assert not router.mark_dead(TARGETS[0])
+        assert not router.mark_dead(("unknown", 1))
+
+    def test_all_dead_raises_readably(self):
+        router = RoundRobinRouter(TARGETS)
+        for target in TARGETS:
+            router.mark_dead(target)
+        with pytest.raises(CollectionServiceError, match="no live collectors"):
+            router.route()
+
+
+class TestConsistentHash:
+    def test_stable_per_key(self):
+        router = ConsistentHashRouter(TARGETS)
+        for key in ("a", ("client", 3), 17, None):
+            assert router.route(key) == router.route(key)
+
+    def test_placement_is_process_independent(self):
+        # SHA-256 ring: two separately built routers agree on placement
+        # (hash() randomization would break cross-process routing).
+        one, two = ConsistentHashRouter(TARGETS), ConsistentHashRouter(TARGETS)
+        assert [one.route(k) for k in range(64)] == [
+            two.route(k) for k in range(64)
+        ]
+
+    def test_death_remaps_only_the_dead_arc(self):
+        router = ConsistentHashRouter(TARGETS)
+        keys = [("client", index) for index in range(256)]
+        before = {key: router.route(key) for key in keys}
+        victim = TARGETS[2]
+        router.mark_dead(victim)
+        moved = 0
+        for key in keys:
+            after = router.route(key)
+            if before[key] == victim:
+                assert after != victim
+                moved += 1
+            else:
+                assert after == before[key], "a surviving key was remapped"
+        assert moved > 0
+
+    def test_spread_uses_every_target(self):
+        router = ConsistentHashRouter(TARGETS)
+        placed = {router.route(("client", index)) for index in range(256)}
+        assert placed == set(TARGETS)
+
+    def test_virtual_nodes_validated(self):
+        with pytest.raises(ProtocolConfigurationError, match="virtual_nodes"):
+            ConsistentHashRouter(TARGETS, virtual_nodes=0)

@@ -1,0 +1,131 @@
+"""Satellite: tree-shape invariance of the merge algebra.
+
+Any partition of the client frames over {1, 2, 3} collectors × {1, 2}
+shards — dealt round-robin, hashed, or adversarially lopsided — must
+finalize bit-for-bit identical to one flat session, for every protocol.
+This is the algebraic property the socket topology leans on: routing is
+pure placement, never a statistical choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.service.session import AggregationSession
+from repro.topology import FanInAggregator
+
+from ..service.util import (
+    ALL_PROTOCOLS,
+    assert_estimates_equal,
+    build,
+    encode_frames,
+    estimates_of,
+    small_dataset,
+)
+
+BATCH = 12  # 96 records -> 8 frames, enough to split every which way
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_dataset()
+
+
+@pytest.fixture(scope="module")
+def domain(dataset):
+    return Domain.binary(dataset.dimension)
+
+
+def _tree_estimates(protocol, domain, frames, assignment, collectors, shards):
+    """Finalize a (collectors × shards) tree for one frame assignment.
+
+    ``assignment[i] = (collector, shard)`` — each collector merges its own
+    shards first (exactly what ``CollectionServer.combined_session``
+    does), then the fan-in aggregator merges the collectors.
+    """
+    sessions = {}
+    for index, frame in enumerate(frames):
+        key = assignment[index]
+        if key not in sessions:
+            sessions[key] = AggregationSession(protocol.spec(), domain)
+        sessions[key].submit(frame)
+    aggregator = FanInAggregator(protocol.spec(), domain)
+    for collector in range(collectors):
+        collector_session = AggregationSession(protocol.spec(), domain)
+        for shard in range(shards):
+            shard_session = sessions.get((collector, shard))
+            if shard_session is not None:
+                collector_session.merge(shard_session)
+        aggregator.ingest_session(f"c{collector}", collector_session)
+    merged = aggregator.merged_session()
+    return merged, estimates_of(merged.snapshot())
+
+
+@pytest.mark.parametrize("protocol_name", ALL_PROTOCOLS)
+@pytest.mark.parametrize("collectors", [1, 2, 3])
+@pytest.mark.parametrize("shards", [1, 2])
+def test_round_robin_partition_matches_flat(
+    protocol_name, collectors, shards, dataset, domain
+):
+    protocol = build(protocol_name)
+    frames = encode_frames(protocol, dataset, BATCH)
+    flat = AggregationSession(protocol.spec(), domain)
+    for frame in frames:
+        flat.submit(frame)
+    assignment = {
+        index: (index % collectors, (index // collectors) % shards)
+        for index in range(len(frames))
+    }
+    merged, observed = _tree_estimates(
+        protocol, domain, frames, assignment, collectors, shards
+    )
+    assert merged.num_reports == flat.num_reports
+    assert_estimates_equal(observed, estimates_of(flat.snapshot()))
+
+
+@pytest.mark.parametrize("protocol_name", ALL_PROTOCOLS)
+def test_random_partitions_match_flat(protocol_name, dataset, domain):
+    """Random (including empty-collector and lopsided) partitions."""
+    protocol = build(protocol_name)
+    frames = encode_frames(protocol, dataset, BATCH)
+    flat = AggregationSession(protocol.spec(), domain)
+    for frame in frames:
+        flat.submit(frame)
+    expected = estimates_of(flat.snapshot())
+    rng = np.random.default_rng(20180610)
+    for _ in range(4):
+        collectors = int(rng.integers(1, 4))
+        shards = int(rng.integers(1, 3))
+        assignment = {
+            index: (
+                int(rng.integers(0, collectors)),
+                int(rng.integers(0, shards)),
+            )
+            for index in range(len(frames))
+        }
+        merged, observed = _tree_estimates(
+            protocol, domain, frames, assignment, collectors, shards
+        )
+        assert merged.num_reports == flat.num_reports
+        assert_estimates_equal(observed, expected)
+
+
+@pytest.mark.parametrize("protocol_name", ALL_PROTOCOLS)
+def test_everything_on_one_collector_matches_flat(
+    protocol_name, dataset, domain
+):
+    """The degenerate partition: a 3-collector tree where only one
+    collector ever saw traffic (the post-failover shape)."""
+    protocol = build(protocol_name)
+    frames = encode_frames(protocol, dataset, BATCH)
+    flat = AggregationSession(protocol.spec(), domain)
+    for frame in frames:
+        flat.submit(frame)
+    assignment = {index: (1, 0) for index in range(len(frames))}
+    merged, observed = _tree_estimates(
+        protocol, domain, frames, assignment, collectors=3, shards=1
+    )
+    assert merged.num_reports == flat.num_reports
+    assert_estimates_equal(observed, estimates_of(flat.snapshot()))
