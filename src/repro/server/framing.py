@@ -16,8 +16,11 @@ payload``):
   frame/report counts), plus the topology tier's fan-in pair — ``PULL``
   (aggregator → collector, request stats or session state) and ``STATE``
   (collector → aggregator, the answer; its payload may carry a
-  base64-encoded session checkpoint, so it alone is capped at
-  :data:`MAX_STATE_BYTES` instead of :data:`MAX_CONTROL_BYTES`).
+  base64-encoded session checkpoint, so the *pulling* side raises its
+  decoder's ``STATE`` cap to :data:`MAX_STATE_BYTES` — every other
+  decoder keeps the generic :data:`MAX_CONTROL_BYTES` bound, because a
+  server never legitimately receives an inbound ``STATE`` frame and must
+  not let an unauthenticated peer make it buffer 64 MiB).
 
 :class:`FrameDecoder` is the incremental half: TCP hands the receiver
 arbitrary byte chunks, so the decoder buffers input and emits a frame only
@@ -71,8 +74,10 @@ SERVER_PROTOCOL_VERSION = 1
 MAX_CONTROL_BYTES = 1 << 20
 
 #: ``STATE`` answers alone may carry a whole base64-encoded session
-#: checkpoint, so they get a larger (but still bounded) declared-payload
-#: cap than the other control verbs.
+#: checkpoint, so decoders that *expect* them (the fan-in pull client)
+#: opt into this larger — but still bounded — declared-payload cap via
+#: ``FrameDecoder(max_state_bytes=MAX_STATE_BYTES)``.  Everyone else
+#: keeps :data:`MAX_CONTROL_BYTES` for ``STATE`` too.
 MAX_STATE_BYTES = 64 << 20
 
 CONTROL_MAGIC = b"RPRC"
@@ -89,9 +94,11 @@ CONTROL_KINDS = frozenset({HELLO, OK, ERR, FIN, ACK, PULL, STATE})
 _STATE_KIND_BYTES = STATE.encode("utf-8")
 
 
-def _control_payload_cap(kind_bytes: bytes) -> int:
-    """Declared-payload bound for a control frame, decided by its kind."""
-    return MAX_STATE_BYTES if kind_bytes == _STATE_KIND_BYTES else MAX_CONTROL_BYTES
+def _encode_payload_cap(kind: str) -> int:
+    """Encode-side payload bound: the *producer* of a ``STATE`` answer may
+    always build one up to :data:`MAX_STATE_BYTES`; what a decoder will
+    accept inbound is that decoder's own (stricter by default) choice."""
+    return MAX_STATE_BYTES if kind == STATE else MAX_CONTROL_BYTES
 
 @dataclass(frozen=True)
 class ControlMessage:
@@ -115,7 +122,7 @@ def encode_control(kind: str, payload: Dict[str, Any] = None) -> bytes:
         raise WireFormatError(
             f"control payload for {kind!r} is not JSON-serializable: {error}"
         ) from error
-    payload_cap = _control_payload_cap(kind.encode("utf-8"))
+    payload_cap = _encode_payload_cap(kind)
     if len(body) > payload_cap:
         raise WireFormatError(
             f"control payload for {kind!r} serializes to {len(body)} bytes, "
@@ -156,22 +163,35 @@ class FrameDecoder:
     way.  ``max_frame_bytes`` bounds the declared payload of report frames
     (the server's backpressure knob — a connection can never force the
     decoder to buffer more than one maximal frame plus one read chunk);
-    control frames are capped per kind — :data:`MAX_STATE_BYTES` for
-    ``STATE`` (which may carry a checkpoint), :data:`MAX_CONTROL_BYTES`
-    for every other verb.
+    control frames are capped at :data:`MAX_CONTROL_BYTES`, including
+    ``STATE`` by default — only an endpoint that *expects* checkpoint-
+    carrying ``STATE`` answers (the fan-in pull client) should raise
+    ``max_state_bytes`` to :data:`MAX_STATE_BYTES`, so a hostile client
+    cannot make a server buffer a 64 MiB "checkpoint" it never asked for.
 
     A structural error poisons the decoder: the stream position is no
     longer trustworthy, so every later :meth:`feed`/:meth:`absorb`
     re-raises.
     """
 
-    def __init__(self, max_frame_bytes: int = MAX_PAYLOAD_BYTES):
+    def __init__(
+        self,
+        max_frame_bytes: int = MAX_PAYLOAD_BYTES,
+        *,
+        max_state_bytes: int = MAX_CONTROL_BYTES,
+    ):
         if not 0 < max_frame_bytes <= MAX_PAYLOAD_BYTES:
             raise WireFormatError(
                 f"max_frame_bytes must be in (0, {MAX_PAYLOAD_BYTES}], "
                 f"got {max_frame_bytes}"
             )
+        if not MAX_CONTROL_BYTES <= max_state_bytes <= MAX_STATE_BYTES:
+            raise WireFormatError(
+                f"max_state_bytes must be in [{MAX_CONTROL_BYTES}, "
+                f"{MAX_STATE_BYTES}], got {max_state_bytes}"
+            )
         self._max_frame_bytes = int(max_frame_bytes)
+        self._max_state_bytes = int(max_state_bytes)
         self._buffer = bytearray()
         self._head = 0
         self._error: WireFormatError = None
@@ -281,11 +301,15 @@ class FrameDecoder:
         else:
             # The kind bytes sit between the prefix and the length field, so
             # they are buffered whenever the length is — the cap can be
-            # decided per kind (STATE frames carry checkpoints, the rest are
-            # small JSON) without waiting for more input.
+            # decided per kind (STATE frames may be allowed to carry
+            # checkpoints, the rest are small JSON) without waiting for
+            # more input.
             kind_start = head + _PREFIX.size
-            payload_cap = _control_payload_cap(
-                bytes(buffer[kind_start : kind_start + kind_length])
+            payload_cap = (
+                self._max_state_bytes
+                if bytes(buffer[kind_start : kind_start + kind_length])
+                == _STATE_KIND_BYTES
+                else MAX_CONTROL_BYTES
             )
         (payload_length,) = _LENGTH.unpack_from(
             buffer, head + _PREFIX.size + kind_length
@@ -345,13 +369,24 @@ class FrameDecoderReference:
     copies every report frame out of the buffer.
     """
 
-    def __init__(self, max_frame_bytes: int = MAX_PAYLOAD_BYTES):
+    def __init__(
+        self,
+        max_frame_bytes: int = MAX_PAYLOAD_BYTES,
+        *,
+        max_state_bytes: int = MAX_CONTROL_BYTES,
+    ):
         if not 0 < max_frame_bytes <= MAX_PAYLOAD_BYTES:
             raise WireFormatError(
                 f"max_frame_bytes must be in (0, {MAX_PAYLOAD_BYTES}], "
                 f"got {max_frame_bytes}"
             )
+        if not MAX_CONTROL_BYTES <= max_state_bytes <= MAX_STATE_BYTES:
+            raise WireFormatError(
+                f"max_state_bytes must be in [{MAX_CONTROL_BYTES}, "
+                f"{MAX_STATE_BYTES}], got {max_state_bytes}"
+            )
         self._max_frame_bytes = int(max_frame_bytes)
+        self._max_state_bytes = int(max_state_bytes)
         self._buffer = bytearray()
         self._error: WireFormatError = None
 
@@ -413,8 +448,11 @@ class FrameDecoderReference:
             payload_cap = self._max_frame_bytes
         else:
             kind_start = _PREFIX.size
-            payload_cap = _control_payload_cap(
-                bytes(buffer[kind_start : kind_start + kind_length])
+            payload_cap = (
+                self._max_state_bytes
+                if bytes(buffer[kind_start : kind_start + kind_length])
+                == _STATE_KIND_BYTES
+                else MAX_CONTROL_BYTES
             )
         (payload_length,) = _LENGTH.unpack_from(buffer, _PREFIX.size + kind_length)
         if payload_length > payload_cap:

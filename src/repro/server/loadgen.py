@@ -298,6 +298,9 @@ class LoadGenerator:
             str(token_prefix) if token_prefix is not None else None
         )
         self._failover = failover
+        # Addresses that have accepted at least one connection: their
+        # reconnects may take the short failover path in _connect.
+        self._contacted: set = set()
         self._max_retries = int(max_retries)
         self._retry_backoff = float(retry_backoff)
         self._on_group_done = on_group_done
@@ -474,10 +477,15 @@ class LoadGenerator:
         """
         token = self._token(result.client_id, group_index)
         attempts = 0
+        # Resolve the target once per group and hold it across transient
+        # retries: RoundRobinRouter advances on every route() call (the key
+        # is ignored), so routing inside the loop would send a retry after
+        # a lost ACK to a collector that has never seen this group's
+        # idempotency token — folding the group a second time.  Only a
+        # dead verdict (which takes the address out of rotation) picks a
+        # new target.
+        address = self._router.route(key=(result.client_id, group_index))
         while True:
-            address = self._router.route(
-                key=(result.client_id, group_index)
-            )
             try:
                 await self._send_group(result, frames, address, token)
                 return
@@ -493,6 +501,9 @@ class LoadGenerator:
                         result.recovered_groups += 1
                         return
                     # Replay to a survivor: new target, fresh attempts.
+                    address = self._router.route(
+                        key=(result.client_id, group_index)
+                    )
                     attempts = 0
                     result.retries += 1
                     continue
@@ -634,20 +645,24 @@ class LoadGenerator:
         """Open one connection, retrying until ``connect_timeout`` passes.
 
         Retrying covers the CI shape where the fleet starts while the
-        server process is still binding its socket.  A *dead* collector
-        refuses instantly, so the failover path caps the wait at one
-        backoff tick when an oracle is available to consult instead.
+        server process is still binding its socket — so a collector's
+        *first* contact always gets the full ``connect_timeout`` grace
+        window, oracle or not.  Once an address has accepted a connection,
+        a refusal means the collector died rather than "still binding": a
+        dead collector refuses instantly, so post-failure reconnects cap
+        the wait at one backoff tick when an oracle is available to
+        consult instead.
         """
         host, port = address
         timeout = (
             min(self._connect_timeout, max(self._retry_backoff, 0.05))
-            if self._failover is not None
+            if self._failover is not None and address in self._contacted
             else self._connect_timeout
         )
         deadline = time.monotonic() + timeout
         while True:
             try:
-                return await asyncio.open_connection(host, port)
+                connection = await asyncio.open_connection(host, port)
             except OSError as error:
                 if time.monotonic() >= deadline:
                     raise CollectionServiceError(
@@ -655,3 +670,6 @@ class LoadGenerator:
                         f"{timeout:.1f}s: {error}"
                     ) from error
                 await asyncio.sleep(0.05)
+            else:
+                self._contacted.add(address)
+                return connection

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional
 from ..core.exceptions import CollectionServiceError, WireFormatError
 from ..server.framing import (
     ERR,
+    MAX_STATE_BYTES,
     PULL,
     STATE,
     ControlMessage,
@@ -68,7 +69,10 @@ async def pull_control(
     try:
         writer.write(encode_control(PULL, payload or {}))
         await writer.drain()
-        decoder = FrameDecoder()
+        # The one decoder that *expects* checkpoint-carrying STATE answers,
+        # so it alone raises the inbound STATE cap past the generic
+        # control bound.
+        decoder = FrameDecoder(max_state_bytes=MAX_STATE_BYTES)
         deadline = asyncio.get_running_loop().time() + timeout
         while True:
             remaining = deadline - asyncio.get_running_loop().time()

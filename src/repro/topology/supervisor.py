@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -201,6 +202,10 @@ class TopologySupervisor:
             for index in range(collectors)
         ]
         self._recovered: Dict[str, PulledState] = {}
+        # health_check runs in worker threads on the async paths (the
+        # checkpoint restore is synchronous disk I/O); the lock keeps two
+        # concurrent checks from recovering the same collector twice.
+        self._health_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -364,23 +369,35 @@ class TopologySupervisor:
         complete.
         """
         newly_dead = []
-        for handle in self._handles:
-            if handle.status != "live":
-                continue
-            if handle.process is not None and handle.process.is_alive():
-                continue
-            self._recover(handle)
-            handle.status = "dead"
-            newly_dead.append(handle)
-            _logger.warning(
-                "collector %s (%s:%s) died; recovered %d report(s) from its "
-                "last durable checkpoint",
-                handle.collector_id,
-                handle.host,
-                handle.port,
-                self._recovered[handle.collector_id].num_reports,
-            )
+        with self._health_lock:
+            for handle in self._handles:
+                if handle.status != "live":
+                    continue
+                if handle.process is not None and handle.process.is_alive():
+                    continue
+                self._recover(handle)
+                handle.status = "dead"
+                newly_dead.append(handle)
+                _logger.warning(
+                    "collector %s (%s:%s) died; recovered %d report(s) from "
+                    "its last durable checkpoint",
+                    handle.collector_id,
+                    handle.host,
+                    handle.port,
+                    self._recovered[handle.collector_id].num_reports,
+                )
         return newly_dead
+
+    async def health_check_async(self) -> List[CollectorHandle]:
+        """:meth:`health_check` off the event loop.
+
+        Recovering a dead collector restores its ``state.npz`` with
+        synchronous numpy/zip file I/O, so the async paths (the failover
+        oracle, the wire endpoint, :meth:`collect`) run the check in a
+        worker thread — a client mid-failover never waits behind another
+        client's disk read.
+        """
+        return await asyncio.to_thread(self.health_check)
 
     def _recover(self, handle: CollectorHandle) -> None:
         state_path = handle.checkpoint_dir / DURABLE_STATE_FILENAME
@@ -440,7 +457,7 @@ class TopologySupervisor:
         again.
         """
         address = (str(address[0]), int(address[1]))
-        self.health_check()
+        await self.health_check_async()
         dead = any(
             handle.address == address and handle.status == "dead"
             for handle in self._handles
@@ -461,7 +478,7 @@ class TopologySupervisor:
         :meth:`FanInAggregator.merged_session` counts every acknowledged
         report exactly once.
         """
-        self.health_check()
+        await self.health_check_async()
         aggregator = FanInAggregator(self._spec, self._domain)
         live = [
             handle for handle in self._handles if handle.status == "live"
@@ -555,7 +572,7 @@ class SupervisorEndpoint:
                         )
                         await writer.drain()
                         return
-                    writer.write(self._answer(item.payload))
+                    writer.write(await self._answer(item.payload))
                     await writer.drain()
         except (ConnectionError, OSError):
             pass
@@ -568,10 +585,10 @@ class SupervisorEndpoint:
             except (ConnectionError, OSError):
                 pass
 
-    def _answer(self, payload: Dict[str, Any]) -> bytes:
+    async def _answer(self, payload: Dict[str, Any]) -> bytes:
         what = payload.get("what", "recovered")
         if what == "recovered":
-            self._supervisor.health_check()
+            await self._supervisor.health_check_async()
             return encode_control(
                 STATE,
                 {
@@ -584,7 +601,7 @@ class SupervisorEndpoint:
                 },
             )
         if what == "stats":
-            self._supervisor.health_check()
+            await self._supervisor.health_check_async()
             return encode_control(
                 STATE,
                 {

@@ -433,14 +433,17 @@ class TestPullStateConformance:
             _assert_items_equal(collected, items)
 
     def test_state_exceeding_control_cap_accepted(self):
-        """STATE alone rides the larger MAX_STATE_BYTES cap; an equally
-        large generic control frame is rejected — by both decoders."""
+        """A decoder that opts into MAX_STATE_BYTES (the pull client's
+        shape) accepts a STATE answer past the generic control cap — an
+        equally large generic control frame is still rejected — and the
+        two decoders agree at every split boundary."""
         oversized = "x" * (MAX_CONTROL_BYTES + 1024)
         state = encode_control(STATE, {"state_b64": oversized})
         assert len(state) > MAX_CONTROL_BYTES
         rng = np.random.default_rng(7)
         for _ in range(5):
-            fast, reference = FrameDecoder(), FrameDecoderReference()
+            fast = FrameDecoder(max_state_bytes=MAX_STATE_BYTES)
+            reference = FrameDecoderReference(max_state_bytes=MAX_STATE_BYTES)
             collected = []
             position = 0
             while position < len(state):
@@ -481,17 +484,42 @@ class TestPullStateConformance:
         assert str(fast_error.value) == str(reference_error.value)
 
     def test_oversized_state_still_capped(self):
-        """STATE is capped too — at MAX_STATE_BYTES — in both decoders."""
+        """STATE is capped too — at MAX_STATE_BYTES — even in decoders
+        that opted into the larger cap."""
         kind = STATE.encode("ascii")
         header = (
             struct.pack("<4sHH", b"RPRC", SERVER_PROTOCOL_VERSION, len(kind))
             + kind
             + struct.pack("<Q", MAX_STATE_BYTES + 1)
         )
-        fast, reference = FrameDecoder(), FrameDecoderReference()
+        fast = FrameDecoder(max_state_bytes=MAX_STATE_BYTES)
+        reference = FrameDecoderReference(max_state_bytes=MAX_STATE_BYTES)
         with pytest.raises(WireFormatError) as fast_error:
             fast.absorb(header)
             list(fast.frames())
         with pytest.raises(WireFormatError) as reference_error:
             reference.feed(header)
         assert str(fast_error.value) == str(reference_error.value)
+
+    def test_default_decoder_rejects_oversized_state(self):
+        """Server-side decoders never expect inbound STATE frames, so by
+        default STATE rides the generic 1 MiB control cap: a hostile
+        client cannot make a server buffer a 64 MiB \"checkpoint\"."""
+        oversized = "x" * (MAX_CONTROL_BYTES + 1024)
+        state = encode_control(STATE, {"state_b64": oversized})
+        fast, reference = FrameDecoder(), FrameDecoderReference()
+        with pytest.raises(WireFormatError) as fast_error:
+            fast.absorb(state)
+            list(fast.frames())
+        with pytest.raises(WireFormatError) as reference_error:
+            reference.feed(state)
+        assert str(fast_error.value) == str(reference_error.value)
+        assert str(MAX_CONTROL_BYTES) in str(fast_error.value)
+
+    @pytest.mark.parametrize(
+        "bad", [0, MAX_CONTROL_BYTES - 1, MAX_STATE_BYTES + 1]
+    )
+    def test_state_cap_out_of_range_rejected(self, bad):
+        for decoder_class in (FrameDecoder, FrameDecoderReference):
+            with pytest.raises(WireFormatError, match="max_state_bytes"):
+                decoder_class(max_state_bytes=bad)

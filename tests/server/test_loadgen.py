@@ -277,3 +277,109 @@ class TestFleetRuns:
                 await fleet.run()
 
         asyncio.run(session())
+
+
+TARGETS = [("127.0.0.1", 9001), ("127.0.0.1", 9002), ("127.0.0.1", 9003)]
+
+
+class TestFailoverRouting:
+    """Exactly-once delivery discipline of _deliver_group.
+
+    These drive the retry loop directly with a stubbed _send_group — no
+    sockets — because the property under test is *which address* each
+    attempt goes to, not the wire exchange.
+    """
+
+    def fleet(self, protocol, dataset, **kwargs):
+        kwargs.setdefault("failover", lambda address: {"dead": False})
+        kwargs.setdefault("retry_backoff", 0.0)
+        return LoadGenerator(
+            protocol.spec(),
+            dataset.domain,
+            targets=TARGETS,
+            routing="round-robin",
+            token_prefix="t",
+            num_clients=1,
+            records_per_client=8,
+            **kwargs,
+        )
+
+    def test_transient_retries_pin_the_routed_address(
+        self, protocol, dataset
+    ):
+        """A retry after a lost ACK must go back to the SAME collector —
+        the only one that has seen the group's idempotency token.  A
+        round-robin router advances on every route() call, so routing
+        per attempt would fold the group twice on a different collector."""
+        fleet = self.fleet(protocol, dataset, max_retries=3)
+        attempts = []
+
+        async def send_group(result, frames, address, token=None):
+            attempts.append(address)
+            if len(attempts) < 3:
+                raise CollectionServiceError("ACK lost")
+
+        fleet._send_group = send_group
+        from repro.server.loadgen import ClientResult
+
+        result = ClientResult(client_id=0)
+        asyncio.run(fleet._deliver_group(result, 0, [b"frame"]))
+        assert len(attempts) == 3
+        assert len(set(attempts)) == 1, (
+            f"transient retries switched collectors: {attempts}"
+        )
+        assert result.retries == 2
+
+    def test_dead_verdict_reroutes_to_a_survivor(self, protocol, dataset):
+        dead_address = None
+        verdicts = []
+
+        def oracle(address):
+            verdicts.append(address)
+            return {"dead": address == dead_address, "acked_tokens": {}}
+
+        fleet = self.fleet(protocol, dataset, failover=oracle)
+        attempts = []
+
+        async def send_group(result, frames, address, token=None):
+            attempts.append(address)
+            if address == dead_address:
+                raise CollectionServiceError("connection refused")
+
+        fleet._send_group = send_group
+        from repro.server.loadgen import ClientResult
+
+        dead_address = fleet.router.targets[0]
+        result = ClientResult(client_id=0)
+        asyncio.run(fleet._deliver_group(result, 0, [b"frame"]))
+        assert attempts[0] == dead_address
+        assert attempts[1] != dead_address
+        assert verdicts == [dead_address]
+        assert dead_address in fleet.router.dead
+
+    def test_first_contact_gets_the_full_connect_timeout(
+        self, protocol, dataset
+    ):
+        """With an oracle configured, only addresses that have already
+        accepted a connection take the short reconnect path; a collector
+        still binding its socket keeps the full grace window."""
+        fleet = self.fleet(
+            protocol,
+            dataset,
+            connect_timeout=0.3,
+            retry_backoff=0.1,
+        )
+        address = ("127.0.0.1", 1)  # connection refused
+
+        async def attempt():
+            with pytest.raises(
+                CollectionServiceError, match=r"within 0\.3s"
+            ):
+                await fleet._connect(address)
+            fleet._contacted.add(address)
+            with pytest.raises(
+                CollectionServiceError, match=r"within 0\.1s"
+            ):
+                await fleet._connect(address)
+
+        asyncio.run(attempt())
