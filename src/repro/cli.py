@@ -77,6 +77,7 @@ from .experiments.config import SweepConfig
 from .experiments.harness import DATASET_NAMES, SweepResult, make_dataset
 from .io import load_protocol_spec, save_protocol_spec, save_sweep_json
 from .protocols.registry import available_protocols, make_protocol
+from .resilience import defaults as resilience_defaults
 from .server import (
     CollectionServer,
     LoadGenerator,
@@ -398,6 +399,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "fresh per-run value; reusing a prefix against the same tree "
         "dedupes the groups as replays)",
     )
+    load_parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="R",
+        help="retry each group up to R times with exponential backoff and "
+        "full jitter (default: the legacy 3-retry linear schedule)",
+    )
+    load_parser.add_argument(
+        "--retry-base-delay", type=float, default=None, metavar="SEC",
+        help="first retry backoff in seconds (default: "
+        f"{resilience_defaults.DEFAULT_BASE_DELAY})",
+    )
+    load_parser.add_argument(
+        "--retry-max-delay", type=float, default=None, metavar="SEC",
+        help="backoff growth cap in seconds (default: "
+        f"{resilience_defaults.DEFAULT_MAX_DELAY})",
+    )
+    load_parser.add_argument(
+        "--retry-deadline", type=float, default=None, metavar="SEC",
+        help="give up retrying a group SEC seconds after its first attempt "
+        "(default: attempt-bounded only)",
+    )
+    load_parser.add_argument(
+        "--breaker", action="store_true",
+        help="run a per-collector circuit breaker: after repeated failures "
+        "a target is failed fast until a half-open probe succeeds",
+    )
+    load_parser.add_argument(
+        "--spool-dir", metavar="DIR", default=None,
+        help="durable client spool: append every group to DIR before "
+        "sending and commit it on ACK, so a crashed client rerun with the "
+        "same --spool-dir and --token-prefix resumes without double-"
+        "folding (requires --token-prefix)",
+    )
 
     topo_parser = subparsers.add_parser(
         "topo",
@@ -457,6 +490,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which collector --kill-after-reports kills (default: 0)",
     )
     topo_launch.add_argument(
+        "--publish-resilience", action="store_true",
+        help="record the default retry/timeout/circuit-breaker policies in "
+        "the manifest so `repro load --topology` clients adopt them "
+        "without extra flags",
+    )
+    topo_launch.add_argument(
         "--json", metavar="PATH",
         help="write the final estimates plus topology stats to this file",
     )
@@ -486,6 +525,19 @@ def _build_parser() -> argparse.ArgumentParser:
     topo_finalize.add_argument(
         "--json", metavar="PATH",
         help="write the merged estimates to this JSON file",
+    )
+    topo_finalize.add_argument(
+        "--allow-partial", action="store_true",
+        help="degraded mode: finalize even when collectors (and their "
+        "reports) are known lost, attaching the coverage ledger and the "
+        "inflated error bound instead of refusing",
+    )
+    topo_finalize.add_argument(
+        "--expected-reports", metavar="PATH", default=None,
+        help="a `repro load --json` report whose per-target ACK counts "
+        "define how many reports each collector must hold; shortfalls "
+        "make the strict mode fail (or show up as exact per-collector "
+        "losses under --allow-partial)",
     )
     return parser
 
@@ -1134,7 +1186,53 @@ def _load_topology_contract(arguments: argparse.Namespace):
         "token_prefix": token_prefix,
         "failover": failover,
     }
+    if manifest.get("resilience"):
+        from .resilience import ResilienceConfig
+
+        kwargs["resilience"] = ResilienceConfig.from_dict(
+            manifest["resilience"]
+        )
     return spec, domain, kwargs
+
+
+def _retry_policy_from_args(arguments: argparse.Namespace):
+    """Build the fleet's RetryPolicy from ``repro load`` flags.
+
+    Returns None when no retry flag was given, which keeps
+    :class:`~repro.server.LoadGenerator`'s legacy linear schedule (or the
+    manifest's published policy in --topology mode).
+    """
+    if (
+        arguments.max_retries is None
+        and arguments.retry_base_delay is None
+        and arguments.retry_max_delay is None
+        and arguments.retry_deadline is None
+    ):
+        return None
+    from .resilience import RetryPolicy
+
+    base = (
+        arguments.retry_base_delay
+        if arguments.retry_base_delay is not None
+        else resilience_defaults.DEFAULT_BASE_DELAY
+    )
+    cap = (
+        arguments.retry_max_delay
+        if arguments.retry_max_delay is not None
+        else max(resilience_defaults.DEFAULT_MAX_DELAY, base)
+    )
+    return RetryPolicy(
+        max_retries=(
+            arguments.max_retries
+            if arguments.max_retries is not None
+            else resilience_defaults.DEFAULT_MAX_RETRIES
+        ),
+        base_delay=base,
+        max_delay=cap,
+        growth=resilience_defaults.DEFAULT_GROWTH,
+        jitter=resilience_defaults.DEFAULT_JITTER,
+        deadline=arguments.retry_deadline,
+    )
 
 
 def _run_load(arguments: argparse.Namespace) -> int:
@@ -1147,6 +1245,8 @@ def _run_load(arguments: argparse.Namespace) -> int:
                 "host": arguments.host,
                 "port": arguments.port,
             }
+            if arguments.token_prefix:
+                topology_kwargs["token_prefix"] = arguments.token_prefix
         frames = None
         if arguments.dataset:
             # Build the dataset and encode with run_streaming's exact rng
@@ -1163,11 +1263,22 @@ def _run_load(arguments: argparse.Namespace) -> int:
             frames = LoadGenerator.frames_for_dataset(
                 spec, dataset, arguments.batch_size, rng=generator
             )
+        policy_kwargs: Dict = {}
+        retry = _retry_policy_from_args(arguments)
+        if retry is not None:
+            policy_kwargs["retry"] = retry
+        if arguments.breaker:
+            policy_kwargs["breaker"] = (
+                resilience_defaults.default_breaker_policy()
+            )
+        if arguments.spool_dir:
+            policy_kwargs["spool_dir"] = arguments.spool_dir
         fleet = LoadGenerator(
             spec,
             domain,
             frames=frames,
             **topology_kwargs,
+            **policy_kwargs,
             num_clients=arguments.clients,
             records_per_client=arguments.records_per_client,
             batch_size=arguments.batch_size,
@@ -1190,7 +1301,8 @@ def _run_load(arguments: argparse.Namespace) -> int:
                 f"{report.acked_frames} acked",
                 f"reports     : {report.acked_reports} acked",
                 f"failover    : {report.retries} retried group(s), "
-                f"{report.recovered_groups} recovered from dead collectors",
+                f"{report.recovered_groups} recovered from dead collectors, "
+                f"{report.spool_replays} replayed from the spool",
                 f"bytes       : {report.bytes}",
                 f"duration    : {report.duration_seconds:.3f} s",
                 f"throughput  : {report.reports_per_second:,.0f} reports/s, "
@@ -1328,6 +1440,11 @@ def _run_topo_launch(arguments: argparse.Namespace) -> int:
             routing=arguments.routing,
             host=arguments.host,
             checkpoint_interval=arguments.checkpoint_interval,
+            resilience=(
+                resilience_defaults.default_resilience_config()
+                if arguments.publish_resilience
+                else None
+            ),
         )
         outcome = asyncio.run(_topo_launch_main(arguments, topology))
         merged = outcome["merged"]
@@ -1410,6 +1527,48 @@ def _run_topo_inspect(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _expected_reports_by_collector(
+    arguments: argparse.Namespace, manifest: Dict
+) -> Optional[Dict[str, int]]:
+    """Map a `repro load --json` report's per-target ACK counts onto
+    collector ids, via the manifest's address book."""
+    if not getattr(arguments, "expected_reports", None):
+        return None
+    from .core.exceptions import CollectionServiceError
+
+    try:
+        with open(arguments.expected_reports, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise CollectionServiceError(
+            f"cannot read the load report "
+            f"{arguments.expected_reports}: {error}"
+        ) from error
+    by_target = report.get("acked_by_target")
+    if not isinstance(by_target, dict):
+        raise CollectionServiceError(
+            f"load report {arguments.expected_reports} carries no "
+            f"acked_by_target ledger — re-run `repro load --json` with "
+            f"this build"
+        )
+    by_address = {
+        f"{entry['host']}:{int(entry['port'])}": entry["collector_id"]
+        for entry in manifest["collectors"]
+    }
+    expected: Dict[str, int] = {}
+    for address, counts in by_target.items():
+        collector_id = by_address.get(str(address))
+        if collector_id is None:
+            raise CollectionServiceError(
+                f"load report {arguments.expected_reports} credits "
+                f"{address}, which is not a collector in this topology"
+            )
+        expected[collector_id] = expected.get(collector_id, 0) + int(
+            counts.get("reports", 0)
+        )
+    return expected
+
+
 def _run_topo_finalize(arguments: argparse.Namespace) -> int:
     """Fan in an existing tree from outside the launcher process.
 
@@ -1420,6 +1579,9 @@ def _run_topo_finalize(arguments: argparse.Namespace) -> int:
     """
     from pathlib import Path
 
+    from .core.exceptions import PartialCoverageError, WireFormatError
+    from .resilience import STATUS_RECOVERED, RetryPolicy
+    from .resilience.integrity import quarantine_checkpoint
     from .server import DURABLE_STATE_FILENAME
     from .topology import FanInAggregator, load_manifest
 
@@ -1429,42 +1591,79 @@ def _run_topo_finalize(arguments: argparse.Namespace) -> int:
         domain = Domain(manifest["attributes"])
         aggregator = FanInAggregator(spec, domain)
         fallbacks = []
+        lost: Dict[str, str] = {}
+        statuses: Dict[str, str] = {}
+        pull_retry = RetryPolicy(
+            max_retries=2, base_delay=0.2, max_delay=1.0
+        )
 
         async def gather():
             for entry in manifest["collectors"]:
                 try:
                     await aggregator.pull(
-                        entry["host"], int(entry["port"]), timeout=5.0
+                        entry["host"],
+                        int(entry["port"]),
+                        timeout=5.0,
+                        retry=pull_retry,
                     )
                 except ReproError:
                     fallbacks.append(entry)
 
         asyncio.run(gather())
         for entry in fallbacks:
+            collector_id = entry["collector_id"]
             state_path = Path(entry["checkpoint_dir"]) / DURABLE_STATE_FILENAME
-            if state_path.exists():
-                session = AggregationSession.restore(state_path)
-                tokens = session.checkpoint_extra.get("acked_tokens", {})
-                aggregator.ingest_session(
-                    entry["collector_id"],
-                    session,
-                    tokens if isinstance(tokens, dict) else {},
-                )
-                print(
-                    f"topo finalize: collector {entry['collector_id']} is "
-                    f"unreachable; recovered {session.num_reports} report(s) "
-                    f"from {state_path}",
-                    file=sys.stderr,
-                )
-            else:
-                print(
-                    f"topo finalize: collector {entry['collector_id']} is "
+            if not state_path.exists():
+                lost[collector_id] = (
                     f"unreachable and left no durable checkpoint at "
-                    f"{state_path}; counting it as empty",
+                    f"{state_path}"
+                )
+                print(
+                    f"topo finalize: collector {collector_id} is "
+                    f"{lost[collector_id]}; counting it as empty",
                     file=sys.stderr,
                 )
+                continue
+            try:
+                session = AggregationSession.restore(state_path)
+            except WireFormatError as error:
+                quarantined, report_path = quarantine_checkpoint(
+                    state_path,
+                    f"topo finalize of collector {collector_id}: {error}",
+                )
+                lost[collector_id] = f"checkpoint quarantined: {error}"
+                print(
+                    f"topo finalize: collector {collector_id} is "
+                    f"unreachable and its checkpoint failed verification; "
+                    f"quarantined to {quarantined} (report: {report_path})",
+                    file=sys.stderr,
+                )
+                continue
+            tokens = session.checkpoint_extra.get("acked_tokens", {})
+            aggregator.ingest_session(
+                collector_id,
+                session,
+                tokens if isinstance(tokens, dict) else {},
+            )
+            statuses[collector_id] = STATUS_RECOVERED
+            print(
+                f"topo finalize: collector {collector_id} is "
+                f"unreachable; recovered {session.num_reports} report(s) "
+                f"from {state_path}",
+                file=sys.stderr,
+            )
+        expected = _expected_reports_by_collector(arguments, manifest)
+        coverage = aggregator.coverage_report(
+            expected=expected, lost=lost, statuses=statuses
+        )
+        if not coverage.complete:
+            print(coverage.summary(), file=sys.stderr)
+        if not arguments.allow_partial:
+            coverage.raise_if_partial("topo finalize")
         merged = aggregator.merged_session()
         estimator = merged.snapshot() if merged.num_reports else None
+        if estimator is not None:
+            estimator.metadata["coverage"] = coverage.to_dict()
         rendered = _render_estimates(estimator, merged)
         payload = _estimates_payload(estimator, merged)
         payload["topology"] = {
@@ -1472,6 +1671,10 @@ def _run_topo_finalize(arguments: argparse.Namespace) -> int:
             "unreachable": [entry["collector_id"] for entry in fallbacks],
             "reports": merged.num_reports,
         }
+        payload["coverage"] = coverage.to_dict()
+    except PartialCoverageError as error:
+        print(f"topo finalize: {error}", file=sys.stderr)
+        return 3
     except (ReproError, OSError, ValueError) as error:
         print(f"topo finalize: {error}", file=sys.stderr)
         return 2

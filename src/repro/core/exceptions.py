@@ -40,6 +40,46 @@ class WireFormatError(ReproError):
     validation."""
 
 
+class CheckpointIntegrityError(WireFormatError):
+    """A checkpoint's embedded SHA-256 digest does not match its content.
+
+    The file parsed, but its state arrays (or header) were altered after
+    the write — a torn disk, a bit flip, or tampering.  The resilience
+    layer quarantines such files to ``*.corrupt`` instead of folding bad
+    state into an aggregation."""
+
+
+class SpoolError(ReproError):
+    """A client report spool cannot be read or appended.
+
+    Raised when the append-only frame log is corrupted beyond its torn
+    tail (mid-log damage) or an append/commit cannot be made durable."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: the target is failing too fast to retry.
+
+    Raised instead of attempting a delivery while the per-target breaker
+    is in its cooldown window; carries the address so callers can consult
+    a failover oracle or wait for the half-open probe."""
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class PartialCoverageError(ReproError):
+    """A finalize would silently drop acknowledged reports.
+
+    Raised by strict-mode finalize paths when collectors are lost or the
+    received report count falls short of what was expected; carries the
+    :class:`~repro.resilience.CoverageReport` describing the gap."""
+
+    def __init__(self, message: str, coverage=None):
+        super().__init__(message)
+        self.coverage = coverage
+
+
 class ExecutionError(ReproError):
     """A parallel execution backend failed or was driven incorrectly."""
 

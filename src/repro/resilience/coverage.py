@@ -1,0 +1,238 @@
+"""Coverage accounting for degraded-mode finalize.
+
+When exactness is impossible — a collector died with no durable state, a
+checkpoint was quarantined — the system still produces estimates, but
+only together with a :class:`CoverageReport` that states *exactly* what
+is missing: reports expected, received, and lost, per collector, plus
+the theory-backed error-bound inflation the loss causes.  Loss is
+measured, never ignored (Price's itemset-sketch lower bound in PAPERS.md
+is the reminder that every lost report widens the error bars).
+
+Expected counts come from the client side: each
+:class:`~repro.server.LoadGenerator` records how many reports every
+target acknowledged (``acked_by_target``), which stays available even
+when the collector's own state is gone — that is what makes the lost
+counts exact rather than estimated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.exceptions import PartialCoverageError
+
+__all__ = [
+    "CollectorCoverage",
+    "CoverageReport",
+    "STATUS_OK",
+    "STATUS_RECOVERED",
+    "STATUS_LOST",
+    "STATUS_QUARANTINED",
+]
+
+#: Collector delivered everything it acknowledged.
+STATUS_OK = "ok"
+#: Collector died but its durable state was recovered bit-for-bit.
+STATUS_RECOVERED = "recovered"
+#: Collector (or its checkpoint) is gone; its reports are lost.
+STATUS_LOST = "lost"
+#: Checkpoint failed integrity verification and was quarantined.
+STATUS_QUARANTINED = "quarantined"
+
+_STATUSES = (STATUS_OK, STATUS_RECOVERED, STATUS_LOST, STATUS_QUARANTINED)
+
+
+@dataclass(frozen=True)
+class CollectorCoverage:
+    """One collector's (or shard's) slice of the coverage ledger.
+
+    ``expected`` is ``None`` when no client-side accounting exists for the
+    target (then ``lost`` is unknowable and reported as ``None`` too).
+    """
+
+    collector_id: str
+    expected: Optional[int]
+    received: int
+    status: str = STATUS_OK
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.status not in _STATUSES:
+            raise ValueError(
+                f"status must be one of {_STATUSES}, got {self.status!r}"
+            )
+        if self.received < 0:
+            raise ValueError(f"received must be >= 0, got {self.received}")
+        if self.expected is not None and self.expected < 0:
+            raise ValueError(f"expected must be >= 0, got {self.expected}")
+
+    @property
+    def lost(self) -> Optional[int]:
+        if self.expected is None:
+            return None
+        return max(0, self.expected - self.received)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "collector_id": self.collector_id,
+            "expected": self.expected,
+            "received": self.received,
+            "lost": self.lost,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class CoverageReport:
+    """The full expected/received/lost ledger behind one finalize.
+
+    Built by degraded-mode finalize paths
+    (:meth:`~repro.topology.FanInAggregator.finalize` with
+    ``allow_partial=True``, ``repro topo finalize --allow-partial``) and
+    carried by :class:`~repro.core.exceptions.PartialCoverageError` when
+    strict mode refuses instead.
+    """
+
+    collectors: List[CollectorCoverage] = field(default_factory=list)
+
+    def add(self, coverage: CollectorCoverage) -> "CoverageReport":
+        self.collectors.append(coverage)
+        return self
+
+    # ------------------------------------------------------------------
+    # totals
+
+    @property
+    def expected(self) -> Optional[int]:
+        """Total reports expected, or ``None`` if any part is unknown."""
+        total = 0
+        for entry in self.collectors:
+            if entry.expected is None:
+                return None
+            total += entry.expected
+        return total
+
+    @property
+    def received(self) -> int:
+        return sum(entry.received for entry in self.collectors)
+
+    @property
+    def lost(self) -> Optional[int]:
+        expected = self.expected
+        if expected is None:
+            return None
+        return max(0, expected - self.received)
+
+    @property
+    def complete(self) -> bool:
+        """Nothing is known to be missing.
+
+        True when no collector is lost or quarantined and no entry with a
+        known expectation fell short.  Unknown expectations on healthy
+        collectors do not count against completeness — strict mode blocks
+        on *evidence* of loss, not on missing client-side accounting.
+        """
+        for entry in self.collectors:
+            if entry.status not in (STATUS_OK, STATUS_RECOVERED):
+                return False
+            if entry.lost is not None and entry.lost > 0:
+                return False
+        return True
+
+    @property
+    def degraded(self) -> List[CollectorCoverage]:
+        """The collectors that lost reports or state."""
+        return [
+            entry
+            for entry in self.collectors
+            if entry.status in (STATUS_LOST, STATUS_QUARANTINED)
+            or (entry.lost or 0) > 0
+        ]
+
+    # ------------------------------------------------------------------
+    # theory
+
+    def inflation_factor(self) -> float:
+        """Multiplier on every error bound caused by the missing reports.
+
+        The paper's bounds all scale as ``1 / sqrt(N)``
+        (:func:`repro.theory.bounds.error_bound`), so finalizing over
+        ``received`` instead of ``expected`` reports inflates them by
+        ``sqrt(expected / received)``
+        (:func:`repro.theory.bounds.coverage_inflation`).  ``1.0`` when
+        nothing is missing or expectations are unknown; ``inf`` when
+        every report was lost.
+        """
+        from ..theory.bounds import coverage_inflation
+
+        expected = self.expected
+        if expected is None or expected == 0:
+            return 1.0
+        return coverage_inflation(expected, self.received)
+
+    # ------------------------------------------------------------------
+    # presentation
+
+    def to_dict(self) -> Dict[str, Any]:
+        inflation = self.inflation_factor()
+        return {
+            "expected": self.expected,
+            "received": self.received,
+            "lost": self.lost,
+            "complete": self.complete,
+            "error_inflation": (
+                None if math.isinf(inflation) else inflation
+            ),
+            "collectors": [entry.to_dict() for entry in self.collectors],
+        }
+
+    def summary(self) -> str:
+        """Human-readable coverage table for logs and CLI output."""
+        lines = []
+        expected = self.expected
+        lost = self.lost
+        lines.append(
+            f"coverage: {self.received} received / "
+            f"{'unknown' if expected is None else expected} expected "
+            f"({'unknown' if lost is None else lost} lost)"
+        )
+        inflation = self.inflation_factor()
+        if inflation > 1.0:
+            shown = "inf" if math.isinf(inflation) else f"{inflation:.3f}x"
+            lines.append(
+                f"error bounds inflated by {shown} "
+                f"(bounds scale as 1/sqrt(N))"
+            )
+        for entry in self.collectors:
+            lines.append(
+                f"  {entry.collector_id}: "
+                f"{entry.received}/"
+                f"{'?' if entry.expected is None else entry.expected} "
+                f"[{entry.status}]"
+                + (f" — {entry.detail}" if entry.detail else "")
+            )
+        return "\n".join(lines)
+
+    def raise_if_partial(self, context: str = "finalize") -> None:
+        """Strict-mode gate: raise unless coverage is complete."""
+        if self.complete:
+            return
+        lost = self.lost
+        missing = (
+            "an unknown number of reports"
+            if lost is None
+            else f"{lost} report(s)"
+        )
+        degraded = ", ".join(
+            f"{entry.collector_id} [{entry.status}]"
+            for entry in self.degraded
+        ) or "unknown collectors"
+        raise PartialCoverageError(
+            f"{context} would drop {missing} (degraded: {degraded}); "
+            f"pass allow_partial=True (CLI: --allow-partial) to finalize "
+            f"anyway with this CoverageReport",
+            coverage=self,
+        )

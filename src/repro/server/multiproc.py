@@ -31,6 +31,7 @@ from typing import List, Optional, Union
 
 from ..core.domain import Domain
 from ..core.exceptions import CollectionServiceError, ProtocolConfigurationError
+from ..resilience.defaults import COUNTER_POLL_SECONDS
 from ..service.session import AggregationSession
 from ..service.spec import ProtocolSpec
 from .server import (
@@ -45,9 +46,6 @@ from .server import (
 __all__ = ["MultiProcessCollector"]
 
 PathLike = Union[str, Path]
-
-#: How often each worker's watcher polls the shared report counter.
-_WATCH_INTERVAL_SECONDS = 0.01
 
 
 def _worker_main(
@@ -105,7 +103,7 @@ def _worker_main(
                     if collected >= target:
                         stop_event.set()
                         break
-                await asyncio.sleep(_WATCH_INTERVAL_SECONDS)
+                await asyncio.sleep(COUNTER_POLL_SECONDS)
             server.request_stop()
 
         watcher = asyncio.create_task(watch())

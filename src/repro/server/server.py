@@ -426,11 +426,35 @@ class CollectionServer:
             self._resume_durable_state()
 
     def _resume_durable_state(self) -> None:
-        """Fold a previous ``state.npz`` back in (crash-restart path)."""
+        """Fold a previous ``state.npz`` back in (crash-restart path).
+
+        A ``state.npz`` that fails restore — zero bytes, torn zip, or an
+        integrity-digest mismatch — is quarantined to ``*.corrupt`` with a
+        readable report and the collector starts empty, rather than
+        refusing to serve: clients hold the idempotency tokens and will
+        replay whatever the lost state contained.
+        """
         state_path = self._checkpoint_dir / DURABLE_STATE_FILENAME
         if not state_path.exists():
             return
-        restored = AggregationSession.restore(state_path)
+        try:
+            restored = AggregationSession.restore(state_path)
+        except WireFormatError as error:
+            from ..resilience.integrity import quarantine_checkpoint
+
+            quarantined, report = quarantine_checkpoint(
+                state_path, f"durable state failed restore on startup: {error}"
+            )
+            _logger.error(
+                "durable state %s is corrupt (%s); quarantined to %s "
+                "(report: %s); starting empty — clients will replay "
+                "unacknowledged groups",
+                state_path,
+                error,
+                quarantined,
+                report,
+            )
+            return
         self._sessions[0].merge(restored)
         tokens = restored.checkpoint_extra.get("acked_tokens", {})
         if isinstance(tokens, dict):
@@ -996,6 +1020,7 @@ def merge_checkpoints(
     paths: Union[PathLike, Sequence[PathLike]],
     *,
     expected_shards: Optional[int] = None,
+    allow_partial: bool = False,
 ) -> AggregationSession:
     """Restore shard checkpoints and merge them into one session.
 
@@ -1005,10 +1030,17 @@ def merge_checkpoints(
     the aggregation exactly where the collector stopped.
 
     A missing or partial checkpoint directory fails with a readable error
-    naming the shard files found versus expected instead of leaking the
-    underlying npz loading exception: pass ``expected_shards`` (the
-    collector's shard count) to assert completeness, and any unreadable
-    file is reported alongside the sibling checkpoints that *are* present.
+    naming the directory and the shard files found versus expected instead
+    of leaking the underlying npz loading exception: pass
+    ``expected_shards`` (the collector's shard count) to assert
+    completeness, and any unreadable file is reported alongside the
+    sibling checkpoints that *are* present.
+
+    ``allow_partial=True`` is the degraded mode: an unreadable or
+    integrity-broken shard is quarantined to ``*.corrupt`` (with a
+    readable report next to it) and the merge continues over the healthy
+    shards — at least one must survive.  The default strict mode raises
+    instead, leaving every file in place.
     """
     if isinstance(paths, (str, Path)):
         directory = Path(paths)
@@ -1033,16 +1065,35 @@ def merge_checkpoints(
         )
     if expected_shards is not None and len(path_list) != expected_shards:
         names = sorted(path.name for path in path_list)
+        where = path_list[0].parent
         raise ProtocolConfigurationError(
             f"expected {expected_shards} shard checkpoint(s) but found "
-            f"{len(path_list)}: {names} — the checkpoint directory is "
-            "partial (collector interrupted before every shard was written?)"
+            f"{len(path_list)} in {where}: {names} — the checkpoint "
+            "directory is partial (collector interrupted before every "
+            "shard was written?)"
         )
     merged: Optional[AggregationSession] = None
+    quarantined: List[str] = []
     for path in path_list:
         try:
             restored = AggregationSession.restore(path)
         except WireFormatError as error:
+            if allow_partial:
+                from ..resilience.integrity import quarantine_checkpoint
+
+                moved, report = quarantine_checkpoint(
+                    path, f"shard failed restore during merge: {error}"
+                )
+                _logger.error(
+                    "shard checkpoint %s is corrupt (%s); quarantined to "
+                    "%s (report: %s); merging the remaining shards",
+                    path,
+                    error,
+                    moved,
+                    report,
+                )
+                quarantined.append(path.name)
+                continue
             parent = path.parent
             siblings = (
                 sorted(entry.name for entry in parent.glob("*.npz"))
@@ -1055,4 +1106,9 @@ def merge_checkpoints(
                 f"{siblings if siblings else 'none'})"
             ) from error
         merged = restored if merged is None else merged.merge(restored)
+    if merged is None:
+        raise WireFormatError(
+            f"every shard checkpoint was corrupt and quarantined "
+            f"({quarantined}); nothing left to merge"
+        )
     return merged

@@ -39,7 +39,11 @@ from .spec import ProtocolSpec
 __all__ = ["CHECKPOINT_FORMAT_VERSION", "AggregationSession"]
 
 #: Version stamp carried by every checkpoint file.  Bump on layout changes.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version 2 added the embedded SHA-256 integrity digest; version-1 files
+#: (no digest) are still restored as legacy checkpoints.
+CHECKPOINT_FORMAT_VERSION = 2
+
+_SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 _HEADER_KEY = "header"
 _STATE_PREFIX = "state__"
@@ -197,6 +201,55 @@ class AggregationSession:
         )
         return estimator
 
+    def finalize(
+        self,
+        *,
+        allow_partial: bool = False,
+        expected_reports: Optional[int] = None,
+    ):
+        """Snapshot with coverage accounting against an expected count.
+
+        With ``expected_reports`` set (the client side's acknowledged
+        total), the estimator's metadata carries a
+        :class:`~repro.resilience.CoverageReport` stating exactly how many
+        reports arrived versus were expected and the error-bound inflation
+        of any shortfall.  Strict mode (the default) raises
+        :class:`~repro.core.exceptions.PartialCoverageError` instead of
+        silently finalizing over fewer reports than were acknowledged;
+        ``allow_partial=True`` finalizes anyway, report attached.
+        """
+        from ..resilience.coverage import (
+            STATUS_LOST,
+            STATUS_OK,
+            CollectorCoverage,
+            CoverageReport,
+        )
+
+        received = self.num_reports
+        short = (
+            expected_reports is not None and received < expected_reports
+        )
+        coverage = CoverageReport(
+            collectors=[
+                CollectorCoverage(
+                    collector_id="session",
+                    expected=expected_reports,
+                    received=received,
+                    status=STATUS_LOST if short else STATUS_OK,
+                    detail=(
+                        "fewer reports arrived than were acknowledged"
+                        if short
+                        else ""
+                    ),
+                )
+            ]
+        )
+        if not allow_partial:
+            coverage.raise_if_partial("finalize")
+        estimator = self.snapshot()
+        estimator.metadata["coverage"] = coverage.to_dict()
+        return estimator
+
     def merge(self, other: "AggregationSession") -> "AggregationSession":
         """Absorb a peer session (e.g. another collector shard).
 
@@ -266,8 +319,18 @@ class AggregationSession:
                     f"{error}"
                 ) from error
             header["extra"] = extra
+        state_arrays = {
+            key: np.asarray(value) for key, value in state.items()
+        }
+        # Stamp the header with a SHA-256 over the header itself plus every
+        # state array (name, dtype, shape, bytes): np.savez stores members
+        # uncompressed, so at-rest corruption that dodges the zip CRC is
+        # still caught on restore and the file quarantined.
+        from ..resilience.integrity import embed_integrity
+
+        header = embed_integrity(header, state_arrays)
         arrays = {
-            _STATE_PREFIX + key: np.asarray(value) for key, value in state.items()
+            _STATE_PREFIX + key: value for key, value in state_arrays.items()
         }
         buffer = io.BytesIO()
         np.savez(
@@ -329,6 +392,12 @@ class AggregationSession:
         """Rebuild a checkpointed session; the aggregation resumes exactly."""
         path = Path(path)
         try:
+            if path.is_file() and path.stat().st_size == 0:
+                raise WireFormatError(
+                    f"session checkpoint {path} is empty (zero bytes) — the "
+                    f"write was interrupted before any data landed; restore "
+                    f"from an earlier checkpoint or discard the file"
+                )
             archive = np.load(path, allow_pickle=False)
         except (OSError, ValueError, zipfile.BadZipFile) as error:
             raise WireFormatError(
@@ -349,49 +418,58 @@ class AggregationSession:
 
     @classmethod
     def _restore_archive(cls, archive, path: str) -> "AggregationSession":
-        with archive:
-            if _HEADER_KEY not in archive.files:
-                raise WireFormatError(
-                    f"{path} is not a session checkpoint (no header entry)"
-                )
-            try:
-                header = json.loads(str(archive[_HEADER_KEY][()]))
-            except (json.JSONDecodeError, ValueError) as error:
-                raise WireFormatError(
-                    f"session checkpoint {path} has a corrupted header: {error}"
-                ) from error
-            version = header.get("format_version")
-            if version != CHECKPOINT_FORMAT_VERSION:
-                raise WireFormatError(
-                    f"session checkpoint {path} uses format version "
-                    f"{version!r}; this library speaks version "
-                    f"{CHECKPOINT_FORMAT_VERSION}"
-                )
-            for field in ("spec", "attributes", "session"):
-                if field not in header:
+        try:
+            with archive:
+                if _HEADER_KEY not in archive.files:
                     raise WireFormatError(
-                        f"session checkpoint {path} is missing the header "
-                        f"field {field!r}"
+                        f"{path} is not a session checkpoint (no header entry)"
                     )
-            if not isinstance(header["session"], dict):
-                raise WireFormatError(
-                    f"session checkpoint {path} has a corrupted 'session' "
-                    f"header field (expected an object, got "
-                    f"{type(header['session']).__name__})"
-                )
-            try:
-                spec = ProtocolSpec.from_dict(header["spec"])
-                domain = Domain(header["attributes"])
-            except (TypeError, ValueError) as error:
-                raise WireFormatError(
-                    f"session checkpoint {path} has a corrupted header: "
-                    f"{error}"
-                ) from error
-            state = {
-                name[len(_STATE_PREFIX):]: archive[name]
-                for name in archive.files
-                if name.startswith(_STATE_PREFIX)
-            }
+                try:
+                    header = json.loads(str(archive[_HEADER_KEY][()]))
+                except (json.JSONDecodeError, ValueError) as error:
+                    raise WireFormatError(
+                        f"session checkpoint {path} has a corrupted header: "
+                        f"{error}"
+                    ) from error
+                version = header.get("format_version")
+                if version not in _SUPPORTED_CHECKPOINT_VERSIONS:
+                    raise WireFormatError(
+                        f"session checkpoint {path} uses format version "
+                        f"{version!r}; this library speaks version(s) "
+                        f"{_SUPPORTED_CHECKPOINT_VERSIONS}"
+                    )
+                for field in ("spec", "attributes", "session"):
+                    if field not in header:
+                        raise WireFormatError(
+                            f"session checkpoint {path} is missing the header "
+                            f"field {field!r}"
+                        )
+                if not isinstance(header["session"], dict):
+                    raise WireFormatError(
+                        f"session checkpoint {path} has a corrupted 'session' "
+                        f"header field (expected an object, got "
+                        f"{type(header['session']).__name__})"
+                    )
+                try:
+                    spec = ProtocolSpec.from_dict(header["spec"])
+                    domain = Domain(header["attributes"])
+                except (TypeError, ValueError) as error:
+                    raise WireFormatError(
+                        f"session checkpoint {path} has a corrupted header: "
+                        f"{error}"
+                    ) from error
+                state = {
+                    name[len(_STATE_PREFIX):]: archive[name]
+                    for name in archive.files
+                    if name.startswith(_STATE_PREFIX)
+                }
+        except zipfile.BadZipFile as error:
+            # np.savez stores members uncompressed but zip still CRCs them,
+            # so a flipped bit often surfaces here, on the member read —
+            # not at np.load time.
+            raise WireFormatError(
+                f"session checkpoint {path} is corrupted: {error}"
+            ) from error
         if "num_reports" not in state:
             raise WireFormatError(
                 f"session checkpoint {path} carries no accumulator state"
@@ -402,6 +480,12 @@ class AggregationSession:
                 f"session checkpoint {path} has a corrupted 'extra' header "
                 f"field (expected an object, got {type(extra).__name__})"
             )
+        # Integrity comes last so structural problems keep their specific
+        # messages; a version-2 checkpoint must carry a digest and match it,
+        # a version-1 legacy file simply has none to check.
+        from ..resilience.integrity import verify_integrity
+
+        verify_integrity(header, state, source=path, require=version >= 2)
         session = cls(spec, domain)
         session._accumulator.load_state(state)
         counters = header["session"]

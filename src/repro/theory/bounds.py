@@ -25,6 +25,8 @@ __all__ = [
     "BoundSummary",
     "table2_summary",
     "master_theorem_deviation_bound",
+    "coverage_inflation",
+    "error_bound_with_loss",
 ]
 
 _METHODS = ("InpRR", "InpPS", "InpHT", "MargRR", "MargPS", "MargHT")
@@ -154,3 +156,53 @@ def master_theorem_deviation_bound(
     numerator = population * deviation**2 * sampling_probability * (2 * p_r - 1)
     denominator = 2 * p_r * (2 * (1 - p_r) / (2 * p_r - 1) + deviation / 3)
     return min(1.0, 2.0 * math.exp(-numerator / denominator))
+
+
+def coverage_inflation(expected: int, received: int) -> float:
+    """Error-bound multiplier when only ``received`` of ``expected`` reports
+    reach the aggregator.
+
+    Every bound in Table 2 scales as ``1 / sqrt(N)``, so finalizing over a
+    smaller population inflates it by ``sqrt(expected / received)``.  Used
+    by the resilience layer's :class:`~repro.resilience.CoverageReport` to
+    price report loss instead of ignoring it.  Returns ``1.0`` for full
+    coverage and ``inf`` when nothing arrived.
+    """
+    if expected < 0:
+        raise ProtocolConfigurationError(
+            f"expected report count must be >= 0, got {expected}"
+        )
+    if received < 0:
+        raise ProtocolConfigurationError(
+            f"received report count must be >= 0, got {received}"
+        )
+    if expected == 0 or received >= expected:
+        return 1.0
+    if received == 0:
+        return math.inf
+    return math.sqrt(expected / received)
+
+
+def error_bound_with_loss(
+    method: str,
+    d: int,
+    k: int,
+    epsilon: float,
+    expected: int,
+    received: int,
+) -> float:
+    """Table 2's error bound evaluated at the population that *arrived*.
+
+    Equivalent to ``error_bound(method, d, k, epsilon, expected)`` times
+    :func:`coverage_inflation` — the bound a degraded-mode finalize should
+    quote next to its estimates.
+    """
+    if received < 1:
+        raise ProtocolConfigurationError(
+            f"received report count must be >= 1, got {received}"
+        )
+    if received > expected:
+        raise ProtocolConfigurationError(
+            f"received ({received}) cannot exceed expected ({expected})"
+        )
+    return error_bound(method, d, k, epsilon, received)

@@ -16,6 +16,13 @@ from typing import Dict, Optional, Tuple
 
 from ..core.domain import Domain
 from ..core.exceptions import CollectionServiceError
+from ..resilience.coverage import (
+    STATUS_LOST,
+    STATUS_OK,
+    CollectorCoverage,
+    CoverageReport,
+)
+from ..resilience.policies import RetryPolicy
 from ..service.session import AggregationSession
 from ..service.spec import ProtocolSpec
 from .pull import PulledState, pull_state
@@ -85,10 +92,19 @@ class FanInAggregator:
         return self._states.pop(str(collector_id), None) is not None
 
     async def pull(
-        self, host: str, port: int, *, timeout: float = 10.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> PulledState:
-        """Pull one collector over the wire and ingest its snapshot."""
-        state = await pull_state(host, port, timeout=timeout)
+        """Pull one collector over the wire and ingest its snapshot.
+
+        Pulls are idempotent snapshot reads, so retrying under a
+        :class:`~repro.resilience.RetryPolicy` is always safe.
+        """
+        state = await pull_state(host, port, timeout=timeout, retry=retry)
         self.ingest(state)
         return state
 
@@ -100,6 +116,13 @@ class FanInAggregator:
                 union[token] = dict(counts)
         return union
 
+    def reports_by_collector(self) -> Dict[str, int]:
+        """Report count of every held snapshot, by collector id."""
+        return {
+            collector_id: state.num_reports
+            for collector_id, state in self._states.items()
+        }
+
     def merged_session(self) -> AggregationSession:
         """A fresh session holding every snapshot's state, exactly once."""
         merged = AggregationSession(self._spec, self._domain)
@@ -107,6 +130,70 @@ class FanInAggregator:
             merged.merge(state.session)
         return merged
 
-    def finalize(self):
-        """Merge and finalize to the protocol's estimator."""
-        return self.merged_session().snapshot()
+    def coverage_report(
+        self,
+        expected: Optional[Dict[str, int]] = None,
+        lost: Optional[Dict[str, str]] = None,
+        statuses: Optional[Dict[str, str]] = None,
+    ) -> CoverageReport:
+        """The expected/received/lost ledger over the held snapshots.
+
+        ``expected`` maps collector ids to the report counts the client
+        side saw acknowledged (the exact-loss accounting); ``lost`` maps
+        collectors known to be gone without durable state to a readable
+        reason; ``statuses`` overrides the per-collector status label
+        (e.g. a supervisor marking a snapshot ``recovered``).  Collectors
+        appearing in any of the three but without a snapshot count as
+        zero received.
+        """
+        expected = dict(expected or {})
+        lost = dict(lost or {})
+        statuses = dict(statuses or {})
+        received = self.reports_by_collector()
+        report = CoverageReport()
+        for collector_id in sorted(
+            set(received) | set(expected) | set(lost) | set(statuses)
+        ):
+            if collector_id in lost:
+                status, detail = STATUS_LOST, lost[collector_id]
+            else:
+                status, detail = STATUS_OK, ""
+            status = statuses.get(collector_id, status)
+            report.add(
+                CollectorCoverage(
+                    collector_id=collector_id,
+                    expected=expected.get(collector_id),
+                    received=received.get(collector_id, 0),
+                    status=status,
+                    detail=detail,
+                )
+            )
+        return report
+
+    def finalize(
+        self,
+        *,
+        allow_partial: bool = False,
+        expected: Optional[Dict[str, int]] = None,
+        lost: Optional[Dict[str, str]] = None,
+        coverage: Optional[CoverageReport] = None,
+    ):
+        """Merge and finalize to the protocol's estimator.
+
+        Coverage-aware: when ``expected`` counts, known-``lost``
+        collectors, or a prebuilt ``coverage`` report reveal missing
+        reports, the default strict mode raises
+        :class:`~repro.core.exceptions.PartialCoverageError` (carrying
+        the report) instead of silently under-counting;
+        ``allow_partial=True`` finalizes anyway and attaches the
+        :class:`~repro.resilience.CoverageReport` to the estimator's
+        metadata.  With no expectations and no losses this is exactly the
+        old unconditional finalize.
+        """
+        if coverage is None:
+            coverage = self.coverage_report(expected=expected, lost=lost)
+        if not allow_partial:
+            coverage.raise_if_partial("topology finalize")
+        estimator = self.merged_session().snapshot()
+        estimator.metadata["coverage"] = coverage.to_dict()
+        return estimator

@@ -12,10 +12,12 @@ from __future__ import annotations
 import asyncio
 import base64
 import binascii
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..core.exceptions import CollectionServiceError, WireFormatError
+from ..resilience.policies import RetryPolicy
 from ..server.framing import (
     ERR,
     MAX_STATE_BYTES,
@@ -51,12 +53,36 @@ async def pull_control(
     payload: Optional[Dict[str, Any]] = None,
     *,
     timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> ControlMessage:
     """Send one ``PULL`` and return the first control frame answered.
 
     Raises :class:`CollectionServiceError` on an ``ERR`` answer, a
-    truncated stream, or a timeout.
+    truncated stream, or a timeout.  A pull is a non-consuming snapshot
+    read, so passing a :class:`~repro.resilience.RetryPolicy` makes the
+    whole exchange retry safely (an ``ERR`` answer is a protocol verdict,
+    not a transient fault, and is never retried).
     """
+    attempts = 0
+    started = time.monotonic()
+    while True:
+        try:
+            return await _pull_control_once(host, port, payload, timeout)
+        except CollectionServiceError as error:
+            if "rejected the PULL" in str(error):
+                raise
+            attempts += 1
+            if retry is None or not retry.should_retry(attempts, started):
+                raise
+            await asyncio.sleep(retry.delay(attempts))
+
+
+async def _pull_control_once(
+    host: str,
+    port: int,
+    payload: Optional[Dict[str, Any]],
+    timeout: float,
+) -> ControlMessage:
     try:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout
@@ -149,21 +175,29 @@ def decode_state(payload: Dict[str, Any]) -> PulledState:
 
 
 async def pull_state(
-    host: str, port: int, *, timeout: float = 10.0
+    host: str,
+    port: int,
+    *,
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> PulledState:
     """Pull one collector's full session state."""
     answer = await pull_control(
-        host, port, {"what": "state"}, timeout=timeout
+        host, port, {"what": "state"}, timeout=timeout, retry=retry
     )
     return decode_state(answer.payload)
 
 
 async def pull_stats(
-    host: str, port: int, *, timeout: float = 10.0
+    host: str,
+    port: int,
+    *,
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict[str, Any]:
     """Pull one collector's stats counters."""
     answer = await pull_control(
-        host, port, {"what": "stats"}, timeout=timeout
+        host, port, {"what": "stats"}, timeout=timeout, retry=retry
     )
     stats = answer.payload.get("stats")
     if not isinstance(stats, dict):

@@ -34,7 +34,21 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.domain import Domain
-from ..core.exceptions import CollectionServiceError, ProtocolConfigurationError
+from ..core.exceptions import (
+    CollectionServiceError,
+    ProtocolConfigurationError,
+    WireFormatError,
+)
+from ..resilience.coverage import (
+    STATUS_LOST,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    STATUS_RECOVERED,
+    CollectorCoverage,
+    CoverageReport,
+)
+from ..resilience.defaults import WATCH_INTERVAL_SECONDS
+from ..resilience.integrity import quarantine_checkpoint
 from ..server.framing import (
     ERR,
     PULL,
@@ -54,9 +68,6 @@ __all__ = ["CollectorHandle", "TopologySupervisor", "SupervisorEndpoint"]
 _logger = logging.getLogger(__name__)
 
 PathLike = Union[str, Path]
-
-#: How often a collector child polls its stop event.
-_WATCH_INTERVAL_SECONDS = 0.05
 
 
 def _collector_main(
@@ -96,7 +107,7 @@ def _collector_main(
 
         async def watch() -> None:
             while not stop_event.is_set():
-                await asyncio.sleep(_WATCH_INTERVAL_SECONDS)
+                await asyncio.sleep(WATCH_INTERVAL_SECONDS)
             server.request_stop()
 
         watcher = asyncio.create_task(watch())
@@ -202,6 +213,10 @@ class TopologySupervisor:
             for index in range(collectors)
         ]
         self._recovered: Dict[str, PulledState] = {}
+        # Collectors whose durable state could NOT be recovered, with the
+        # human-readable reason — "no durable state" or "quarantined: ..."
+        # — feeding straight into finalize's CoverageReport.
+        self._lost: Dict[str, str] = {}
         # health_check runs in worker threads on the async paths (the
         # checkpoint restore is synchronous disk I/O); the lock keeps two
         # concurrent checks from recovering the same collector twice.
@@ -332,6 +347,7 @@ class TopologySupervisor:
         # The restarted collector now owns every report its checkpoint
         # held; keeping the recovered copy would double-count on merge.
         self._recovered.pop(handle.collector_id, None)
+        self._lost.pop(handle.collector_id, None)
         return handle
 
     def stop_collector(self, index: int) -> None:
@@ -401,6 +417,8 @@ class TopologySupervisor:
 
     def _recover(self, handle: CollectorHandle) -> None:
         state_path = handle.checkpoint_dir / DURABLE_STATE_FILENAME
+        tokens: Dict[str, Dict[str, int]] = {}
+        session: Optional[AggregationSession] = None
         if not state_path.exists():
             # Death before the first durable checkpoint: nothing was ever
             # acknowledged, so an empty recovered state loses nothing.
@@ -417,16 +435,46 @@ class TopologySupervisor:
                 DURABLE_STATE_FILENAME,
                 found if found else "no checkpoint directory",
             )
-            session = AggregationSession(self._spec, self._domain)
-            tokens: Dict[str, Dict[str, int]] = {}
-        else:
-            session = AggregationSession.restore(state_path)
-            raw = session.checkpoint_extra.get("acked_tokens", {})
-            tokens = (
-                {str(key): dict(value) for key, value in raw.items()}
-                if isinstance(raw, dict)
-                else {}
+            self._lost[handle.collector_id] = (
+                f"no durable {DURABLE_STATE_FILENAME} "
+                f"(died before its first acknowledged group)"
             )
+        else:
+            try:
+                session = AggregationSession.restore(state_path)
+            except WireFormatError as error:
+                # Covers zero-byte files, torn zips, and integrity-digest
+                # mismatches (CheckpointIntegrityError subclasses
+                # WireFormatError): quarantine and recover as empty.  The
+                # empty token set makes clients replay every group the
+                # quarantined state held, so the loss is repaired wherever
+                # the clients are still alive to replay.
+                moved, report = quarantine_checkpoint(
+                    state_path,
+                    f"recovery of dead collector {handle.collector_id} "
+                    f"failed: {error}",
+                )
+                _logger.error(
+                    "collector %s left a corrupt %s (%s); quarantined to "
+                    "%s (report: %s); recovering as empty",
+                    handle.collector_id,
+                    DURABLE_STATE_FILENAME,
+                    error,
+                    moved,
+                    report,
+                )
+                self._lost[handle.collector_id] = (
+                    f"checkpoint quarantined: {error}"
+                )
+            else:
+                raw = session.checkpoint_extra.get("acked_tokens", {})
+                tokens = (
+                    {str(key): dict(value) for key, value in raw.items()}
+                    if isinstance(raw, dict)
+                    else {}
+                )
+        if session is None:
+            session = AggregationSession(self._spec, self._domain)
         self._recovered[handle.collector_id] = PulledState(
             collector_id=handle.collector_id,
             session=session,
@@ -470,13 +518,21 @@ class TopologySupervisor:
     # ------------------------------------------------------------------ #
     # fan-in
 
-    async def collect(self, *, timeout: float = 15.0) -> FanInAggregator:
+    def lost_collectors(self) -> Dict[str, str]:
+        """Dead collectors whose durable state could not be recovered
+        (recovered-as-empty or quarantined), with the readable reason."""
+        return dict(self._lost)
+
+    async def collect(
+        self, *, timeout: float = 15.0, retry=None
+    ) -> FanInAggregator:
         """Pull every live collector's state, add the recovered dead ones.
 
         The returned :class:`FanInAggregator` holds exactly one snapshot
         per collector id — live snapshots win over recovered ones — so
         :meth:`FanInAggregator.merged_session` counts every acknowledged
-        report exactly once.
+        report exactly once.  ``retry`` is an optional
+        :class:`~repro.resilience.RetryPolicy` for the (idempotent) pulls.
         """
         await self.health_check_async()
         aggregator = FanInAggregator(self._spec, self._domain)
@@ -485,7 +541,9 @@ class TopologySupervisor:
         ]
         results = await asyncio.gather(
             *(
-                aggregator.pull(handle.host, handle.port, timeout=timeout)
+                aggregator.pull(
+                    handle.host, handle.port, timeout=timeout, retry=retry
+                )
                 for handle in live
             ),
             return_exceptions=True,
@@ -501,6 +559,80 @@ class TopologySupervisor:
             if collector_id not in aggregator.collector_ids:
                 aggregator.ingest(state)
         return aggregator
+
+    def coverage_report(
+        self,
+        aggregator: FanInAggregator,
+        expected_by_address: Optional[Dict[str, Any]] = None,
+    ) -> CoverageReport:
+        """Build the finalize ledger from supervisor knowledge.
+
+        ``expected_by_address`` maps ``"host:port"`` strings to
+        acknowledged report counts — either plain ints, or the
+        ``{"frames", "reports", "groups"}`` counters a
+        :class:`~repro.server.LoadReport` records in ``acked_by_target``
+        (so ``report.acked_by_target`` can be passed verbatim); they are
+        translated to collector ids here.  Status per collector: ``ok``
+        while live, ``recovered`` when dead but restored from durable
+        state, ``lost``/``quarantined`` when its state is gone.
+        """
+        expected: Dict[str, int] = {}
+        for handle in self._handles:
+            key = f"{handle.host}:{handle.port}"
+            if expected_by_address and key in expected_by_address:
+                counts = expected_by_address[key]
+                if isinstance(counts, dict):
+                    counts = counts.get("reports", 0)
+                expected[handle.collector_id] = int(counts)
+        received = aggregator.reports_by_collector()
+        report = CoverageReport()
+        for handle in self._handles:
+            collector_id = handle.collector_id
+            if collector_id in self._lost:
+                detail = self._lost[collector_id]
+                status = (
+                    STATUS_QUARANTINED
+                    if detail.startswith("checkpoint quarantined")
+                    else STATUS_LOST
+                )
+            elif handle.status == "dead":
+                status, detail = STATUS_RECOVERED, "merged from durable state"
+            else:
+                status, detail = STATUS_OK, ""
+            report.add(
+                CollectorCoverage(
+                    collector_id=collector_id,
+                    expected=expected.get(collector_id),
+                    received=received.get(collector_id, 0),
+                    status=status,
+                    detail=detail,
+                )
+            )
+        return report
+
+    async def finalize(
+        self,
+        *,
+        allow_partial: bool = False,
+        expected_by_address: Optional[Dict[str, int]] = None,
+        timeout: float = 15.0,
+        retry=None,
+    ):
+        """Collect the whole tree and finalize with coverage accounting.
+
+        Strict by default: any collector whose reports are known (or
+        expected) to be missing raises
+        :class:`~repro.core.exceptions.PartialCoverageError` carrying the
+        :class:`~repro.resilience.CoverageReport`; ``allow_partial=True``
+        returns the estimator anyway with the report in its metadata.
+        """
+        aggregator = await self.collect(timeout=timeout, retry=retry)
+        coverage = self.coverage_report(
+            aggregator, expected_by_address=expected_by_address
+        )
+        return aggregator.finalize(
+            allow_partial=allow_partial, coverage=coverage
+        )
 
 
 class SupervisorEndpoint:

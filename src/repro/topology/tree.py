@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional, Union
 
 from ..core.domain import Domain
 from ..core.exceptions import CollectionServiceError, ProtocolConfigurationError
+from ..resilience.policies import ResilienceConfig
 from ..service.spec import ProtocolSpec
 from .aggregator import FanInAggregator
 from .router import ROUTING_POLICIES
@@ -52,13 +53,22 @@ class LocalTopology:
         host: str = "127.0.0.1",
         checkpoint_interval: Optional[float] = None,
         start_timeout: float = 30.0,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if routing not in ROUTING_POLICIES:
             raise ProtocolConfigurationError(
                 f"unknown routing policy {routing!r}; expected one of "
                 f"{list(ROUTING_POLICIES)}"
             )
+        if resilience is not None and not isinstance(
+            resilience, ResilienceConfig
+        ):
+            raise ProtocolConfigurationError(
+                f"resilience must be a ResilienceConfig, "
+                f"got {type(resilience).__name__}"
+            )
         self._routing = routing
+        self._resilience = resilience
         self._base_dir = Path(base_dir)
         self._supervisor = TopologySupervisor(
             spec,
@@ -86,6 +96,11 @@ class LocalTopology:
     @property
     def routing(self) -> str:
         return self._routing
+
+    @property
+    def resilience(self) -> Optional[ResilienceConfig]:
+        """The retry/timeout/breaker policies published in the manifest."""
+        return self._resilience
 
     @property
     def base_dir(self) -> Path:
@@ -127,6 +142,10 @@ class LocalTopology:
             },
             "collectors": supervisor.describe(),
         }
+        if self._resilience is not None:
+            # Published so `repro load --topology` clients pick up the
+            # tree's retry/timeout/breaker policies without extra flags.
+            manifest["resilience"] = self._resilience.to_dict()
         path = self.manifest_path
         # Write-then-rename so a concurrently launched `repro load
         # --topology` never reads a half-written manifest.

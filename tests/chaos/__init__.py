@@ -1,0 +1,7 @@
+"""Chaos suite: the resilience layer under injected faults.
+
+Policies, spooling, checkpoint integrity, and degraded-mode finalize are
+each exercised against the fault primitives in
+:mod:`repro.resilience.chaos` — flipped bits, torn writes, full disks,
+and hard-killed clients.
+"""

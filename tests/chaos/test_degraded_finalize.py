@@ -1,0 +1,239 @@
+"""Degraded-mode finalize: estimates plus an exact loss ledger.
+
+Strict mode refuses to silently under-count; ``allow_partial=True``
+finalizes anyway and attaches a :class:`CoverageReport` whose lost
+counts are exact (client-side ACK accounting) and whose error-bound
+inflation comes from the paper's ``1/sqrt(N)`` scaling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    PartialCoverageError,
+    ProtocolConfigurationError,
+)
+from repro.resilience import (
+    STATUS_LOST,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CollectorCoverage,
+    CoverageReport,
+)
+from repro.service import AggregationSession
+from repro.theory.bounds import coverage_inflation, error_bound_with_loss
+from repro.topology import FanInAggregator
+
+from ..service.util import (
+    assert_estimates_equal,
+    build,
+    encode_frames,
+    estimates_of,
+    small_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_dataset()
+
+
+def session_with(dataset, frames):
+    protocol = build("InpRR")
+    session = AggregationSession(protocol.spec(), dataset.domain)
+    for frame in frames:
+        session.submit(frame)
+    return session
+
+
+@pytest.fixture(scope="module")
+def frames(dataset):
+    return encode_frames(build("InpRR"), dataset, 24)  # 4 frames x 24
+
+
+class TestCoverageReport:
+    def test_totals_and_exact_losses(self):
+        report = CoverageReport()
+        report.add(CollectorCoverage("c0", expected=100, received=100))
+        report.add(
+            CollectorCoverage(
+                "c1", expected=80, received=30, status=STATUS_LOST,
+                detail="no durable state.npz",
+            )
+        )
+        assert report.expected == 180
+        assert report.received == 130
+        assert report.lost == 50
+        assert not report.complete
+        assert [entry.collector_id for entry in report.degraded] == ["c1"]
+
+    def test_unknown_expectations_on_healthy_collectors_stay_complete(self):
+        report = CoverageReport(
+            collectors=[CollectorCoverage("c0", expected=None, received=42)]
+        )
+        assert report.complete
+        report.raise_if_partial()  # must not raise
+
+    def test_inflation_matches_the_sqrt_law(self):
+        report = CoverageReport(
+            collectors=[CollectorCoverage("c0", expected=100, received=64)]
+        )
+        assert report.inflation_factor() == pytest.approx(
+            math.sqrt(100 / 64)
+        )
+        assert report.to_dict()["error_inflation"] == pytest.approx(1.25)
+
+    def test_total_loss_inflates_to_infinity(self):
+        report = CoverageReport(
+            collectors=[
+                CollectorCoverage(
+                    "c0", expected=10, received=0, status=STATUS_LOST
+                )
+            ]
+        )
+        assert math.isinf(report.inflation_factor())
+        assert report.to_dict()["error_inflation"] is None
+
+    def test_raise_if_partial_carries_the_report(self):
+        report = CoverageReport(
+            collectors=[
+                CollectorCoverage(
+                    "c0", expected=10, received=4, status=STATUS_QUARANTINED,
+                    detail="checkpoint quarantined",
+                )
+            ]
+        )
+        with pytest.raises(PartialCoverageError) as excinfo:
+            report.raise_if_partial("topology finalize")
+        assert excinfo.value.coverage is report
+        message = str(excinfo.value)
+        assert "6 report(s)" in message
+        assert "--allow-partial" in message
+
+    def test_summary_lists_every_collector(self):
+        report = CoverageReport(
+            collectors=[
+                CollectorCoverage("c0", expected=10, received=10),
+                CollectorCoverage(
+                    "c1", expected=10, received=0, status=STATUS_LOST,
+                    detail="died before its first acknowledged group",
+                ),
+            ]
+        )
+        text = report.summary()
+        assert "10 received / 20 expected (10 lost)" in text
+        assert "c1: 0/10 [lost]" in text
+        assert "inflated" in text
+
+
+class TestTheoryBounds:
+    def test_coverage_inflation_edges(self):
+        assert coverage_inflation(0, 0) == 1.0
+        assert coverage_inflation(100, 100) == 1.0
+        assert coverage_inflation(100, 150) == 1.0  # surplus never deflates
+        assert math.isinf(coverage_inflation(100, 0))
+        with pytest.raises(ProtocolConfigurationError):
+            coverage_inflation(-1, 0)
+
+    def test_error_bound_with_loss_inflates_consistently(self):
+        full = error_bound_with_loss("InpPS", 8, 2, 1.1, 10_000, 10_000)
+        degraded = error_bound_with_loss("InpPS", 8, 2, 1.1, 10_000, 2_500)
+        assert degraded == pytest.approx(full * 2.0)
+        with pytest.raises(ProtocolConfigurationError):
+            error_bound_with_loss("InpPS", 8, 2, 1.1, 100, 0)
+        with pytest.raises(ProtocolConfigurationError):
+            error_bound_with_loss("InpPS", 8, 2, 1.1, 100, 101)
+
+
+class TestSessionFinalize:
+    def test_complete_finalize_equals_plain_snapshot(self, dataset, frames):
+        session = session_with(dataset, frames)
+        strict = session.finalize(expected_reports=dataset.size)
+        assert_estimates_equal(
+            estimates_of(strict), estimates_of(session.snapshot())
+        )
+        assert strict.metadata["coverage"]["complete"] is True
+
+    def test_shortfall_raises_in_strict_mode(self, dataset, frames):
+        session = session_with(dataset, frames[:2])
+        with pytest.raises(PartialCoverageError, match="allow_partial"):
+            session.finalize(expected_reports=dataset.size)
+
+    def test_allow_partial_attaches_exact_counts(self, dataset, frames):
+        session = session_with(dataset, frames[:2])
+        estimator = session.finalize(
+            allow_partial=True, expected_reports=dataset.size
+        )
+        coverage = estimator.metadata["coverage"]
+        assert coverage["expected"] == dataset.size
+        assert coverage["received"] == 48
+        assert coverage["lost"] == dataset.size - 48
+        assert coverage["error_inflation"] == pytest.approx(
+            math.sqrt(dataset.size / 48)
+        )
+
+
+class TestAggregatorFinalize:
+    def make_aggregator(self, dataset, frames, split=2):
+        protocol = build("InpRR")
+        aggregator = FanInAggregator(protocol.spec(), dataset.domain)
+        for index in range(split):
+            aggregator.ingest_session(
+                f"c{index}",
+                session_with(dataset, frames[index::split]),
+            )
+        return aggregator
+
+    def test_no_expectations_is_exactly_the_old_finalize(
+        self, dataset, frames
+    ):
+        aggregator = self.make_aggregator(dataset, frames)
+        estimator = aggregator.finalize()
+        baseline = aggregator.merged_session().snapshot()
+        assert_estimates_equal(
+            estimates_of(estimator), estimates_of(baseline)
+        )
+        assert estimator.metadata["coverage"]["complete"] is True
+
+    def test_known_lost_collector_blocks_strict_mode(self, dataset, frames):
+        aggregator = self.make_aggregator(dataset, frames)
+        lost = {"c2": "no durable state.npz (died before its first ACK)"}
+        with pytest.raises(PartialCoverageError) as excinfo:
+            aggregator.finalize(lost=lost)
+        entry = {
+            e.collector_id: e for e in excinfo.value.coverage.collectors
+        }["c2"]
+        assert entry.status == STATUS_LOST
+        assert entry.received == 0
+
+    def test_allow_partial_merges_survivors_with_the_ledger(
+        self, dataset, frames
+    ):
+        aggregator = self.make_aggregator(dataset, frames)
+        expected = {"c0": 48, "c1": 48, "c2": 24}
+        estimator = aggregator.finalize(
+            allow_partial=True,
+            expected=expected,
+            lost={"c2": "collector and checkpoint both gone"},
+        )
+        coverage = estimator.metadata["coverage"]
+        assert coverage["expected"] == 120
+        assert coverage["received"] == 96
+        assert coverage["lost"] == 24
+        by_id = {
+            entry["collector_id"]: entry
+            for entry in coverage["collectors"]
+        }
+        assert by_id["c2"]["lost"] == 24
+        assert by_id["c0"]["status"] == STATUS_OK
+
+    def test_expected_shortfall_alone_is_enough_to_block(
+        self, dataset, frames
+    ):
+        aggregator = self.make_aggregator(dataset, frames)
+        with pytest.raises(PartialCoverageError):
+            aggregator.finalize(expected={"c0": 49, "c1": 48})

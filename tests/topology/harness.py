@@ -89,16 +89,23 @@ async def drive_fleet(
     routing: str = "round-robin",
     token_prefix: str = "harness",
     kill: Optional[KillPlan] = None,
+    on_group_done=None,
+    **fleet_kwargs,
 ) -> LoadReport:
     """Run a fleet through the tree; optionally kill per the plan.
 
     One frame per connection group, so with the default single client the
     router's dealing order — and therefore which groups hit the doomed
-    collector — is fully deterministic.
+    collector — is fully deterministic.  Extra ``fleet_kwargs`` go to the
+    :class:`LoadGenerator` constructor (the chaos suite passes
+    ``spool_dir``/``retry``/``breaker`` through here), and a caller's
+    ``on_group_done`` hook composes with the kill plan — the kill fires
+    first, then the hook.
     """
     state = {"killed": False}
+    caller_hook = on_group_done
 
-    def on_group_done(client_id: int, group_index: int) -> None:
+    def hook(client_id: int, group_index: int):
         if (
             kill is not None
             and not state["killed"]
@@ -107,6 +114,9 @@ async def drive_fleet(
         ):
             state["killed"] = True
             supervisor.kill(kill.collector_index)
+        if caller_hook is not None:
+            return caller_hook(client_id, group_index)
+        return None
 
     generator = LoadGenerator(
         protocol.spec(),
@@ -118,7 +128,10 @@ async def drive_fleet(
         frames=frames,
         num_clients=num_clients,
         frames_per_connection=1,
-        on_group_done=on_group_done if kill is not None else None,
+        on_group_done=(
+            hook if (kill is not None or caller_hook is not None) else None
+        ),
+        **fleet_kwargs,
     )
     report = await generator.run()
     if kill is not None:
