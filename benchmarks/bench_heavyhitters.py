@@ -1,0 +1,224 @@
+"""Heavy-hitter discovery: accuracy vs exact top-k plus per-level throughput.
+
+For each per-level oracle (``InpOLH``, ``InpHT``, ``InpHTCMS``) over a
+zipf-style skewed population:
+
+* **accuracy** — precision/recall of ``HH.discover()`` against the exact
+  top-k of the same records, averaged over the profile's seeds;
+* **throughput** — client-side encode and server-side aggregate rates in
+  reports/sec for the whole partitioned population, then the aggregate
+  rate of *each prefix level* in isolation (a level's inner-oracle
+  accumulate over exactly the users partitioned onto it);
+* **walk** — wall-clock for finalize + the prune/expand discovery walk.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_heavyhitters.py [--smoke]
+
+Results merge into ``BENCH_hh.json`` (schema ``bench-hh/v1``) following
+the ``BENCH_topology.json`` profile layout.  ``--min-recall`` turns the
+mean InpOLH recall into an exit-code gate for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.domain import Domain
+from repro.datasets.synthetic import skewed_dataset
+from repro.heavyhitters import HeavyHitterReports, exact_top_k, precision_recall
+from repro.protocols.registry import make_protocol
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA = "bench-hh/v1"
+
+PROFILES = {
+    "full": {
+        "population": 100_000,
+        "dimension": 8,
+        "epsilon": 3.0,
+        "fanout": 4,
+        "top_k": 6,
+        "seeds": (1, 2, 3),
+    },
+    "smoke": {
+        "population": 30_000,
+        "dimension": 8,
+        "epsilon": 3.0,
+        "fanout": 4,
+        "top_k": 6,
+        "seeds": (7,),
+    },
+}
+
+ORACLES = ("InpOLH", "InpHT", "InpHTCMS")
+
+
+def bench_oracle(oracle, params):
+    protocol = make_protocol(
+        "HH",
+        params["epsilon"],
+        2,
+        oracle=oracle,
+        fanout=params["fanout"],
+        top_k=params["top_k"],
+    )
+    domain = Domain.binary(params["dimension"])
+    population = params["population"]
+    precisions, recalls = [], []
+    best = None
+    for seed in params["seeds"]:
+        rng = np.random.default_rng(seed)
+        dataset = skewed_dataset(population, params["dimension"], rng=rng)
+        exact = exact_top_k(dataset, params["top_k"])
+
+        started = time.perf_counter()
+        reports = protocol.encode_batch(dataset.records, rng=rng)
+        encode_seconds = time.perf_counter() - started
+
+        accumulator = protocol.accumulator(domain)
+        started = time.perf_counter()
+        accumulator.update(reports)
+        aggregate_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        estimator = accumulator.finalize()
+        result = estimator.discover()
+        walk_seconds = time.perf_counter() - started
+
+        precision, recall = precision_recall(result.indices, exact)
+        precisions.append(precision)
+        recalls.append(recall)
+
+        # Per-level aggregate rate: replay each level's sub-population
+        # through a fresh accumulator on its own.
+        per_level = []
+        for index, bits in enumerate(estimator.level_bits):
+            members = reports.levels == index
+            sub = HeavyHitterReports(
+                levels=reports.levels[members],
+                int_data=reports.int_data[members],
+                float_data=reports.float_data[members],
+            )
+            fresh = protocol.accumulator(domain)
+            started = time.perf_counter()
+            fresh.update(sub)
+            elapsed = time.perf_counter() - started
+            per_level.append(
+                {
+                    "bits": int(bits),
+                    "reports": int(members.sum()),
+                    "reports_per_second": (
+                        float(members.sum()) / elapsed if elapsed > 0 else 0.0
+                    ),
+                }
+            )
+
+        sample = {
+            "seed": seed,
+            "precision": precision,
+            "recall": recall,
+            "encode_reports_per_second": population / encode_seconds,
+            "aggregate_reports_per_second": population / aggregate_seconds,
+            "finalize_and_walk_seconds": walk_seconds,
+            "levels": per_level,
+        }
+        if best is None or sample["aggregate_reports_per_second"] > (
+            best["aggregate_reports_per_second"]
+        ):
+            best = sample
+
+    summary = {
+        "precision_mean": float(np.mean(precisions)),
+        "recall_mean": float(np.mean(recalls)),
+        "best": best,
+        "params": {
+            "population": population,
+            "dimension": params["dimension"],
+            "epsilon": params["epsilon"],
+            "fanout": params["fanout"],
+            "top_k": params["top_k"],
+            "seeds": list(params["seeds"]),
+        },
+    }
+    level_text = "  ".join(
+        f"b={level['bits']}:{level['reports_per_second']:,.0f}/s"
+        for level in best["levels"]
+    )
+    print(
+        f"  {oracle:9s} precision {summary['precision_mean']:.3f}  "
+        f"recall {summary['recall_mean']:.3f}  "
+        f"aggregate {best['aggregate_reports_per_second']:>10,.0f} reports/s  "
+        f"[{level_text}]"
+    )
+    return summary
+
+
+def run_profile(profile_name):
+    params = dict(PROFILES[profile_name])
+    print(f"profile {profile_name}: {params}")
+    return {
+        "params": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in params.items()
+        },
+        "oracles": {oracle: bench_oracle(oracle, params) for oracle in ORACLES},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the CI-sized smoke profile"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hh.json",
+        help="JSON file to write/merge results into",
+    )
+    parser.add_argument(
+        "--min-recall",
+        type=float,
+        default=None,
+        metavar="R",
+        help="fail (exit 1) when the mean InpOLH recall falls below R",
+    )
+    arguments = parser.parse_args(argv)
+    profile_name = "smoke" if arguments.smoke else "full"
+
+    result = run_profile(profile_name)
+
+    report = {"schema": SCHEMA, "profiles": {}}
+    if arguments.output.exists():
+        with arguments.output.open() as handle:
+            existing = json.load(handle)
+        if existing.get("schema") == SCHEMA:
+            report = existing
+    report["profiles"][profile_name] = result
+    with arguments.output.open("w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {arguments.output}")
+
+    if arguments.min_recall is not None:
+        recall = result["oracles"]["InpOLH"]["recall_mean"]
+        if recall < arguments.min_recall:
+            print(
+                f"recall gate FAILED: mean InpOLH recall {recall:.3f} < "
+                f"{arguments.min_recall}"
+            )
+            return 1
+        print(
+            f"recall gate passed: mean InpOLH recall {recall:.3f} >= "
+            f"{arguments.min_recall}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,14 @@ from .execution import (
     make_executor,
 )
 from .extensions import InpES
+from .heavyhitters import (
+    DiscoveryResult,
+    HeavyHitter,
+    HeavyHitterEstimator,
+    HeavyHitters,
+    exact_top_k,
+    precision_recall,
+)
 from .service import (
     AggregationSession,
     ProtocolSpec,
@@ -170,6 +178,13 @@ __all__ = [
     "SimplexProjectedEstimator",
     "project_to_simplex",
     "clip_and_normalize",
+    # heavy-hitter discovery
+    "HeavyHitters",
+    "HeavyHitterEstimator",
+    "HeavyHitter",
+    "DiscoveryResult",
+    "exact_top_k",
+    "precision_recall",
     # theory
     "table2_summary",
 ]

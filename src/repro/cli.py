@@ -539,6 +539,191 @@ def _build_parser() -> argparse.ArgumentParser:
         "make the strict mode fail (or show up as exact per-collector "
         "losses under --allow-partial)",
     )
+
+    hh_parser = subparsers.add_parser(
+        "hh",
+        help="heavy-hitter discovery: partition users across prefix-tree "
+        "levels, run a frequency oracle per level, and walk the tree "
+        "for the top-k",
+    )
+    hh_subparsers = hh_parser.add_subparsers(dest="hh_command", required=True)
+
+    def _add_hh_protocol_arguments(
+        parser: argparse.ArgumentParser, require_epsilon: bool
+    ) -> None:
+        parser.add_argument(
+            "--epsilon", type=float, required=require_epsilon,
+            help="per-user privacy budget (one report per user, so the "
+            "whole discovery is epsilon-LDP with no composition)",
+        )
+        parser.add_argument(
+            "--width", type=_positive_int, default=2, metavar="K",
+            help="marginal workload width k for itemset queries on the "
+            "final estimator (default: 2)",
+        )
+        parser.add_argument(
+            "--oracle", choices=("InpOLH", "InpHT", "InpHTCMS"),
+            default="InpOLH",
+            help="per-level frequency oracle (default: InpOLH)",
+        )
+        parser.add_argument(
+            "--fanout", type=_positive_int, default=2, metavar="F",
+            help="prefix bits each level adds (default: 2)",
+        )
+        parser.add_argument(
+            "--threshold", type=float, default=0.0, metavar="T",
+            help="fixed pruning threshold; 0 = adaptive, each level prunes "
+            "at its oracle's confidence half-width (default: 0)",
+        )
+        parser.add_argument(
+            "--top-k", type=_positive_int, default=8, metavar="K",
+            dest="top_k", help="heavy hitters to emit (default: 8)",
+        )
+        parser.add_argument(
+            "--option", action="append", default=[], metavar="KEY=VALUE",
+            help="extra HH protocol option, e.g. --option width=512 for "
+            "the InpHTCMS sketch (repeatable; value parsed as JSON; "
+            "overrides the dedicated flags above)",
+        )
+
+    def _add_hh_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--dataset", choices=DATASET_NAMES, default="skewed",
+            help="population generator simulating the clients "
+            "(default: skewed — a zipf-style heavy-tailed population)",
+        )
+        parser.add_argument(
+            "-n", "--population", type=_positive_int, default=20_000,
+            metavar="N", help="number of simulated users (default: 20000)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=20180610, help="master random seed"
+        )
+        parser.add_argument(
+            "--batch-size", type=_positive_int, default=None, metavar="B",
+            help="encode the population in record batches of this size "
+            "(default: one batch)",
+        )
+
+    hh_encode = hh_subparsers.add_parser(
+        "encode",
+        help="client side: partition a simulated population across prefix "
+        "levels and emit serialized HH report frames",
+    )
+    _add_hh_protocol_arguments(hh_encode, require_epsilon=True)
+    _add_hh_dataset_arguments(hh_encode)
+    hh_encode.add_argument(
+        "-d", "--dimension", type=_positive_int, default=8, metavar="D",
+        help="number of binary attributes (default: 8)",
+    )
+    hh_encode.add_argument(
+        "--spec-out", metavar="PATH",
+        help="also write the protocol spec (the out-of-band client/server "
+        "contract) to this JSON file",
+    )
+    hh_encode.add_argument(
+        "--output", default="-", metavar="PATH",
+        help="where to write the report frames ('-' = stdout, the default)",
+    )
+
+    hh_aggregate = hh_subparsers.add_parser(
+        "aggregate",
+        help="server side: feed HH report frames to an AggregationSession "
+        "and print the discovered top-k",
+    )
+    hh_aggregate.add_argument(
+        "--spec", metavar="PATH",
+        help="protocol spec JSON written by 'hh encode --spec-out' "
+        "(required unless --restore is given)",
+    )
+    hh_domain_group = hh_aggregate.add_mutually_exclusive_group()
+    hh_domain_group.add_argument(
+        "-d", "--dimension", type=_positive_int, metavar="D",
+        help="number of binary attributes (names default to attr0..attrD-1)",
+    )
+    hh_domain_group.add_argument(
+        "--attributes", metavar="A,B,C",
+        help="comma-separated attribute names of the collection domain",
+    )
+    hh_aggregate.add_argument(
+        "--input", default="-", metavar="PATH",
+        help="report-frame stream to consume ('-' = stdin, the default; "
+        "'none' = no frames, e.g. to re-discover from a checkpoint)",
+    )
+    hh_aggregate.add_argument(
+        "--restore", metavar="PATH",
+        help="resume a checkpointed session instead of starting fresh",
+    )
+    hh_aggregate.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write the session checkpoint here after ingesting the frames",
+    )
+    hh_aggregate.add_argument(
+        "--top-k", type=_positive_int, default=None, metavar="K",
+        dest="top_k", help="override the spec's top-k at discovery time",
+    )
+    hh_aggregate.add_argument(
+        "--confidence", type=float, default=0.95, metavar="C",
+        help="two-sided confidence level for the frequency intervals "
+        "(default: 0.95)",
+    )
+    hh_aggregate.add_argument(
+        "--json", metavar="PATH",
+        help="also write the discovery result and session metadata to "
+        "this JSON file",
+    )
+    hh_aggregate.add_argument(
+        "--output", metavar="PATH",
+        help="also write the rendered text result to this file",
+    )
+
+    hh_discover = hh_subparsers.add_parser(
+        "discover",
+        help="end to end: simulate the population, collect the reports "
+        "(in-process, or through a `repro topo launch` tree), and score "
+        "the discovered top-k against the exact one",
+    )
+    _add_hh_protocol_arguments(hh_discover, require_epsilon=False)
+    _add_hh_dataset_arguments(hh_discover)
+    hh_discover.add_argument(
+        "-d", "--dimension", type=_positive_int, default=8, metavar="D",
+        help="number of binary attributes (default: 8; --topology mode "
+        "takes the domain from the manifest instead)",
+    )
+    hh_discover.add_argument(
+        "--confidence", type=float, default=0.95, metavar="C",
+        help="two-sided confidence level for the frequency intervals "
+        "(default: 0.95)",
+    )
+    hh_discover.add_argument(
+        "--topology", metavar="DIR", default=None,
+        help="collect through a running `repro topo launch` tree instead "
+        "of in-process: the contract comes from DIR/topology.json, the "
+        "encoded frames are driven at the collectors by a client fleet, "
+        "and the per-collector states are fanned in before discovery",
+    )
+    hh_discover.add_argument(
+        "--clients", type=_positive_int, default=3, metavar="C",
+        help="concurrent clients for --topology mode (default: 3)",
+    )
+    hh_discover.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SEC",
+        help="keep retrying the first connect for SEC seconds (default: 10)",
+    )
+    hh_discover.add_argument(
+        "--token-prefix", metavar="P", default=None,
+        help="idempotency-token prefix for --topology mode (default: a "
+        "fresh per-run value)",
+    )
+    hh_discover.add_argument(
+        "--json", metavar="PATH",
+        help="write the discovery result, the exact top-k and the "
+        "precision/recall score to this JSON file",
+    )
+    hh_discover.add_argument(
+        "--output", metavar="PATH",
+        help="also write the rendered text result to this file",
+    )
     return parser
 
 
@@ -617,14 +802,25 @@ def _positive_int(text: str) -> int:
 
 def _protocol_listing() -> Dict[str, Dict]:
     """Machine-readable description of every registered protocol."""
-    from .protocols.registry import CORE_PROTOCOL_NAMES, PROTOCOL_CLASSES
+    from .protocols.registry import (
+        CORE_PROTOCOL_NAMES,
+        DISCOVERY_PROTOCOL_NAMES,
+        PROTOCOL_CLASSES,
+    )
 
     listing: Dict[str, Dict] = {}
     for name in available_protocols():
         protocol_class = PROTOCOL_CLASSES[name]
         instance = make_protocol(name, 1.0, 1)
+        if name in CORE_PROTOCOL_NAMES:
+            role = "core"
+        elif name in DISCOVERY_PROTOCOL_NAMES:
+            role = "discovery"
+        else:
+            role = "baseline"
         listing[name] = {
             "core": name in CORE_PROTOCOL_NAMES,
+            "role": role,
             "options": sorted(
                 ProtocolSpec.accepted_options(protocol_class)
             ),
@@ -656,9 +852,8 @@ def _run_list(arguments: argparse.Namespace) -> int:
     print("protocols:")
     width = max(len(name) for name in protocols)
     for name, info in protocols.items():
-        role = "core" if info["core"] else "baseline"
         options = ", ".join(info["options"]) if info["options"] else "-"
-        print(f"  {name.ljust(width)}  {role:8}  options: {options}")
+        print(f"  {name.ljust(width)}  {info['role']:9}  options: {options}")
     return 0
 
 
@@ -1695,6 +1890,369 @@ def _run_topo(arguments: argparse.Namespace) -> int:
     return _run_topo_finalize(arguments)
 
 
+def _hh_option_strings(arguments: argparse.Namespace) -> list:
+    """The dedicated ``hh`` flags as KEY=VALUE strings for _parse_options.
+
+    Placed *before* the user's raw ``--option`` pairs so an explicit
+    ``--option`` always wins over a dedicated flag's default.
+    """
+    return [
+        f"oracle={json.dumps(arguments.oracle)}",
+        f"fanout={arguments.fanout}",
+        f"threshold={arguments.threshold}",
+        f"top_k={arguments.top_k}",
+    ]
+
+
+def _render_discovery(result, spec: ProtocolSpec, num_reports: int) -> str:
+    """Human-readable discovery walk (``result=None`` for no reports)."""
+    lines = [
+        f"protocol  : {spec.describe()}",
+        f"reports   : {num_reports}",
+    ]
+    if result is None:
+        lines.append("no reports; nothing to discover")
+        return "\n".join(lines)
+    lines.append(
+        "levels    : "
+        + "  ".join(
+            f"b={bits}:n={count},cut={threshold:.4f}"
+            for bits, count, threshold in zip(
+                result.level_bits, result.level_reports, result.thresholds
+            )
+        )
+    )
+    lines.append(
+        f"top-{len(result.hitters)} heavy hitters "
+        f"({result.confidence:.0%} confidence):"
+    )
+    for rank, hitter in enumerate(result.hitters, start=1):
+        names = ",".join(hitter.attributes) or "<none set>"
+        lines.append(
+            f"  {rank:2d}. cell {hitter.index:>6d}  "
+            f"freq {hitter.frequency:+.4f} ± {hitter.half_width:.4f}  "
+            f"[{names}]"
+        )
+    return "\n".join(lines)
+
+
+def _run_hh_encode(arguments: argparse.Namespace) -> int:
+    # `hh encode` is `encode` with the protocol pinned to HH and the
+    # dedicated discovery flags folded into the option list.
+    arguments.protocol = "HH"
+    arguments.option = _hh_option_strings(arguments) + list(arguments.option)
+    return _run_encode(arguments)
+
+
+def _run_hh_aggregate(arguments: argparse.Namespace) -> int:
+    try:
+        if arguments.restore and (
+            arguments.spec or arguments.dimension or arguments.attributes
+        ):
+            print(
+                "hh aggregate: --restore carries the session's own spec and "
+                "domain; --spec/--dimension/--attributes cannot be combined "
+                "with it",
+                file=sys.stderr,
+            )
+            return 2
+        domain = None
+        if not arguments.restore:
+            if not arguments.spec:
+                print(
+                    "hh aggregate: --spec is required unless --restore is "
+                    "given",
+                    file=sys.stderr,
+                )
+                return 2
+            if arguments.attributes:
+                domain = Domain(
+                    [name.strip() for name in arguments.attributes.split(",")]
+                )
+            elif arguments.dimension:
+                domain = Domain.binary(arguments.dimension)
+            else:
+                print(
+                    "hh aggregate: pass --dimension or --attributes to "
+                    "describe the collection domain (or --restore a "
+                    "checkpoint)",
+                    file=sys.stderr,
+                )
+                return 2
+        no_input = arguments.input == "none" or (
+            arguments.restore
+            and arguments.input == "-"
+            and sys.stdin.isatty()
+        )
+        # Same first-frame trick as `aggregate`: in an `hh encode |
+        # hh aggregate` pipeline, having one frame (or EOF) in hand
+        # guarantees the producer already wrote --spec-out.
+        stdin_frames = None
+        first_frame = None
+        if not no_input and arguments.input == "-":
+            stdin_frames = split_report_frames(sys.stdin.buffer)
+            first_frame = next(stdin_frames, None)
+        if arguments.restore:
+            session = AggregationSession.restore(arguments.restore)
+            print(
+                f"restored session with {session.num_reports} reports from "
+                f"{arguments.restore}",
+                file=sys.stderr,
+            )
+        else:
+            session = AggregationSession(
+                load_protocol_spec(arguments.spec), domain
+            )
+        if session.spec.protocol != "HH":
+            print(
+                f"hh aggregate: the spec describes "
+                f"{session.spec.protocol!r}, not the HH discovery protocol "
+                f"(use plain `repro aggregate` for marginal estimates)",
+                file=sys.stderr,
+            )
+            return 2
+        if stdin_frames is not None:
+            if first_frame is not None:
+                session.submit(first_frame)
+                for frame in stdin_frames:
+                    session.submit(frame)
+        elif not no_input:
+            with open(arguments.input, "rb") as source:
+                for frame in split_report_frames(source):
+                    session.submit(frame)
+        if arguments.checkpoint:
+            session.checkpoint(arguments.checkpoint)
+            print(f"wrote {arguments.checkpoint}", file=sys.stderr)
+        estimator = session.snapshot()
+        result = (
+            estimator.discover(
+                top_k=arguments.top_k, confidence=arguments.confidence
+            )
+            if estimator is not None
+            else None
+        )
+    except BrokenPipeError:
+        raise  # handled quietly in main(); not an aggregate failure
+    except (ReproError, OSError, ValueError) as error:
+        print(f"hh aggregate: {error}", file=sys.stderr)
+        return 2
+    rendered = _render_discovery(result, session.spec, session.num_reports)
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        payload = {
+            "spec": session.spec.to_dict(),
+            "num_reports": session.num_reports,
+            "session": session.metadata,
+            "discovery": result.to_dict() if result is not None else None,
+        }
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
+def _hh_topology_fan_in(arguments: argparse.Namespace) -> AggregationSession:
+    """Fan in the tree's per-collector states for discovery.
+
+    The same pull-then-durable-fallback walk as ``topo finalize``, kept
+    strict: a collector that is unreachable *and* left no durable state is
+    an error, because a partial fan-in would silently skew the top-k.
+    """
+    from pathlib import Path
+
+    from .resilience import RetryPolicy
+    from .server import DURABLE_STATE_FILENAME
+    from .topology import FanInAggregator, load_manifest
+
+    manifest = load_manifest(arguments.topology)
+    spec = ProtocolSpec.from_dict(manifest["spec"])
+    domain = Domain(manifest["attributes"])
+    aggregator = FanInAggregator(spec, domain)
+    fallbacks = []
+    pull_retry = RetryPolicy(max_retries=2, base_delay=0.2, max_delay=1.0)
+
+    async def gather():
+        for entry in manifest["collectors"]:
+            try:
+                await aggregator.pull(
+                    entry["host"],
+                    int(entry["port"]),
+                    timeout=5.0,
+                    retry=pull_retry,
+                )
+            except ReproError:
+                fallbacks.append(entry)
+
+    asyncio.run(gather())
+    for entry in fallbacks:
+        collector_id = entry["collector_id"]
+        state_path = Path(entry["checkpoint_dir"]) / DURABLE_STATE_FILENAME
+        if not state_path.exists():
+            raise ReproError(
+                f"collector {collector_id} is unreachable and left no "
+                f"durable checkpoint at {state_path}"
+            )
+        session = AggregationSession.restore(state_path)
+        tokens = session.checkpoint_extra.get("acked_tokens", {})
+        aggregator.ingest_session(
+            collector_id, session, tokens if isinstance(tokens, dict) else {}
+        )
+        print(
+            f"hh discover: collector {collector_id} is unreachable; "
+            f"recovered {session.num_reports} report(s) from {state_path}",
+            file=sys.stderr,
+        )
+    return aggregator.merged_session()
+
+
+def _run_hh_discover(arguments: argparse.Namespace) -> int:
+    from .heavyhitters import exact_top_k, precision_recall
+
+    try:
+        if arguments.topology:
+            if arguments.epsilon is not None:
+                print(
+                    "hh discover: --topology takes the collection contract "
+                    "from the tree's manifest; drop --epsilon (and the "
+                    "other protocol flags)",
+                    file=sys.stderr,
+                )
+                return 2
+            spec, domain, fleet_kwargs = _load_topology_contract(arguments)
+            dimension = domain.dimension
+        else:
+            if arguments.epsilon is None:
+                print(
+                    "hh discover: --epsilon is required without --topology",
+                    file=sys.stderr,
+                )
+                return 2
+            options = _parse_options(
+                _hh_option_strings(arguments) + list(arguments.option)
+            )
+            spec = ProtocolSpec(
+                protocol="HH",
+                epsilon=arguments.epsilon,
+                max_width=arguments.width,
+                options=options,
+            )
+            dimension = arguments.dimension
+            domain = Domain.binary(dimension)
+        if spec.protocol != "HH":
+            print(
+                f"hh discover: the topology collects "
+                f"{spec.protocol!r}, not the HH discovery protocol",
+                file=sys.stderr,
+            )
+            return 2
+        protocol = spec.build()
+        if spec.max_width > dimension:
+            print(
+                f"hh discover: --width {spec.max_width} exceeds the "
+                f"{dimension}-attribute domain",
+                file=sys.stderr,
+            )
+            return 2
+
+        generator = np.random.default_rng(arguments.seed)
+        dataset = make_dataset(
+            arguments.dataset, arguments.population, dimension, generator
+        )
+        if arguments.topology:
+            # frames_for_dataset consumes `generator` exactly like
+            # run_streaming below, so both modes perturb identically and
+            # the discovered top-k is bit-for-bit comparable.
+            frames = LoadGenerator.frames_for_dataset(
+                spec, dataset, arguments.batch_size, rng=generator
+            )
+            fleet = LoadGenerator(
+                spec,
+                domain,
+                frames=frames,
+                num_clients=arguments.clients,
+                connect_timeout=arguments.connect_timeout,
+                **fleet_kwargs,
+            )
+            report = asyncio.run(fleet.run())
+            print(
+                f"delivered {report.acked_reports} report(s) in "
+                f"{report.frames} frame(s) over {report.connections} "
+                f"connection(s)",
+                file=sys.stderr,
+            )
+            session = _hh_topology_fan_in(arguments)
+            estimator = session.snapshot() if session.num_reports else None
+            num_reports = session.num_reports
+        else:
+            estimator = protocol.run_streaming(
+                dataset, generator, batch_size=arguments.batch_size
+            )
+            num_reports = dataset.size
+        result = (
+            estimator.discover(confidence=arguments.confidence)
+            if estimator is not None
+            else None
+        )
+        exact = exact_top_k(dataset, protocol.top_k)
+        precision, recall = (
+            precision_recall(result.indices, exact)
+            if result is not None
+            else (0.0, 0.0)
+        )
+    except BrokenPipeError:
+        raise  # handled quietly in main(); not a discovery failure
+    except (ReproError, OSError, ValueError) as error:
+        print(f"hh discover: {error}", file=sys.stderr)
+        return 2
+    rendered = "\n".join(
+        [
+            _render_discovery(result, spec, num_reports),
+            "exact     : " + " ".join(str(index) for index in exact),
+            f"precision : {precision:.3f}    recall : {recall:.3f}",
+        ]
+    )
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.output}", file=sys.stderr)
+    if arguments.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "mode": "topology" if arguments.topology else "local",
+            "dataset": {
+                "name": arguments.dataset,
+                "population": arguments.population,
+                "dimension": dimension,
+                "seed": arguments.seed,
+                "batch_size": arguments.batch_size,
+            },
+            "num_reports": num_reports,
+            "discovery": result.to_dict() if result is not None else None,
+            "exact_top_k": [int(index) for index in exact],
+            "precision": precision,
+            "recall": recall,
+        }
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
+def _run_hh(arguments: argparse.Namespace) -> int:
+    if arguments.hh_command == "encode":
+        return _run_hh_encode(arguments)
+    if arguments.hh_command == "aggregate":
+        return _run_hh_aggregate(arguments)
+    return _run_hh_discover(arguments)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
@@ -1711,6 +2269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_load(arguments)
         if arguments.command == "topo":
             return _run_topo(arguments)
+        if arguments.command == "hh":
+            return _run_hh(arguments)
         return _run_experiment(arguments)
     except BrokenPipeError:
         # Downstream closed early (e.g. `repro aggregate | head`); point

@@ -1,0 +1,37 @@
+"""LDP heavy-hitter and frequent-itemset discovery (``HH`` protocol family).
+
+Prefix-tree iterative discovery (TreeHist/PEM-style) layered on the
+library's frequency oracles: users are partitioned across prefix levels,
+each level runs ``InpOLH``/``InpHT``/``InpHTCMS`` over its prefix domain,
+below-threshold prefixes are pruned and the survivors' children expand on
+the next level.  The per-level state is a full citizen of the accumulator
+merge algebra, so discovery runs unchanged through
+:class:`~repro.service.AggregationSession`, the socket server and the
+multi-collector topology.
+"""
+
+# Import the protocols package (and with it the registry) before our own
+# submodules: the registry also imports ``.protocol``, and resolving that
+# cycle in this order works from either entry point.
+from .. import protocols as _protocols  # noqa: F401
+from .discovery import (
+    DiscoveryConfig,
+    DiscoveryResult,
+    HeavyHitter,
+    HeavyHitterEstimator,
+    exact_top_k,
+    precision_recall,
+)
+from .protocol import HeavyHitterReports, HeavyHitters, HeavyHittersAccumulator
+
+__all__ = [
+    "HeavyHitters",
+    "HeavyHitterReports",
+    "HeavyHittersAccumulator",
+    "HeavyHitterEstimator",
+    "HeavyHitter",
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "exact_top_k",
+    "precision_recall",
+]

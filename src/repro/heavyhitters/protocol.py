@@ -1,0 +1,417 @@
+"""The ``HH`` protocol: LDP heavy-hitter discovery over frequency oracles.
+
+Full-domain frequency oracles (``InpOLH``, ``InpHT``, ``InpHTCMS``) estimate
+every cell of ``{0,1}^d`` but drown rare cells in noise; heavy-hitter
+discovery only needs the *frequent* cells, which a prefix tree finds with
+far better signal.  ``HH`` partitions the population across
+``L = ceil(d / fanout)`` levels: a user on level ``l`` runs the configured
+oracle over the prefix domain of their first ``b_l = min((l+1) * fanout, d)``
+record bits.  Each user still sends exactly one report, so the whole
+protocol is ``epsilon``-LDP with no composition — the cost is that each
+level sees only ``~N/L`` users.
+
+Aggregation keeps one inner oracle accumulator per level.  Every inner
+update is an exact integer sum (OLH support counts, sampled-coefficient
+bincounts, ±1 sign sums), so the per-level state inherits the library's
+merge algebra unchanged: any batch/shard/socket/topology grouping of the
+same reports finalizes bit-for-bit identically.  ``finalize`` reconstructs
+each level's prefix distribution and returns a
+:class:`~repro.heavyhitters.discovery.HeavyHitterEstimator` — a regular
+full-domain :class:`~repro.protocols.base.DistributionEstimator` (built
+from the last level, which covers all ``d`` bits) that additionally walks
+the levels to :meth:`~repro.heavyhitters.discovery.HeavyHitterEstimator.discover`
+the top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..core.exceptions import AggregationError, ProtocolConfigurationError
+from ..core.marginals import MarginalWorkload
+from ..core.privacy import PrivacyBudget
+from ..core.rng import RngLike, ensure_rng
+from ..protocols.base import (
+    Accumulator,
+    MarginalReleaseProtocol,
+    as_record_matrix,
+)
+from ..protocols.inp_ht import InpHT, InpHTReports
+from ..protocols.inp_htcms import InpHTCMS, InpHTCMSReports
+from ..protocols.inp_olh import InpOLH, InpOLHReports
+from ..protocols.wire import ReportField, WireCodableReports, register_report_schema
+from .discovery import DiscoveryConfig, HeavyHitterEstimator
+
+__all__ = ["HeavyHitters", "HeavyHitterReports", "HeavyHittersAccumulator"]
+
+#: Per-oracle packed report layout: (int64 columns, float64 columns).
+_REPORT_COLUMNS: Dict[str, Tuple[int, int]] = {
+    "InpOLH": (2, 0),  # seeds, noisy_buckets
+    "InpHT": (1, 1),  # choices | noisy_values
+    "InpHTCMS": (2, 1),  # hash_indices, coefficient_indices | noisy_signs
+}
+
+
+@dataclass(frozen=True)
+class HeavyHitterReports(WireCodableReports):
+    """One encoded batch: each user's level plus their inner oracle report.
+
+    ``levels[i]`` names the prefix level user ``i`` was partitioned onto;
+    ``int_data[i]`` / ``float_data[i]`` pack that user's inner report
+    columns (the layout per oracle is ``_REPORT_COLUMNS``; unused float
+    columns are width 0, e.g. OLH reports carry no float payload).
+    """
+
+    levels: np.ndarray
+    int_data: np.ndarray
+    float_data: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.levels.shape[0])
+
+
+register_report_schema(
+    "HH",
+    HeavyHitterReports,
+    fields=(
+        ReportField("levels", np.int64),
+        ReportField("int_data", np.int64, ndim=2),
+        ReportField("float_data", np.float64, ndim=2),
+    ),
+)
+
+
+def _pack_reports(oracle: str, reports) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten an inner report batch into (int64, float64) column blocks."""
+    if oracle == "InpOLH":
+        ints = np.column_stack((reports.seeds, reports.noisy_buckets))
+        floats = np.empty((ints.shape[0], 0), dtype=np.float64)
+    elif oracle == "InpHT":
+        ints = np.asarray(reports.choices, dtype=np.int64)[:, None]
+        floats = np.asarray(reports.noisy_values, dtype=np.float64)[:, None]
+    else:
+        ints = np.column_stack(
+            (reports.hash_indices, reports.coefficient_indices)
+        )
+        floats = np.asarray(reports.noisy_signs, dtype=np.float64)[:, None]
+    return np.ascontiguousarray(ints, dtype=np.int64), floats
+
+
+def _unpack_reports(oracle: str, ints: np.ndarray, floats: np.ndarray):
+    """Rebuild the inner report batch an oracle accumulator expects."""
+    if oracle == "InpOLH":
+        return InpOLHReports(
+            seeds=np.ascontiguousarray(ints[:, 0]),
+            noisy_buckets=np.ascontiguousarray(ints[:, 1]),
+        )
+    if oracle == "InpHT":
+        return InpHTReports(
+            choices=np.ascontiguousarray(ints[:, 0]),
+            noisy_values=np.ascontiguousarray(floats[:, 0]),
+        )
+    return InpHTCMSReports(
+        hash_indices=np.ascontiguousarray(ints[:, 0]),
+        coefficient_indices=np.ascontiguousarray(ints[:, 1]),
+        noisy_signs=np.ascontiguousarray(floats[:, 0]),
+    )
+
+
+class HeavyHittersAccumulator(Accumulator):
+    """One mergeable inner oracle accumulator per prefix level.
+
+    State keys are namespaced ``level{l:02d}__{inner key}`` (including each
+    level's ``num_reports``), so checkpoints carry the full per-level
+    partition and a restored accumulator finalizes identically.
+    """
+
+    def __init__(
+        self,
+        workload: MarginalWorkload,
+        level_bits: Tuple[int, ...],
+        inner: Tuple[Accumulator, ...],
+        oracle: str,
+        config: DiscoveryConfig,
+    ):
+        super().__init__(workload)
+        self._level_bits = tuple(level_bits)
+        self._inner = tuple(inner)
+        self._oracle_name = oracle
+        self._config = config
+
+    def _ingest(self, reports: HeavyHitterReports) -> None:
+        levels = np.asarray(reports.levels, dtype=np.int64)
+        int_data = np.asarray(reports.int_data, dtype=np.int64)
+        float_data = np.asarray(reports.float_data, dtype=np.float64)
+        num_levels = len(self._inner)
+        if levels.size and (levels.min() < 0 or levels.max() >= num_levels):
+            raise AggregationError(
+                f"report levels must lie in [0, {num_levels})"
+            )
+        int_columns, float_columns = _REPORT_COLUMNS[self._oracle_name]
+        if int_data.shape[1] != int_columns or float_data.shape[1] != float_columns:
+            raise AggregationError(
+                f"HH/{self._oracle_name} reports must pack "
+                f"({int_columns} int, {float_columns} float) columns, got "
+                f"({int_data.shape[1]}, {float_data.shape[1]})"
+            )
+        for index, accumulator in enumerate(self._inner):
+            members = levels == index
+            if not members.any():
+                continue
+            accumulator.update(
+                _unpack_reports(
+                    self._oracle_name, int_data[members], float_data[members]
+                )
+            )
+
+    def _absorb(self, other: "HeavyHittersAccumulator") -> None:
+        for mine, theirs in zip(self._inner, other._inner):
+            mine.merge(theirs)
+
+    def _export_state(self):
+        state = {}
+        for index, accumulator in enumerate(self._inner):
+            for key, value in accumulator.state_dict().items():
+                state[f"level{index:02d}__{key}"] = value
+        return state
+
+    def _import_state(self, state: Mapping[str, object]) -> None:
+        remaining = dict(state)
+        for index, accumulator in enumerate(self._inner):
+            prefix = f"level{index:02d}__"
+            inner_state = {}
+            for key in list(remaining):
+                if key.startswith(prefix):
+                    inner_state[key[len(prefix):]] = remaining.pop(key)
+            accumulator.load_state(inner_state)
+        if remaining:
+            raise AggregationError(
+                f"accumulator state has unexpected fields "
+                f"{sorted(remaining)}"
+            )
+
+    def _merge_signature(self):
+        return (
+            self._oracle_name,
+            self._level_bits,
+            tuple(accumulator._merge_signature() for accumulator in self._inner),
+        )
+
+    def __repr__(self) -> str:
+        # The registry name is "HH", not the class-name-derived default.
+        return (
+            f"{type(self).__name__}(protocol='HH', d={self.domain.dimension}, "
+            f"k={self._workload.max_width}, num_reports={self._num_reports})"
+        )
+
+    def finalize(self) -> HeavyHitterEstimator:
+        self._require_reports()
+        distributions = []
+        for bits, accumulator in zip(self._level_bits, self._inner):
+            if accumulator.num_reports == 0:
+                # A level nobody reported to estimates nothing; discovery
+                # sees an infinite threshold there and falls back to its
+                # keep-the-top rule instead of trusting these zeros.
+                distributions.append(np.zeros(1 << bits, dtype=np.float64))
+                continue
+            estimator = accumulator.finalize()
+            full_mask = (1 << bits) - 1
+            distributions.append(
+                np.asarray(estimator.query(full_mask).values, dtype=np.float64)
+            )
+        return HeavyHitterEstimator(
+            self._workload,
+            self._level_bits,
+            distributions,
+            tuple(accumulator.num_reports for accumulator in self._inner),
+            self._config,
+        )
+
+
+class HeavyHitters(MarginalReleaseProtocol):
+    """Prefix-tree heavy-hitter discovery as a registry protocol family.
+
+    ``oracle`` picks the per-level frequency oracle (``InpOLH``, ``InpHT``
+    or ``InpHTCMS``); ``fanout`` sets how many new prefix bits each level
+    adds; ``threshold`` is the pruning bar (``0`` = adaptive, each level
+    prunes at its oracle's confidence half-width) and ``top_k`` how many
+    hitters :meth:`HeavyHitterEstimator.discover` emits by default.
+    ``num_buckets``/``decode_batch_size``/``kernel_backend`` forward to the
+    OLH oracle and ``num_hashes``/``width`` to the HCMS sketch, mirroring
+    those protocols' own options.
+    """
+
+    name = "HH"
+
+    def __init__(
+        self,
+        budget: PrivacyBudget,
+        max_width: int,
+        oracle: str = "InpOLH",
+        fanout: int = 2,
+        threshold: float = 0.0,
+        top_k: int = 8,
+        num_buckets: int = 0,
+        num_hashes: int = 5,
+        width: int = 256,
+        decode_batch_size: int = 0,
+        kernel_backend: str = "",
+    ):
+        super().__init__(budget, max_width)
+        oracle = str(oracle)
+        if oracle not in _REPORT_COLUMNS:
+            raise ProtocolConfigurationError(
+                f"unknown heavy-hitter oracle {oracle!r}; expected one of "
+                f"{sorted(_REPORT_COLUMNS)}"
+            )
+        fanout = int(fanout)
+        if fanout < 1:
+            raise ProtocolConfigurationError(
+                f"level fanout must be >= 1 prefix bit, got {fanout}"
+            )
+        threshold = float(threshold)
+        if not 0.0 <= threshold < 1.0:
+            raise ProtocolConfigurationError(
+                f"pruning threshold must lie in [0, 1), got {threshold}"
+            )
+        top_k = int(top_k)
+        if top_k < 1:
+            raise ProtocolConfigurationError(
+                f"top-k must be >= 1, got {top_k}"
+            )
+        self._oracle_name = oracle
+        self._fanout = fanout
+        self._threshold = threshold
+        self._top_k = top_k
+        self._num_buckets = int(num_buckets)
+        self._num_hashes = int(num_hashes)
+        self._width = int(width)
+        self._decode_batch_size = int(decode_batch_size)
+        self._kernel_backend = str(kernel_backend)
+
+    def spec_options(self):
+        return {
+            "oracle": self._oracle_name,
+            "fanout": self._fanout,
+            "threshold": self._threshold,
+            "top_k": self._top_k,
+            "num_buckets": self._num_buckets,
+            "num_hashes": self._num_hashes,
+            "width": self._width,
+            "decode_batch_size": self._decode_batch_size,
+            "kernel_backend": self._kernel_backend,
+        }
+
+    def tuning_options(self):
+        # Forwarded verbatim to the OLH decode path; estimates never change.
+        return frozenset({"decode_batch_size", "kernel_backend"})
+
+    @property
+    def oracle_name(self) -> str:
+        return self._oracle_name
+
+    @property
+    def fanout(self) -> int:
+        return self._fanout
+
+    @property
+    def top_k(self) -> int:
+        return self._top_k
+
+    def level_plan(self, dimension: int) -> Tuple[int, ...]:
+        """Prefix bits covered by each level: ``min((l+1)*fanout, d)``."""
+        if dimension < 1:
+            raise ProtocolConfigurationError(
+                f"dimension must be >= 1, got {dimension}"
+            )
+        plan = []
+        bits = 0
+        while bits < dimension:
+            bits = min(bits + self._fanout, dimension)
+            plan.append(bits)
+        return tuple(plan)
+
+    def discovery_config(self) -> DiscoveryConfig:
+        return DiscoveryConfig(
+            oracle=self._oracle_name,
+            epsilon=self.epsilon,
+            fanout=self._fanout,
+            threshold=self._threshold,
+            top_k=self._top_k,
+            num_hashes=self._num_hashes,
+            width=self._width,
+        )
+
+    def level_protocol(self, bits: int) -> MarginalReleaseProtocol:
+        """The inner oracle protocol over a ``bits``-bit prefix domain.
+
+        Built at ``max_width=bits`` so the full prefix joint is answerable
+        (for ``InpHT`` that makes the coefficient set complete and the
+        reconstruction exact in expectation).
+        """
+        if self._oracle_name == "InpOLH":
+            return InpOLH(
+                self.budget,
+                bits,
+                num_buckets=self._num_buckets,
+                decode_batch_size=self._decode_batch_size,
+                kernel_backend=self._kernel_backend,
+            )
+        if self._oracle_name == "InpHT":
+            return InpHT(self.budget, bits)
+        return InpHTCMS(
+            self.budget,
+            bits,
+            num_hashes=self._num_hashes,
+            width=self._width,
+        )
+
+    def encode_batch(self, records, rng: RngLike = None) -> HeavyHitterReports:
+        generator = ensure_rng(rng)
+        records = as_record_matrix(records)
+        users, dimension = records.shape
+        plan = self.level_plan(dimension)
+        int_columns, float_columns = _REPORT_COLUMNS[self._oracle_name]
+        # One draw partitions the batch across levels, then each level's
+        # sub-batch is perturbed in level order with the same generator —
+        # a deterministic function of (records, rng state), so every
+        # shard/socket/topology invariance the pipeline proves carries over.
+        levels = generator.integers(0, len(plan), size=users)
+        int_data = np.zeros((users, int_columns), dtype=np.int64)
+        float_data = np.zeros((users, float_columns), dtype=np.float64)
+        for index, bits in enumerate(plan):
+            members = levels == index
+            if not members.any():
+                continue
+            inner = self.level_protocol(bits).encode_batch(
+                records[members][:, :bits], rng=generator
+            )
+            packed_ints, packed_floats = _pack_reports(self._oracle_name, inner)
+            int_data[members] = packed_ints
+            float_data[members] = packed_floats
+        return HeavyHitterReports(
+            levels=levels, int_data=int_data, float_data=float_data
+        )
+
+    def accumulator(self, domain: Domain) -> HeavyHittersAccumulator:
+        workload = self.workload_for(domain)
+        plan = self.level_plan(domain.dimension)
+        inner = tuple(
+            self.level_protocol(bits).accumulator(Domain.binary(bits))
+            for bits in plan
+        )
+        return HeavyHittersAccumulator(
+            workload, plan, inner, self._oracle_name, self.discovery_config()
+        )
+
+    def communication_bits(self, dimension: int) -> int:
+        """The level tag plus the final (widest) level's oracle report."""
+        plan = self.level_plan(dimension)
+        level_bits = max(1, (len(plan) - 1).bit_length())
+        inner = self.level_protocol(plan[-1])
+        return level_bits + inner.communication_bits(plan[-1])

@@ -22,6 +22,7 @@ from .marg_rr import MargRR
 from .registry import (
     BASELINE_PROTOCOL_NAMES,
     CORE_PROTOCOL_NAMES,
+    DISCOVERY_PROTOCOL_NAMES,
     PROTOCOL_CLASSES,
     available_protocols,
     make_protocol,
@@ -50,6 +51,7 @@ __all__ = [
     "PROTOCOL_CLASSES",
     "CORE_PROTOCOL_NAMES",
     "BASELINE_PROTOCOL_NAMES",
+    "DISCOVERY_PROTOCOL_NAMES",
     "available_protocols",
     "make_protocol",
 ]

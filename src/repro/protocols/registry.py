@@ -23,10 +23,15 @@ from .marg_ht import MargHT
 from .marg_ps import MargPS
 from .marg_rr import MargRR
 
+# Imported last: the heavy-hitter protocol composes the oracle protocols
+# above (see repro.heavyhitters.__init__ for how the cycle is broken).
+from ..heavyhitters.protocol import HeavyHitters
+
 __all__ = [
     "PROTOCOL_CLASSES",
     "CORE_PROTOCOL_NAMES",
     "BASELINE_PROTOCOL_NAMES",
+    "DISCOVERY_PROTOCOL_NAMES",
     "available_protocols",
     "make_protocol",
 ]
@@ -34,7 +39,18 @@ __all__ = [
 #: All protocol classes keyed by their paper name.
 PROTOCOL_CLASSES: Dict[str, Type[MarginalReleaseProtocol]] = {
     cls.name: cls
-    for cls in (InpRR, InpPS, InpHT, MargRR, MargPS, MargHT, InpEM, InpOLH, InpHTCMS)
+    for cls in (
+        InpRR,
+        InpPS,
+        InpHT,
+        MargRR,
+        MargPS,
+        MargHT,
+        InpEM,
+        InpOLH,
+        InpHTCMS,
+        HeavyHitters,
+    )
 }
 
 #: The six protocols the paper contributes (Sections 4.2 and 4.3).
@@ -49,6 +65,9 @@ CORE_PROTOCOL_NAMES: List[str] = [
 
 #: The comparison methods from prior work (Section 4.4 and Appendix B.2).
 BASELINE_PROTOCOL_NAMES: List[str] = ["InpEM", "InpOLH", "InpHTCMS"]
+
+#: Discovery workloads layered on the oracles (``repro.heavyhitters``).
+DISCOVERY_PROTOCOL_NAMES: List[str] = ["HH"]
 
 
 def available_protocols() -> List[str]:

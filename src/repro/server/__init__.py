@@ -34,6 +34,7 @@ from .framing import (
     MAX_CONTROL_BYTES,
     MAX_STATE_BYTES,
     OK,
+    POISON_FRAME,
     PULL,
     REPORT_MAGIC,
     SERVER_PROTOCOL_VERSION,
@@ -62,6 +63,7 @@ __all__ = [
     "MAX_CONTROL_BYTES",
     "REPORT_MAGIC",
     "CONTROL_MAGIC",
+    "POISON_FRAME",
     "HELLO",
     "OK",
     "ERR",

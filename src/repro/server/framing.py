@@ -52,6 +52,7 @@ __all__ = [
     "MAX_STATE_BYTES",
     "REPORT_MAGIC",
     "CONTROL_MAGIC",
+    "POISON_FRAME",
     "HELLO",
     "OK",
     "ERR",
@@ -81,6 +82,14 @@ MAX_CONTROL_BYTES = 1 << 20
 MAX_STATE_BYTES = 64 << 20
 
 CONTROL_MAGIC = b"RPRC"
+
+#: One deliberately malformed frame: four magic bytes matching neither
+#: :data:`REPORT_MAGIC` nor :data:`CONTROL_MAGIC`, padded to a plausible
+#: header length.  The load generator's poison connections send exactly
+#: this, and the framing tests feed it to the decoders, so both sides of
+#: the suite provably exercise the same reject-at-the-header first line
+#: of defence.
+POISON_FRAME = b"XXXX" + bytes(16)
 
 HELLO = "HELLO"
 OK = "OK"

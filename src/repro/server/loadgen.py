@@ -62,6 +62,7 @@ from .framing import (
     FIN,
     HELLO,
     OK,
+    POISON_FRAME,
     ControlMessage,
     FrameDecoder,
     encode_control,
@@ -836,7 +837,9 @@ class LoadGenerator:
             )
             await self._handshake(writer, channel)
             try:
-                writer.write(b"XXXX" + bytes(16))
+                # The canonical bad frame the framing tests also feed the
+                # decoders: rejected at the magic bytes, before any payload.
+                writer.write(POISON_FRAME)
                 await writer.drain()
                 message = await channel.next_message()
             except (CollectionServiceError, ConnectionError, OSError):

@@ -5,7 +5,10 @@ from .bounds import (
     communication_bits,
     error_bound,
     error_exponent_factor,
+    frequency_confidence_half_width,
+    frequency_oracle_variance,
     master_theorem_deviation_bound,
+    normal_quantile,
     table2_summary,
 )
 
@@ -16,4 +19,7 @@ __all__ = [
     "BoundSummary",
     "table2_summary",
     "master_theorem_deviation_bound",
+    "normal_quantile",
+    "frequency_oracle_variance",
+    "frequency_confidence_half_width",
 ]

@@ -27,9 +27,16 @@ __all__ = [
     "master_theorem_deviation_bound",
     "coverage_inflation",
     "error_bound_with_loss",
+    "normal_quantile",
+    "frequency_oracle_variance",
+    "frequency_confidence_half_width",
 ]
 
 _METHODS = ("InpRR", "InpPS", "InpHT", "MargRR", "MargPS", "MargHT")
+
+#: Frequency oracles with a per-cell variance formula (Appendix B.2 methods
+#: plus the sampled-Hadamard protocol run as an oracle over a prefix domain).
+_ORACLE_METHODS = ("InpOLH", "InpHT", "InpHTCMS")
 
 
 def _validate(d: int, k: int) -> None:
@@ -181,6 +188,125 @@ def coverage_inflation(expected: int, received: int) -> float:
     if received == 0:
         return math.inf
     return math.sqrt(expected / received)
+
+
+def normal_quantile(probability: float) -> float:
+    """The standard-normal quantile ``Phi^{-1}(probability)``.
+
+    Evaluated by bisection on ``math.erf`` so the confidence-interval
+    helpers need no SciPy at runtime; 200 halvings of [-40, 40] pin the
+    quantile far below float64 resolution.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ProtocolConfigurationError(
+            f"quantile probability must lie in (0, 1), got {probability}"
+        )
+    low, high = -40.0, 40.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < probability:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def frequency_oracle_variance(
+    oracle: str,
+    epsilon: float,
+    population: int,
+    domain_size: int,
+    num_hashes: int = 5,
+    width: int = 256,
+) -> float:
+    """Leading-order variance of one cell-frequency estimate from an oracle.
+
+    The heavy-hitter pruning thresholds and confidence intervals are driven
+    by how noisy a single frequency estimate is at a level with
+    ``population`` reporting users over ``domain_size`` prefixes:
+
+    * ``"InpOLH"`` — Wang et al.'s OLH bound ``4 e^eps / ((e^eps - 1)^2 N)``
+      (worst case over the true frequency, at the optimal bucket count);
+    * ``"InpHT"`` — the full prefix distribution is reconstructed from all
+      ``m - 1`` nonzero Hadamard coefficients, each sampled by ``N/(m-1)``
+      users and attenuated by ``a = (e^eps - 1)/(e^eps + 1)``, giving a
+      per-cell variance ``((m-1)/m)^2 / (a^2 N)``;
+    * ``"InpHTCMS"`` — Apple's HCMS constant
+      ``c = (e^{eps/2} + 1)/(e^{eps/2} - 1)`` with the sketch-width
+      correction ``w/(w-1)``: ``c^2 w / ((w-1) N)``.
+
+    All three suppress the ``O(1/N)``-and-smaller terms that depend on the
+    (unknown) true frequency, matching the convention of Table 2.
+    """
+    if oracle not in _ORACLE_METHODS:
+        raise ProtocolConfigurationError(
+            f"unknown frequency oracle {oracle!r}; expected one of "
+            f"{_ORACLE_METHODS}"
+        )
+    if epsilon <= 0:
+        raise ProtocolConfigurationError(f"epsilon must be positive, got {epsilon}")
+    if population < 1:
+        raise ProtocolConfigurationError(
+            f"population must be >= 1, got {population}"
+        )
+    if domain_size < 2:
+        raise ProtocolConfigurationError(
+            f"domain size must be >= 2, got {domain_size}"
+        )
+    if oracle == "InpOLH":
+        growth = math.exp(epsilon)
+        return 4.0 * growth / ((growth - 1.0) ** 2 * population)
+    if oracle == "InpHT":
+        growth = math.exp(epsilon)
+        attenuation = (growth - 1.0) / (growth + 1.0)
+        shrink = (domain_size - 1.0) / domain_size
+        return shrink**2 / (attenuation**2 * population)
+    if num_hashes < 1:
+        raise ProtocolConfigurationError(
+            f"sketch hash count must be >= 1, got {num_hashes}"
+        )
+    if width < 2:
+        raise ProtocolConfigurationError(
+            f"sketch width must be >= 2, got {width}"
+        )
+    constant = (math.exp(epsilon / 2.0) + 1.0) / (math.exp(epsilon / 2.0) - 1.0)
+    return constant**2 * width / ((width - 1.0) * population)
+
+
+def frequency_confidence_half_width(
+    oracle: str,
+    epsilon: float,
+    population: int,
+    domain_size: int,
+    confidence: float = 0.95,
+    num_hashes: int = 5,
+    width: int = 256,
+) -> float:
+    """Half-width of a two-sided normal CI on one cell-frequency estimate.
+
+    ``z_{(1+confidence)/2} * sqrt(variance)`` with the variance from
+    :func:`frequency_oracle_variance`.  A level that received no reports
+    pins nothing down, so ``population == 0`` returns ``inf`` (the
+    heavy-hitter pruning then falls back to its keep-the-top rule instead
+    of trusting a zero distribution).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ProtocolConfigurationError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    if population == 0:
+        return math.inf
+    quantile = normal_quantile(0.5 * (1.0 + confidence))
+    return quantile * math.sqrt(
+        frequency_oracle_variance(
+            oracle,
+            epsilon,
+            population,
+            domain_size,
+            num_hashes=num_hashes,
+            width=width,
+        )
+    )
 
 
 def error_bound_with_loss(

@@ -1,0 +1,248 @@
+"""Unit tests for the heavy-hitter discovery walk and the HH protocol.
+
+The generic pipeline suites (mergeability, wire round-trip, sessions,
+sockets, topology invariance) already enroll ``HH`` through the registry;
+these tests pin the discovery-specific behaviour: the level plan, the
+prune/expand walk, the adaptive thresholds, the keep-the-top fallback,
+and the itemset readings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.exceptions import ProtocolConfigurationError
+from repro.core.marginals import MarginalWorkload
+from repro.core.privacy import PrivacyBudget
+from repro.datasets import BinaryDataset
+from repro.heavyhitters import (
+    DiscoveryConfig,
+    HeavyHitterEstimator,
+    HeavyHitters,
+    exact_top_k,
+    precision_recall,
+)
+from repro.service import AggregationSession
+
+LN3 = float(np.log(3.0))
+
+
+def skewed_records(n: int, d: int, hot: int, share: float, seed: int = 5):
+    """``share`` of the users sit on cell ``hot``, the rest are uniform."""
+    rng = np.random.default_rng(seed)
+    indices = np.where(
+        rng.random(n) < share, hot, rng.integers(0, 1 << d, size=n)
+    )
+    bits = (indices[:, None] >> np.arange(d)[None, :]) & 1
+    return BinaryDataset.from_records(bits.astype(np.int8))
+
+
+class TestLevelPlan:
+    def test_fanout_two_over_eight_bits(self):
+        protocol = HeavyHitters(PrivacyBudget(LN3), 2, fanout=2)
+        assert protocol.level_plan(8) == (2, 4, 6, 8)
+
+    def test_ragged_last_level(self):
+        protocol = HeavyHitters(PrivacyBudget(LN3), 2, fanout=3)
+        assert protocol.level_plan(8) == (3, 6, 8)
+
+    def test_single_level_when_fanout_covers_domain(self):
+        protocol = HeavyHitters(PrivacyBudget(LN3), 2, fanout=8)
+        assert protocol.level_plan(4) == (4,)
+
+    def test_bad_config_raises(self):
+        with pytest.raises(ProtocolConfigurationError):
+            HeavyHitters(PrivacyBudget(LN3), 2, oracle="InpRR")
+        with pytest.raises(ProtocolConfigurationError):
+            HeavyHitters(PrivacyBudget(LN3), 2, fanout=0)
+        with pytest.raises(ProtocolConfigurationError):
+            HeavyHitters(PrivacyBudget(LN3), 2, threshold=1.5)
+        with pytest.raises(ProtocolConfigurationError):
+            HeavyHitters(PrivacyBudget(LN3), 2, top_k=0)
+
+    def test_communication_bits_positive(self):
+        for oracle in ("InpOLH", "InpHT", "InpHTCMS"):
+            protocol = HeavyHitters(PrivacyBudget(LN3), 2, oracle=oracle)
+            assert protocol.communication_bits(8) > 0
+
+
+class TestExactTopK:
+    def test_ranks_by_count_then_index(self):
+        records = np.array(
+            [[1, 0], [1, 0], [1, 0], [0, 1], [0, 1], [1, 1]], dtype=np.int8
+        )
+        # cell 1 (=attr0) x3, cell 2 (=attr1) x2, cell 3 x1, cell 0 x0.
+        assert exact_top_k(records, 3) == (1, 2, 3)
+        assert exact_top_k(records, 10) == (1, 2, 3, 0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ProtocolConfigurationError):
+            exact_top_k(np.zeros((4, 2), dtype=np.int8), 0)
+
+    def test_precision_recall(self):
+        assert precision_recall((1, 2, 3), (1, 2, 4, 5)) == (2 / 3, 0.5)
+        assert precision_recall((), (1,)) == (0.0, 0.0)
+        assert precision_recall((1,), ()) == (0.0, 0.0)
+
+
+def synthetic_estimator(
+    level_distributions, level_bits, level_reports, threshold=0.0, top_k=2
+):
+    domain = Domain.binary(level_bits[-1])
+    workload = MarginalWorkload(domain, max_width=2)
+    config = DiscoveryConfig(
+        oracle="InpOLH",
+        epsilon=LN3,
+        fanout=level_bits[0],
+        threshold=threshold,
+        top_k=top_k,
+        num_hashes=5,
+        width=256,
+    )
+    return HeavyHitterEstimator(
+        workload, level_bits, level_distributions, level_reports, config
+    )
+
+
+class TestDiscoveryWalk:
+    def test_fixed_threshold_prunes_and_expands(self):
+        # Level 0 (2 bits): only prefix 0b01 is hot.  Level 1 (4 bits):
+        # its children 0b0101 and 0b1001 split the mass.
+        level0 = np.array([0.05, 0.80, 0.05, 0.10])
+        level1 = np.zeros(16)
+        level1[0b0101] = 0.55
+        level1[0b1001] = 0.25
+        estimator = synthetic_estimator(
+            [level0, level1], (2, 4), (50, 50), threshold=0.2
+        )
+        result = estimator.discover(top_k=2)
+        assert result.indices == (0b0101, 0b1001)
+        assert result.candidates_per_level == (4, 4)
+        assert result.survivors_per_level == (1, 2)
+        assert result.thresholds == (0.2, 0.2)
+
+    def test_harsh_threshold_falls_back_to_keep_the_top(self):
+        level0 = np.array([0.4, 0.3, 0.2, 0.1])
+        estimator = synthetic_estimator(
+            [level0], (2,), (50,), threshold=0.9, top_k=2
+        )
+        result = estimator.discover()
+        # Nothing clears 0.9; the top-2 survive anyway.
+        assert result.indices == (0, 1)
+        assert result.survivors_per_level == (2,)
+
+    def test_empty_level_gets_infinite_threshold(self):
+        level0 = np.array([0.4, 0.3, 0.2, 0.1])
+        estimator = synthetic_estimator([level0], (2,), (0,), top_k=2)
+        result = estimator.discover()
+        assert result.thresholds == (np.inf,)
+        assert result.indices == (0, 1)  # keep-the-top fallback
+
+    def test_discover_validates_arguments(self):
+        estimator = synthetic_estimator(
+            [np.full(4, 0.25)], (2,), (10,)
+        )
+        with pytest.raises(ProtocolConfigurationError):
+            estimator.discover(top_k=0)
+        with pytest.raises(ProtocolConfigurationError):
+            estimator.discover(threshold=-0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ProtocolConfigurationError):
+            synthetic_estimator([np.zeros(3)], (2,), (10,))
+        with pytest.raises(ProtocolConfigurationError):
+            synthetic_estimator([np.zeros(4), np.zeros(16)], (2,), (10,))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("oracle", ["InpOLH", "InpHT", "InpHTCMS"])
+    def test_planted_hitter_is_discovered(self, oracle):
+        dataset = skewed_records(6000, 6, hot=0b100101, share=0.5)
+        protocol = HeavyHitters(
+            PrivacyBudget(3.0), 2, oracle=oracle, fanout=2, top_k=4
+        )
+        estimator = protocol.run_streaming(
+            dataset, np.random.default_rng(17), batch_size=1500
+        )
+        result = estimator.discover()
+        assert result.indices[0] == 0b100101
+        top = result.hitters[0]
+        assert top.half_width > 0
+        assert abs(top.frequency - 0.5) < 3 * top.half_width
+
+    def test_confidence_widens_the_interval(self):
+        dataset = skewed_records(2000, 4, hot=0b1010, share=0.6)
+        protocol = HeavyHitters(PrivacyBudget(LN3), 2, fanout=2)
+        estimator = protocol.run_streaming(
+            dataset, np.random.default_rng(3)
+        )
+        narrow = estimator.discover(confidence=0.8)
+        wide = estimator.discover(confidence=0.99)
+        assert wide.hitters[0].half_width > narrow.hitters[0].half_width
+        # A higher confidence also raises the adaptive pruning cut, so the
+        # survivor *lists* may differ — but the planted cell tops both.
+        assert narrow.indices[0] == wide.indices[0] == 0b1010
+
+    def test_itemset_frequencies_follow_the_planted_cell(self):
+        dataset = skewed_records(8000, 4, hot=0b0011, share=0.7, seed=9)
+        protocol = HeavyHitters(PrivacyBudget(3.0), 2, fanout=2)
+        estimator = protocol.run_streaming(
+            dataset, np.random.default_rng(23)
+        )
+        pair = estimator.itemset_frequency(["attr0", "attr1"])
+        assert pair > 0.5  # ~0.7 plus the uniform background
+        itemsets = estimator.frequent_itemsets(min_frequency=0.4)
+        names = [names for names, _ in itemsets]
+        assert ("attr0", "attr1") in names
+        frequencies = [frequency for _, frequency in itemsets]
+        assert frequencies == sorted(frequencies, reverse=True)
+        with pytest.raises(ProtocolConfigurationError):
+            estimator.frequent_itemsets(0.1, max_size=3)  # width is 2
+
+
+class TestSessionDeterminism:
+    def test_discovery_is_invariant_to_frame_grouping(self):
+        """The satellite bar: any split of the same frames over sessions
+        merges to a bit-for-bit identical DiscoveryResult."""
+        dataset = skewed_records(900, 6, hot=0b110001, share=0.5, seed=13)
+        protocol = HeavyHitters(PrivacyBudget(LN3), 2, fanout=3, top_k=4)
+        rng = np.random.default_rng(41)
+        from repro.core.rng import spawn_rngs
+
+        frames = [
+            protocol.encode_batch(chunk, rng=child).to_bytes()
+            for chunk, child in zip(
+                dataset.iter_batches(100), spawn_rngs(rng, 9)
+            )
+        ]
+        domain = Domain.binary(6)
+
+        single = AggregationSession(protocol.spec(), domain)
+        for frame in frames:
+            single.submit(frame)
+
+        left = AggregationSession(protocol.spec(), domain)
+        right = AggregationSession(protocol.spec(), domain)
+        for index, frame in enumerate(frames):
+            (left if index % 2 else right).submit(frame)
+        left.merge(right)
+
+        baseline = single.snapshot().discover().to_dict()
+        assert left.snapshot().discover().to_dict() == baseline
+
+    def test_discovery_survives_checkpoint_restore(self, tmp_path):
+        dataset = skewed_records(600, 4, hot=0b0110, share=0.5, seed=29)
+        protocol = HeavyHitters(PrivacyBudget(LN3), 2, fanout=2, top_k=3)
+        session = AggregationSession(protocol.spec(), Domain.binary(4))
+        session.submit(
+            protocol.encode_batch(
+                dataset.records, rng=np.random.default_rng(7)
+            ).to_bytes()
+        )
+        baseline = session.snapshot().discover().to_dict()
+        path = tmp_path / "hh.npz"
+        session.checkpoint(path)
+        restored = AggregationSession.restore(path)
+        assert restored.snapshot().discover().to_dict() == baseline

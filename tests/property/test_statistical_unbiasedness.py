@@ -63,8 +63,10 @@ def dataset() -> BinaryDataset:
 def repeated_estimates(dataset):
     """``(R, 2^WIDTH)`` per-protocol estimate stacks for the BETA marginal."""
     stacks = {}
-    master = np.random.default_rng(20260729)
     for name in ALL_PROTOCOLS:
+        # A per-protocol name-seeded stream: each protocol's repeats stay
+        # pinned to the same seeds no matter what else joins the registry.
+        master = np.random.default_rng([20260729, *name.encode("ascii")])
         protocol = make_protocol(
             name, PrivacyBudget(LN3), WIDTH, **PROTOCOL_OPTIONS.get(name, {})
         )

@@ -9,6 +9,7 @@ from repro.core.privacy import PrivacyBudget
 from repro.protocols.registry import (
     BASELINE_PROTOCOL_NAMES,
     CORE_PROTOCOL_NAMES,
+    DISCOVERY_PROTOCOL_NAMES,
     PROTOCOL_CLASSES,
     available_protocols,
     make_protocol,
@@ -16,11 +17,16 @@ from repro.protocols.registry import (
 
 
 class TestRegistry:
-    def test_all_nine_protocols_registered(self):
-        assert len(PROTOCOL_CLASSES) == 9
-        assert set(CORE_PROTOCOL_NAMES) | set(BASELINE_PROTOCOL_NAMES) == set(
-            PROTOCOL_CLASSES
-        )
+    def test_all_ten_protocols_registered(self):
+        assert len(PROTOCOL_CLASSES) == 10
+        assert (
+            set(CORE_PROTOCOL_NAMES)
+            | set(BASELINE_PROTOCOL_NAMES)
+            | set(DISCOVERY_PROTOCOL_NAMES)
+        ) == set(PROTOCOL_CLASSES)
+
+    def test_discovery_names(self):
+        assert DISCOVERY_PROTOCOL_NAMES == ["HH"]
 
     def test_core_names_match_paper(self):
         assert CORE_PROTOCOL_NAMES == [

@@ -24,6 +24,7 @@ from repro.server.framing import (
     MAX_CONTROL_BYTES,
     MAX_STATE_BYTES,
     OK,
+    POISON_FRAME,
     PULL,
     SERVER_PROTOCOL_VERSION,
     STATE,
@@ -146,9 +147,11 @@ class TestReassembly:
 
 class TestRejection:
     def test_bad_magic(self):
+        # POISON_FRAME is the exact garbage LoadGenerator's poison
+        # connections send, so this is the server-side rejection in vitro.
         decoder = FrameDecoder()
         with pytest.raises(WireFormatError, match="magic"):
-            decoder.feed(b"XXXXxxxxxxxxxxxx")
+            decoder.feed(POISON_FRAME)
 
     def test_bad_magic_mid_stream(self, report_frames):
         """Corruption raises even when a complete frame precedes it.
@@ -235,7 +238,7 @@ class TestRejection:
     def test_poisoned_decoder_stays_poisoned(self, report_frames):
         decoder = FrameDecoder()
         with pytest.raises(WireFormatError):
-            decoder.feed(b"XXXXxxxxxxxxxxxx")
+            decoder.feed(POISON_FRAME)
         with pytest.raises(WireFormatError):
             decoder.feed(report_frames[0])
 
@@ -323,7 +326,7 @@ class TestReferenceConformance:
 
     def test_poisoning_parity(self, report_frames):
         fast, reference = FrameDecoder(), FrameDecoderReference()
-        bad = b"XXXXxxxxxxxxxxxx"
+        bad = POISON_FRAME
         with pytest.raises(WireFormatError) as fast_error:
             _drain_pair(fast, reference, bad)
         with pytest.raises(WireFormatError) as reference_error:

@@ -136,3 +136,98 @@ class TestMasterTheorem:
             master_theorem_deviation_bound(budget, 0.5, 0, 0.1)
         with pytest.raises(ProtocolConfigurationError):
             master_theorem_deviation_bound(budget, 0.5, 100, 0.0)
+
+
+class TestNormalQuantile:
+    def test_known_quantiles(self):
+        from repro.theory.bounds import normal_quantile
+
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-5)
+        assert normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-5)
+
+    def test_monotone(self):
+        from repro.theory.bounds import normal_quantile
+
+        grid = [0.01, 0.2, 0.5, 0.8, 0.99]
+        values = [normal_quantile(p) for p in grid]
+        assert values == sorted(values)
+
+    def test_rejects_probabilities_outside_the_open_interval(self):
+        from repro.theory.bounds import normal_quantile
+
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ProtocolConfigurationError):
+                normal_quantile(bad)
+
+
+class TestFrequencyOracleVariance:
+    def test_variance_shrinks_with_population_and_epsilon(self):
+        from repro.theory.bounds import frequency_oracle_variance
+
+        for oracle in ("InpOLH", "InpHT", "InpHTCMS"):
+            small_n = frequency_oracle_variance(oracle, 1.0, 1_000, 16)
+            large_n = frequency_oracle_variance(oracle, 1.0, 100_000, 16)
+            assert 0 < large_n < small_n
+            low_eps = frequency_oracle_variance(oracle, 0.5, 1_000, 16)
+            high_eps = frequency_oracle_variance(oracle, 3.0, 1_000, 16)
+            assert high_eps < low_eps
+
+    def test_olh_closed_form(self):
+        from repro.theory.bounds import frequency_oracle_variance
+
+        epsilon, population = 1.0, 10_000
+        expected = 4.0 * math.exp(epsilon) / (
+            (math.exp(epsilon) - 1.0) ** 2 * population
+        )
+        assert frequency_oracle_variance(
+            "InpOLH", epsilon, population, 64
+        ) == pytest.approx(expected)
+
+    def test_rejects_bad_inputs(self):
+        from repro.theory.bounds import frequency_oracle_variance
+
+        with pytest.raises(ProtocolConfigurationError):
+            frequency_oracle_variance("InpRR", 1.0, 100, 16)
+        with pytest.raises(ProtocolConfigurationError):
+            frequency_oracle_variance("InpOLH", 0.0, 100, 16)
+        with pytest.raises(ProtocolConfigurationError):
+            frequency_oracle_variance("InpOLH", 1.0, 0, 16)
+        with pytest.raises(ProtocolConfigurationError):
+            frequency_oracle_variance("InpOLH", 1.0, 100, 1)
+
+
+class TestConfidenceHalfWidth:
+    def test_half_width_matches_quantile_times_sigma(self):
+        from repro.theory.bounds import (
+            frequency_confidence_half_width,
+            frequency_oracle_variance,
+            normal_quantile,
+        )
+
+        sigma = math.sqrt(
+            frequency_oracle_variance("InpHT", 1.2, 5_000, 64)
+        )
+        expected = normal_quantile(0.975) * sigma
+        assert frequency_confidence_half_width(
+            "InpHT", 1.2, 5_000, 64, confidence=0.95
+        ) == pytest.approx(expected)
+
+    def test_zero_population_is_infinitely_wide(self):
+        from repro.theory.bounds import frequency_confidence_half_width
+
+        assert math.isinf(
+            frequency_confidence_half_width("InpOLH", 1.0, 0, 16)
+        )
+
+    def test_wider_confidence_is_wider_interval(self):
+        from repro.theory.bounds import frequency_confidence_half_width
+
+        narrow = frequency_confidence_half_width(
+            "InpHTCMS", 2.0, 10_000, 256, confidence=0.9
+        )
+        wide = frequency_confidence_half_width(
+            "InpHTCMS", 2.0, 10_000, 256, confidence=0.99
+        )
+        assert 0 < narrow < wide
