@@ -74,6 +74,14 @@ REGRESSION_FACTOR = 2.0
 #: this fraction of the plain configuration's reports/sec.
 RESILIENCE_OVERHEAD_LIMIT_PERCENT = 10.0
 
+#: The metrics row prices the observability layer the same way: with
+#: the registry enabled (the default) the service path pays a counter
+#: increment per frame/report plus span timing on the ingest stages,
+#: and the median paired-round overhead must stay under this fraction
+#: of the disabled arm's reports/sec — "observable by default" only
+#: holds if default costs almost nothing.
+METRICS_OVERHEAD_LIMIT_PERCENT = 5.0
+
 #: One protocol whose aggregation is a cheap vector sum, one whose decode
 #: dominates the server's per-frame work.
 PROTOCOLS = ("InpRR", "InpOLH")
@@ -297,6 +305,109 @@ def bench_resilience(params):
     }
 
 
+def bench_metrics(params):
+    """Price the observability layer against a metrics-off run.
+
+    Two arms over the same pre-encoded InpRR frames at the profile's
+    highest concurrency: *instrumented* (the default — every frame and
+    report bumps registry counters and the ingest stages run under
+    timing spans) and *disabled* (``set_enabled(False)``, which turns
+    every mutator into a no-op and hands out a shared null span).  The
+    toggle is in-process, so both arms share the same interpreter,
+    sockets, and warmed caches; nothing but the metrics layer differs.
+
+    The workload and interleaving mirror the resilience row (floored at
+    1.92M reports, ``repeats + 4`` ABBA-ordered rounds — see
+    :func:`bench_resilience`), but the headline estimator differs, and
+    deliberately so.  The resilience arms change the I/O pattern
+    (fsync'd spools, checkpoint writes), so only each arm's best round
+    reflects its uncontended capability; the metrics arms run the *same*
+    I/O with and without some in-process bookkeeping, making two
+    adjacent rounds a matched pair — whatever regime the host is in
+    (noisy neighbor, cgroup throttle) hits both arms of a pair alike.
+    The headline is therefore the *median* of the per-round paired
+    overheads: robust to the multi-second regime shifts this gate's
+    history shows (per-round swings of ±30% while the median sits
+    within ±2%), where a ratio of per-arm bests inherits whichever
+    arm got luckier inside the fast regime.  Both arms' raw samples
+    and bests are recorded alongside for the reader.
+    """
+    from repro.observability import metrics_enabled, set_enabled
+
+    protocol = make_protocol("InpRR", LN3, 2)
+    domain = Domain.binary(params["dimension"])
+    population = max(params["population"], 1_920_000)
+    repeats = params["repeats"] + 4
+    rng = np.random.default_rng(20180610)
+    dataset = uniform_dataset(population, params["dimension"], rng=rng)
+    frames = LoadGenerator.frames_for_dataset(
+        protocol.spec(), dataset, params["batch_size"], rng=rng
+    )
+    concurrency = max(params["concurrencies"])
+
+    def run_once(enabled):
+        set_enabled(enabled)
+        try:
+            report = asyncio.run(
+                _collect_once(
+                    protocol.spec(),
+                    domain,
+                    frames,
+                    params["shards"],
+                    concurrency,
+                    population,
+                )
+            )
+        finally:
+            set_enabled(True)
+        return report.reports_per_second
+
+    was_enabled = metrics_enabled()
+    disabled_samples = []
+    instrumented_samples = []
+    round_overheads = []
+    try:
+        for round_index in range(repeats):
+            if round_index % 2 == 0:
+                disabled_rps = run_once(False)
+                instrumented_rps = run_once(True)
+            else:
+                instrumented_rps = run_once(True)
+                disabled_rps = run_once(False)
+            disabled_samples.append(disabled_rps)
+            instrumented_samples.append(instrumented_rps)
+            round_overheads.append(
+                (disabled_rps - instrumented_rps) / disabled_rps * 100.0
+            )
+    finally:
+        set_enabled(was_enabled)
+    disabled = max(disabled_samples)
+    instrumented = max(instrumented_samples)
+    overhead_percent = float(np.median(round_overheads))
+    print(
+        f"  metrics    clients={concurrency:<3d} "
+        f"off {disabled:>14,.0f} reports/s, on {instrumented:>14,.0f} "
+        f"reports/s best-of-{repeats} "
+        f"({overhead_percent:+.1f}% median paired overhead)"
+    )
+    return {
+        "protocol": "InpRR",
+        "disabled_reports_per_second": disabled,
+        "disabled_samples": disabled_samples,
+        "instrumented_reports_per_second": instrumented,
+        "instrumented_samples": instrumented_samples,
+        "round_overheads": round_overheads,
+        "overhead_percent": overhead_percent,
+        "params": {
+            "clients": concurrency,
+            "frames": len(frames),
+            "reports": population,
+            "repeats": repeats,
+            "shards": params["shards"],
+        },
+    }
+
+
 def load_report(path: Path) -> dict:
     with path.open() as handle:
         report = json.load(handle)
@@ -336,6 +447,17 @@ def check_regressions(result: dict, baseline_profile: dict) -> list:
                 f"{resilience['resilient_reports_per_second']:,.0f} durable "
                 f"reports/s)"
             )
+    metrics = result.get("metrics")
+    if metrics is not None:
+        overhead = metrics["overhead_percent"]
+        if overhead > METRICS_OVERHEAD_LIMIT_PERCENT:
+            failures.append(
+                f"metrics: observability overhead {overhead:.1f}% (median "
+                f"paired) exceeds {METRICS_OVERHEAD_LIMIT_PERCENT:g}% "
+                f"(best rounds: {metrics['disabled_reports_per_second']:,.0f} "
+                f"off vs {metrics['instrumented_reports_per_second']:,.0f} on "
+                f"reports/s)"
+            )
     return failures
 
 
@@ -352,6 +474,7 @@ def run_profile(profile_name):
         },
         "protocols": protocols,
         "resilience": bench_resilience(params),
+        "metrics": bench_metrics(params),
     }
 
 

@@ -51,7 +51,8 @@ import os
 import signal
 import sys
 import tempfile
-from typing import Dict, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +77,7 @@ from .execution import available_executors
 from .experiments.config import SweepConfig
 from .experiments.harness import DATASET_NAMES, SweepResult, make_dataset
 from .io import load_protocol_spec, save_protocol_spec, save_sweep_json
+from .observability import configure_logging, get_logger
 from .protocols.registry import available_protocols, make_protocol
 from .resilience import defaults as resilience_defaults
 from .server import (
@@ -110,6 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate tables and figures from 'Marginal Release "
         "Under Local Differential Privacy' (SIGMOD 2018).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default="info",
+        help="status-logging threshold for every subcommand (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit status logs as one JSON object per line instead of text",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -323,6 +336,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "been collected; without it, serve until SIGINT/SIGTERM",
     )
     serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve a Prometheus-style scrape endpoint on this port "
+        "(0 picks a free one; GET /metrics); single-process serve only",
+    )
+    serve_parser.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SEC",
+        help="log a one-line throughput summary every SEC seconds while "
+        "serving (single-process serve only)",
+    )
+    serve_parser.add_argument(
         "--json", metavar="PATH",
         help="write the final estimates plus server stats to this JSON file",
     )
@@ -430,6 +453,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "sending and commit it on ACK, so a crashed client rerun with the "
         "same --spool-dir and --token-prefix resumes without double-"
         "folding (requires --token-prefix)",
+    )
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="poll running collectors' STATS frames and render live "
+        "throughput, per-shard report counts, breaker states, and the "
+        "theory-derived expected-error half-width",
+    )
+    watch_parser.add_argument(
+        "targets", nargs="*", metavar="HOST:PORT",
+        help="collector addresses to watch (e.g. 127.0.0.1:7311)",
+    )
+    watch_parser.add_argument(
+        "--topology", metavar="DIR", default=None,
+        help="watch every collector of a `repro topo launch` tree "
+        "(addresses read from DIR/topology.json)",
+    )
+    watch_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SEC",
+        help="seconds between samples (default: 2)",
+    )
+    watch_parser.add_argument(
+        "--once", action="store_true",
+        help="print a single sample and exit instead of polling",
+    )
+    watch_parser.add_argument(
+        "--json", action="store_true",
+        help="emit each sample as raw JSON (stats + metrics snapshot) "
+        "instead of the rendered view",
+    )
+    watch_parser.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SEC",
+        help="per-probe STATS timeout (default: 5)",
     )
 
     topo_parser = subparsers.add_parser(
@@ -1164,9 +1220,36 @@ def _run_aggregate(arguments: argparse.Namespace) -> int:
     return 0
 
 
-async def _serve_main(server: CollectionServer) -> None:
+async def _serve_stats_ticker(
+    server: CollectionServer, interval: float
+) -> None:
+    """Log a one-line throughput summary every ``interval`` seconds."""
+    logger = get_logger("serve")
+    last_reports = 0
+    last_bytes = 0
+    while True:
+        await asyncio.sleep(interval)
+        stats = server.stats()
+        reports = int(stats["reports"])
+        num_bytes = int(stats["bytes"])
+        logger.info(
+            "throughput: %d reports (+%.1f/s), %.2f MB (+%.2f MB/s), "
+            "%d active connection(s)",
+            reports,
+            (reports - last_reports) / interval,
+            num_bytes / 1e6,
+            (num_bytes - last_bytes) / (1e6 * interval),
+            stats["connections"]["active"],
+        )
+        last_reports, last_bytes = reports, num_bytes
+
+
+async def _serve_main(
+    server: CollectionServer, stats_interval: Optional[float] = None
+) -> None:
     """Start the server, announce readiness, serve until a stop signal."""
     loop = asyncio.get_running_loop()
+    logger = get_logger("serve")
     registered = []
     # Handlers first, readiness line second: a supervisor that signals the
     # moment it sees the line must always get the graceful shutdown.
@@ -1176,17 +1259,29 @@ async def _serve_main(server: CollectionServer) -> None:
             registered.append(signum)
         except (NotImplementedError, RuntimeError, ValueError):
             pass  # non-unix loops / nested loops: Ctrl-C still interrupts
+    ticker = None
     try:
         await server.start()
-        print(
-            f"serving {server.spec.describe()} over "
-            f"{server.domain.dimension} attribute(s) on "
-            f"{server.host}:{server.port} ({server.num_shards} shard(s))",
-            file=sys.stderr,
-            flush=True,
+        logger.info(
+            "serving %s over %d attribute(s) on %s:%d (%d shard(s))",
+            server.spec.describe(),
+            server.domain.dimension,
+            server.host,
+            server.port,
+            server.num_shards,
         )
+        if stats_interval is not None:
+            ticker = asyncio.create_task(
+                _serve_stats_ticker(server, stats_interval)
+            )
         await server.serve_until_stopped()
     finally:
+        if ticker is not None:
+            ticker.cancel()
+            try:
+                await ticker
+            except asyncio.CancelledError:
+                pass
         for signum in registered:
             loop.remove_signal_handler(signum)
 
@@ -1229,13 +1324,15 @@ def _serve_multiprocess(arguments: argparse.Namespace, spec, domain):
                 pass
         try:
             collector.start()
-            print(
-                f"serving {spec.describe()} over {domain.dimension} "
-                f"attribute(s) on {arguments.host}:{collector.port} "
-                f"({arguments.processes} process(es), "
-                f"{arguments.shards} shard(s) each)",
-                file=sys.stderr,
-                flush=True,
+            get_logger("serve").info(
+                "serving %s over %d attribute(s) on %s:%d "
+                "(%d process(es), %d shard(s) each)",
+                spec.describe(),
+                domain.dimension,
+                arguments.host,
+                collector.port,
+                arguments.processes,
+                arguments.shards,
             )
             combined = collector.join()
         finally:
@@ -1245,11 +1342,11 @@ def _serve_multiprocess(arguments: argparse.Namespace, spec, domain):
         if scratch is not None:
             scratch.cleanup()
     metadata = combined.metadata
-    print(
-        f"collected {combined.num_reports} reports in "
-        f"{metadata['wire_batches']} frame(s) across "
-        f"{arguments.processes} worker process(es)",
-        file=sys.stderr,
+    get_logger("serve").info(
+        "collected %d reports in %d frame(s) across %d worker process(es)",
+        combined.num_reports,
+        metadata["wire_batches"],
+        arguments.processes,
     )
     stats = {
         "address": {"host": arguments.host, "port": collector.port},
@@ -1259,6 +1356,8 @@ def _serve_multiprocess(arguments: argparse.Namespace, spec, domain):
         "frames": metadata["wire_batches"],
         "bytes": metadata["wire_bytes_total"],
     }
+    if collector.metrics_snapshot is not None:
+        stats["metrics"] = collector.metrics_snapshot.state_dict()
     return combined, stats
 
 
@@ -1284,6 +1383,16 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
+            if arguments.metrics_port is not None or (
+                arguments.stats_interval is not None
+            ):
+                print(
+                    "serve: --metrics-port/--stats-interval need the "
+                    "single-process server (workers cannot share one "
+                    "scrape socket); drop --processes or the metrics flags",
+                    file=sys.stderr,
+                )
+                return 2
             combined, stats = _serve_multiprocess(arguments, spec, domain)
         else:
             if arguments.uvloop:
@@ -1291,6 +1400,8 @@ def _run_serve(arguments: argparse.Namespace) -> int:
             extra = {}
             if arguments.max_frame_bytes is not None:
                 extra["max_frame_bytes"] = arguments.max_frame_bytes
+            if arguments.metrics_port is not None:
+                extra["metrics_port"] = arguments.metrics_port
             server = CollectionServer(
                 spec,
                 domain,
@@ -1302,13 +1413,15 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                 stop_after_reports=arguments.stop_after_reports,
                 **extra,
             )
-            asyncio.run(_serve_main(server))
+            asyncio.run(_serve_main(server, arguments.stats_interval))
             stats = server.stats()
-            print(
-                f"collected {stats['reports']} reports in {stats['frames']} "
-                f"frame(s) over {stats['connections']['total']} connection(s) "
-                f"({stats['connections']['rejected']} rejected)",
-                file=sys.stderr,
+            get_logger("serve").info(
+                "collected %d reports in %d frame(s) over %d connection(s) "
+                "(%d rejected)",
+                stats["reports"],
+                stats["frames"],
+                stats["connections"]["total"],
+                stats["connections"]["rejected"],
             )
             combined = server.combined_session()
         if combined.num_reports == 0:
@@ -1554,13 +1667,15 @@ async def _topo_launch_main(arguments, topology) -> Dict:
     try:
         await topology.start()
         ports = ", ".join(str(port) for _, port in supervisor.addresses)
-        print(
-            f"topology: {arguments.collectors} collector(s) for "
-            f"{supervisor.spec.describe()} on {arguments.host} "
-            f"port(s) {ports}; supervisor oracle on port "
-            f"{topology.endpoint.port}; manifest {topology.manifest_path}",
-            file=sys.stderr,
-            flush=True,
+        get_logger("topo").info(
+            "topology: %d collector(s) for %s on %s port(s) %s; "
+            "supervisor oracle on port %d; manifest %s",
+            arguments.collectors,
+            supervisor.spec.describe(),
+            arguments.host,
+            ports,
+            topology.endpoint.port,
+            topology.manifest_path,
         )
         while not stop_requested.is_set():
             supervisor.health_check()
@@ -1579,11 +1694,11 @@ async def _topo_launch_main(arguments, topology) -> Dict:
                 if supervisor.is_alive(index):
                     supervisor.kill(index)
                     killed = supervisor.handles[index].collector_id
-                    print(
-                        f"topology: killed collector {killed} after "
-                        f"{durable} durable report(s)",
-                        file=sys.stderr,
-                        flush=True,
+                    get_logger("topo").info(
+                        "topology: killed collector %s after %d durable "
+                        "report(s)",
+                        killed,
+                        durable,
                     )
             if (
                 arguments.stop_after_reports is not None
@@ -1649,11 +1764,12 @@ def _run_topo_launch(arguments: argparse.Namespace) -> int:
         return 2
     dead = stats["dead"]
     recovered_reports = stats["recovered_reports"]
-    print(
-        f"topology collected {merged.num_reports} report(s); "
-        f"dead: {dead or 'none'}; recovered {recovered_reports} report(s) "
-        "from durable checkpoints",
-        file=sys.stderr,
+    get_logger("topo").info(
+        "topology collected %d report(s); dead: %s; recovered %d "
+        "report(s) from durable checkpoints",
+        merged.num_reports,
+        dead or "none",
+        recovered_reports,
     )
     estimator = merged.snapshot() if merged.num_reports else None
     rendered = _render_estimates(estimator, merged)
@@ -1673,19 +1789,34 @@ def _run_topo_launch(arguments: argparse.Namespace) -> int:
 
 
 def _run_topo_inspect(arguments: argparse.Namespace) -> int:
+    from .observability import MetricsSnapshot
     from .topology import load_manifest
-    from .topology.pull import pull_control, pull_stats
+    from .topology.pull import pull_control, pull_stats_payload
 
     try:
         manifest = load_manifest(arguments.dir)
 
         async def gather():
             collectors = []
+            rollup = MetricsSnapshot.empty()
             for entry in manifest["collectors"]:
                 host, port = entry["host"], int(entry["port"])
                 try:
-                    stats = await pull_stats(host, port, timeout=5.0)
-                    collectors.append({"reachable": True, "stats": stats})
+                    answer = await pull_stats_payload(host, port, timeout=5.0)
+                    collectors.append(
+                        {"reachable": True, "stats": answer["stats"]}
+                    )
+                    # Tree-wide metrics rollup: every collector's snapshot
+                    # folds in through the same additive merge algebra the
+                    # checkpoint fan-in uses.
+                    metrics_state = answer.get("metrics")
+                    if isinstance(metrics_state, dict):
+                        try:
+                            rollup = rollup.merge(
+                                MetricsSnapshot.from_state_dict(metrics_state)
+                            )
+                        except ValueError:
+                            pass  # version-skewed collector: skip its metrics
                 except ReproError as error:
                     collectors.append(
                         {
@@ -1711,6 +1842,7 @@ def _run_topo_inspect(arguments: argparse.Namespace) -> int:
                 "manifest": manifest,
                 "collectors": collectors,
                 "supervisor": verdict,
+                "metrics": rollup.state_dict(),
             }
 
         payload = asyncio.run(gather())
@@ -2253,9 +2385,71 @@ def _run_hh(arguments: argparse.Namespace) -> int:
     return _run_hh_discover(arguments)
 
 
+def _watch_targets(arguments: argparse.Namespace) -> List[Tuple[str, int]]:
+    """Resolve watch targets from HOST:PORT operands and/or a manifest."""
+    targets: List[Tuple[str, int]] = []
+    for operand in arguments.targets:
+        host, separator, port_text = operand.rpartition(":")
+        if not separator or not host:
+            raise ValueError(f"watch target {operand!r} is not HOST:PORT")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"watch target {operand!r} has a non-numeric port"
+            ) from None
+        targets.append((host, port))
+    if arguments.topology:
+        from .topology import load_manifest
+
+        manifest = load_manifest(arguments.topology)
+        for entry in manifest["collectors"]:
+            targets.append((str(entry["host"]), int(entry["port"])))
+    if not targets:
+        raise ValueError(
+            "watch needs at least one HOST:PORT target or --topology DIR"
+        )
+    return targets
+
+
+def _run_watch(arguments: argparse.Namespace) -> int:
+    from .observability.watch import RateTracker, render_watch, sample_targets
+
+    try:
+        targets = _watch_targets(arguments)
+    except (ValueError, ReproError, OSError) as error:
+        print(f"watch: {error}", file=sys.stderr)
+        return 2
+    tracker = RateTracker()
+    try:
+        while True:
+            payloads = asyncio.run(
+                sample_targets(targets, timeout=arguments.timeout)
+            )
+            if arguments.json:
+                json.dump(payloads, sys.stdout)
+                sys.stdout.write("\n")
+                sys.stdout.flush()
+            else:
+                print(render_watch(payloads, tracker))
+            if arguments.once:
+                # A single frame cannot show interval rates; still exit
+                # non-zero if nothing answered, so scripts can assert
+                # liveness with `repro watch --once`.
+                reachable = sum(
+                    1 for payload in payloads if not payload.get("error")
+                )
+                return 0 if reachable else 1
+            print(file=sys.stdout)
+            time.sleep(max(arguments.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
+    configure_logging(arguments.log_level, json_mode=arguments.log_json)
     try:
         if arguments.command == "list":
             return _run_list(arguments)
@@ -2271,6 +2465,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_topo(arguments)
         if arguments.command == "hh":
             return _run_hh(arguments)
+        if arguments.command == "watch":
+            return _run_watch(arguments)
         return _run_experiment(arguments)
     except BrokenPipeError:
         # Downstream closed early (e.g. `repro aggregate | head`); point

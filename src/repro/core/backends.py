@@ -43,6 +43,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..observability import get_registry, trace
 from .exceptions import ProtocolConfigurationError
 
 __all__ = [
@@ -218,10 +219,14 @@ class NumpyBackend(KernelBackend):
     def support_counts(
         self, seeds, noisy_buckets, domain_size, num_buckets, batch_size
     ) -> np.ndarray:
-        with np.errstate(over="ignore"):
-            offsets = seeds.astype(np.uint64) * _SEED_MIX
-        targets = noisy_buckets.astype(np.uint64)
-        return self._scan(offsets, targets, domain_size, num_buckets, batch_size)
+        with trace.span("kernel.support_counts") as span:
+            span.annotate(backend=self.name, users=int(seeds.shape[0]))
+            with np.errstate(over="ignore"):
+                offsets = seeds.astype(np.uint64) * _SEED_MIX
+            targets = noisy_buckets.astype(np.uint64)
+            return self._scan(
+                offsets, targets, domain_size, num_buckets, batch_size
+            )
 
     @staticmethod
     def _scan(offsets, targets, domain_size, num_buckets, batch_size):
@@ -314,19 +319,25 @@ class ThreadedBackend(KernelBackend):
             return self._numpy.support_counts(
                 seeds, noisy_buckets, domain_size, num_buckets, batch_size
             )
-        with np.errstate(over="ignore"):
-            offsets = seeds.astype(np.uint64) * _SEED_MIX
-        targets = noisy_buckets.astype(np.uint64)
-        partials = self._executor().map(
-            lambda chunk: NumpyBackend._scan(
-                offsets[chunk], targets[chunk], domain_size, num_buckets, batch_size
-            ),
-            self._slices(num_users),
-        )
-        support = np.zeros(domain_size, dtype=np.int64)
-        for partial in partials:
-            support += partial
-        return support
+        with trace.span("kernel.support_counts") as span:
+            span.annotate(backend=self.name, users=int(num_users))
+            with np.errstate(over="ignore"):
+                offsets = seeds.astype(np.uint64) * _SEED_MIX
+            targets = noisy_buckets.astype(np.uint64)
+            partials = self._executor().map(
+                lambda chunk: NumpyBackend._scan(
+                    offsets[chunk],
+                    targets[chunk],
+                    domain_size,
+                    num_buckets,
+                    batch_size,
+                ),
+                self._slices(num_users),
+            )
+            support = np.zeros(domain_size, dtype=np.int64)
+            for partial in partials:
+                support += partial
+            return support
 
 
 class NumbaBackend(KernelBackend):
@@ -413,6 +424,20 @@ _BACKENDS: Dict[str, KernelBackend] = {}
 _DEFAULT_OVERRIDE: Optional[str] = None
 _WARNED: set = set()
 
+_DISPATCH_COUNTER = None
+
+
+def _count_dispatch(backend_name: str) -> None:
+    """One resolved kernel dispatch, labelled by the backend that won."""
+    global _DISPATCH_COUNTER
+    if _DISPATCH_COUNTER is None:
+        _DISPATCH_COUNTER = get_registry().counter(
+            "repro_kernel_dispatch_total",
+            "Kernel-backend resolutions, by winning backend.",
+            labels=("backend",),
+        )
+    _DISPATCH_COUNTER.labels(backend=backend_name).inc()
+
 
 def _register(backend: KernelBackend) -> KernelBackend:
     _BACKENDS[backend.name] = backend
@@ -485,7 +510,9 @@ def resolve_backend(name: str = "") -> KernelBackend:
         if not candidate:
             continue
         if candidate == "auto":
-            return _auto_backend()
+            backend = _auto_backend()
+            _count_dispatch(backend.name)
+            return backend
         backend = _BACKENDS.get(candidate)
         if backend is None:
             _warn_once(
@@ -501,8 +528,11 @@ def resolve_backend(name: str = "") -> KernelBackend:
                 f"in this environment (pip install .[fast]) — falling back",
             )
             continue
+        _count_dispatch(backend.name)
         return backend
-    return _auto_backend()
+    backend = _auto_backend()
+    _count_dispatch(backend.name)
+    return backend
 
 
 def set_default_backend(name: Optional[str]) -> None:

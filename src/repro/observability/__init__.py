@@ -1,0 +1,49 @@
+"""Unified observability: metrics registry, stage tracing, exposition.
+
+The package is dependency-free (stdlib only) and built around two
+invariants the rest of the system already lives by:
+
+* **Mergeable state.**  :class:`~repro.observability.metrics.MetricsSnapshot`
+  follows the accumulator discipline — ``state_dict()`` /
+  ``from_state_dict()`` round trips and an associative, commutative
+  ``merge`` — so multi-process collectors and the fan-in topology
+  aggregate metrics exactly like report state (sum counters, sum
+  histogram buckets, sum additive gauges).
+* **Zero cost when disabled, zero rng impact always.**  Every mutator
+  (`Counter.inc`, `Histogram.observe`, `trace.span`) first checks one
+  module-level boolean (set from the ``REPRO_METRICS`` environment
+  variable, toggleable via :func:`set_enabled`); disabled, no clock is
+  read and no state is touched.  Instrumentation never draws from any
+  rng, so estimates are bit-for-bit identical with metrics on or off.
+"""
+
+from .logsetup import configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    metrics_enabled,
+    set_enabled,
+)
+from .exposition import render_prometheus
+from .tracing import Tracer, get_tracer, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "metrics_enabled",
+    "render_prometheus",
+    "set_enabled",
+    "trace",
+]

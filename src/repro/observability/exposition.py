@@ -1,0 +1,88 @@
+"""Prometheus text exposition (format version 0.0.4) for snapshots.
+
+Renders a :class:`~repro.observability.metrics.MetricsSnapshot` — which
+may be a single registry's or a merged tree-wide rollup — into the plain
+text format every Prometheus-compatible scraper understands.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .metrics import MetricsSnapshot
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The snapshot as Prometheus text exposition, families sorted by name."""
+    lines = []
+    for name in sorted(snapshot.families):
+        entry = snapshot.families[name]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        label_names = entry["labels"]
+        for values, value in sorted(
+            (list(values), value) for values, value in entry["series"]
+        ):
+            if entry["type"] == "histogram":
+                lines.extend(
+                    _histogram_lines(
+                        name, label_names, values, entry["buckets"], value
+                    )
+                )
+            else:
+                block = _label_block(label_names, values)
+                lines.append(f"{name}{block} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_lines(
+    name: str,
+    label_names: Sequence[str],
+    values: Sequence[str],
+    buckets: Sequence[float],
+    series: Mapping,
+):
+    cumulative = 0
+    for bound, count in zip(buckets, series["counts"]):
+        cumulative += count
+        block = _label_block(
+            list(label_names) + ["le"], list(values) + [repr(float(bound))]
+        )
+        yield f"{name}_bucket{block} {cumulative}"
+    block = _label_block(list(label_names) + ["le"], list(values) + ["+Inf"])
+    yield f"{name}_bucket{block} {series['count']}"
+    base = _label_block(label_names, values)
+    yield f"{name}_sum{base} {_format_value(series['sum'])}"
+    yield f"{name}_count{base} {series['count']}"

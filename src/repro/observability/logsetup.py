@@ -1,0 +1,100 @@
+"""One-stop structured logging configuration for the ``repro`` tree.
+
+Everything under the ``repro`` logger namespace (server, topology,
+resilience, CLI) funnels through the single handler installed here:
+human-readable lines by default, newline-delimited JSON with
+``json_mode=True``.  The handler resolves ``sys.stderr`` at emit time,
+so output redirection and pytest's capture both see the records, and
+calling :func:`configure_logging` again reconfigures in place instead of
+stacking duplicate handlers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+_LEVELS = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+_HANDLER_TAG = "repro-observability-handler"
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exception"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True)
+
+
+class _StderrHandler(logging.Handler):
+    """A StreamHandler that looks up ``sys.stderr`` per record, so streams
+    swapped after configuration (redirection, test capture) still receive
+    the output."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = self.format(record)
+            stream = sys.stderr
+            stream.write(message + "\n")
+        except RecursionError:
+            raise
+        except Exception:
+            self.handleError(record)
+
+
+def configure_logging(
+    level: str = "info", json_mode: bool = False
+) -> logging.Logger:
+    """Install (or replace) the single ``repro`` logging handler."""
+    try:
+        resolved = _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(_LEVELS)}"
+        ) from None
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolved)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_tag", None) == _HANDLER_TAG:
+            logger.removeHandler(handler)
+    handler = _StderrHandler()
+    handler._repro_tag = _HANDLER_TAG
+    if json_mode:
+        handler.setFormatter(_JsonFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname).1s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+        formatter.converter = time.localtime
+        handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro`` itself if None)."""
+    if name is None:
+        return logging.getLogger("repro")
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

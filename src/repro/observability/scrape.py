@@ -1,0 +1,110 @@
+"""A tiny stdlib-asyncio HTTP scrape endpoint (``repro serve --metrics-port``).
+
+Speaks just enough HTTP/1.0 for ``curl`` and a Prometheus scraper:
+``GET /metrics`` renders the text exposition of whatever snapshot the
+provider callable returns (the server passes a merged view of its own
+registry plus the process-wide one), ``GET /healthz`` answers ``ok``,
+anything else is 404.  One connection, one request, close — no
+keep-alive, no TLS, no auth; bind it to loopback or a scrape network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from .exposition import CONTENT_TYPE, render_prometheus
+from .metrics import MetricsSnapshot
+
+__all__ = ["MetricsScrapeServer"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsScrapeServer:
+    """Serve Prometheus text exposition over plain HTTP."""
+
+    def __init__(
+        self,
+        snapshot_provider: Callable[[], MetricsSnapshot],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._provider = snapshot_provider
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        try:
+            if len(request) > _MAX_REQUEST_BYTES:
+                self._respond(writer, 400, "request too large\n")
+                return
+            line = request.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = line.split(" ")
+            if len(parts) != 3 or parts[0] != "GET":
+                self._respond(writer, 405, "only GET is served here\n")
+                return
+            path = parts[1].split("?", 1)[0]
+            if path == "/healthz":
+                self._respond(writer, 200, "ok\n")
+            elif path == "/metrics":
+                body = render_prometheus(self._provider())
+                self._respond(writer, 200, body, content_type=CONTENT_TYPE)
+            else:
+                self._respond(writer, 404, "try /metrics\n")
+        finally:
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+
+    @staticmethod
+    def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed"}
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)

@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..core.exceptions import CheckpointIntegrityError
+from ..observability import get_registry
 
 __all__ = [
     "DIGEST_ALGORITHM",
@@ -133,6 +134,10 @@ def quarantine_checkpoint(
     Returns ``(quarantined_path, report_path)``; the first is ``None``
     when ``path`` no longer exists (the report is still written).
     """
+    get_registry().counter(
+        "repro_checkpoints_quarantined_total",
+        "Corrupt checkpoints moved aside instead of restored.",
+    ).inc()
     path = Path(path)
     target = path.with_name(path.name + ".corrupt")
     counter = 1

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 import numpy as np
 
 from ..core.exceptions import CircuitOpenError, ProtocolConfigurationError
+from ..observability import get_registry
 
 __all__ = [
     "RetryPolicy",
@@ -43,6 +44,29 @@ __all__ = [
     "CircuitBreaker",
     "ResilienceConfig",
 ]
+
+_BREAKER_METRICS = None
+
+
+def _breaker_metrics():
+    """Lazy breaker telemetry on the process registry (created once)."""
+    global _BREAKER_METRICS
+    if _BREAKER_METRICS is None:
+        registry = get_registry()
+        _BREAKER_METRICS = (
+            registry.counter(
+                "repro_breaker_transitions_total",
+                "Circuit breaker state transitions, by edge.",
+                labels=("transition",),
+            ),
+            registry.gauge(
+                "repro_breaker_state",
+                "Breakers currently in each state (one 0/1 gauge per "
+                "breaker per state; merging sums them fleet-wide).",
+                labels=("state",),
+            ),
+        )
+    return _BREAKER_METRICS
 
 _GROWTHS = ("exponential", "linear")
 _JITTERS = ("full", "none")
@@ -325,6 +349,16 @@ class CircuitBreaker:
         self._opened_at: Optional[float] = None
         self._probes_in_flight = 0
         self._trips = 0
+        _breaker_metrics()[1].labels(state=self.CLOSED).inc()
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        counter, gauge = _breaker_metrics()
+        counter.labels(transition=f"{self._state}->{new_state}").inc()
+        gauge.labels(state=self._state).dec()
+        gauge.labels(state=new_state).inc()
+        self._state = new_state
 
     @property
     def policy(self) -> CircuitBreakerPolicy:
@@ -348,7 +382,7 @@ class CircuitBreaker:
         if self._state == self.OPEN:
             elapsed = self._clock() - self._opened_at
             if elapsed >= self._policy.cooldown_seconds:
-                self._state = self.HALF_OPEN
+                self._transition(self.HALF_OPEN)
                 self._probes_in_flight = 0
 
     def _prune(self, now: float) -> None:
@@ -391,7 +425,7 @@ class CircuitBreaker:
         now = self._clock()
         if self._state == self.HALF_OPEN:
             # The probe came back healthy: close and forget the bad spell.
-            self._state = self.CLOSED
+            self._transition(self.CLOSED)
             self._outcomes = []
             self._probes_in_flight = 0
             return
@@ -402,7 +436,7 @@ class CircuitBreaker:
         now = self._clock()
         if self._state == self.HALF_OPEN:
             # The probe failed: straight back to open, fresh cooldown.
-            self._state = self.OPEN
+            self._transition(self.OPEN)
             self._opened_at = now
             self._trips += 1
             self._probes_in_flight = 0
@@ -414,7 +448,7 @@ class CircuitBreaker:
             return
         rate = failures / len(self._outcomes)
         if rate >= self._policy.failure_rate and self._state == self.CLOSED:
-            self._state = self.OPEN
+            self._transition(self.OPEN)
             self._opened_at = now
             self._trips += 1
 

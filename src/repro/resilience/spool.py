@@ -41,8 +41,30 @@ import struct
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SpoolError
+from ..observability import get_registry, trace
 
 __all__ = ["ReportSpool", "SPOOL_MAGIC"]
+
+_SPOOL_COUNTERS = None
+
+
+def _spool_counters():
+    """Lazy spool telemetry on the process registry (created once)."""
+    global _SPOOL_COUNTERS
+    if _SPOOL_COUNTERS is None:
+        registry = get_registry()
+        _SPOOL_COUNTERS = (
+            registry.counter(
+                "repro_spool_records_total",
+                "Records appended to client spools, by kind.",
+                labels=("kind",),
+            ),
+            registry.counter(
+                "repro_spool_bytes_total",
+                "Bytes appended to client spools (record + digest).",
+            ),
+        )
+    return _SPOOL_COUNTERS
 
 SPOOL_MAGIC = b"SPL1"
 _KIND_DATA = b"D"
@@ -202,6 +224,9 @@ class ReportSpool:
             (SPOOL_MAGIC, kind, _U32.pack(len(key_bytes)), key_bytes, payload)
         )
         self._buffer += body + hashlib.sha256(body).digest()
+        records, append_bytes = _spool_counters()
+        records.labels(kind="data" if kind == _KIND_DATA else "commit").inc()
+        append_bytes.inc(len(body) + _DIGEST_SIZE)
         if sync:
             self.sync()
 
@@ -237,14 +262,16 @@ class ReportSpool:
         entire write-side cost is a handful of syscalls in one place.
         """
         try:
-            if self._buffer:
-                if self._fh is None:
-                    self._fh = open(self._path, "ab")
-                self._fh.write(self._buffer)
-                self._buffer = bytearray()
-                self._fh.flush()
-            if self._fsync and self._fh is not None:
-                os.fsync(self._fh.fileno())
+            with trace.span("spool.sync") as span:
+                span.annotate(bytes=len(self._buffer), fsync=self._fsync)
+                if self._buffer:
+                    if self._fh is None:
+                        self._fh = open(self._path, "ab")
+                    self._fh.write(self._buffer)
+                    self._buffer = bytearray()
+                    self._fh.flush()
+                if self._fsync and self._fh is not None:
+                    os.fsync(self._fh.fileno())
         except OSError as exc:
             raise SpoolError(
                 f"cannot sync report spool {self._path}: {exc}"

@@ -20,7 +20,10 @@ payload``):
   decoder's ``STATE`` cap to :data:`MAX_STATE_BYTES` — every other
   decoder keeps the generic :data:`MAX_CONTROL_BYTES` bound, because a
   server never legitimately receives an inbound ``STATE`` frame and must
-  not let an unauthenticated peer make it buffer 64 MiB).
+  not let an unauthenticated peer make it buffer 64 MiB) — and the
+  observability probe ``STATS`` (request *and* answer: ``repro watch``
+  sends an empty ``STATS``, the server answers with its stats dict plus
+  a mergeable metrics snapshot, all within the generic control cap).
 
 :class:`FrameDecoder` is the incremental half: TCP hands the receiver
 arbitrary byte chunks, so the decoder buffers input and emits a frame only
@@ -38,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Union
 
 from ..core.exceptions import WireFormatError
+from ..observability import get_registry, trace
 from ..protocols.wire import (
     FRAME_LENGTH as _LENGTH,
     FRAME_PREFIX as _PREFIX,
@@ -60,6 +64,7 @@ __all__ = [
     "ACK",
     "PULL",
     "STATE",
+    "STATS",
     "CONTROL_KINDS",
     "ControlMessage",
     "encode_control",
@@ -98,9 +103,37 @@ FIN = "FIN"
 ACK = "ACK"
 PULL = "PULL"
 STATE = "STATE"
-CONTROL_KINDS = frozenset({HELLO, OK, ERR, FIN, ACK, PULL, STATE})
+STATS = "STATS"
+CONTROL_KINDS = frozenset({HELLO, OK, ERR, FIN, ACK, PULL, STATE, STATS})
 
 _STATE_KIND_BYTES = STATE.encode("utf-8")
+
+_DECODE_COUNTERS = None
+
+
+def _decode_counters():
+    """Lazily bound decoder throughput counters on the process registry.
+
+    Created once per process (not per decoder): decoders are per
+    connection and short-lived, the counters are the long-lived series.
+    """
+    global _DECODE_COUNTERS
+    if _DECODE_COUNTERS is None:
+        registry = get_registry()
+        frames = registry.counter(
+            "repro_decoder_frames_total",
+            "Frames decoded off the wire, by frame family.",
+            labels=("type",),
+        )
+        _DECODE_COUNTERS = (
+            registry.counter(
+                "repro_decoder_bytes_total",
+                "Bytes absorbed by the incremental frame decoders.",
+            ),
+            frames.labels(type="report"),
+            frames.labels(type="control"),
+        )
+    return _DECODE_COUNTERS
 
 
 def _encode_payload_cap(kind: str) -> int:
@@ -119,7 +152,7 @@ class ControlMessage:
 
 def encode_control(kind: str, payload: Dict[str, Any] = None) -> bytes:
     """Serialize one control frame (``HELLO``/``OK``/``ERR``/``FIN``/``ACK``/
-    ``PULL``/``STATE``)."""
+    ``PULL``/``STATE``/``STATS``)."""
     if kind not in CONTROL_KINDS:
         raise WireFormatError(
             f"unknown control kind {kind!r}; expected one of "
@@ -222,6 +255,12 @@ class FrameDecoder:
         """
         if self._error is not None:
             raise self._error
+        with trace.span("framing.absorb") as span:
+            span.annotate(bytes=len(data))
+            self._absorb(data)
+        _decode_counters()[0].inc(len(data))
+
+    def _absorb(self, data: Union[bytes, bytearray, memoryview]) -> None:
         buffer = self._buffer
         head = self._head
         if head:
@@ -256,11 +295,16 @@ class FrameDecoder:
         """
         if self._error is not None:
             raise self._error
+        _, report_counter, control_counter = _decode_counters()
         try:
             while True:
                 item = self._next_frame()
                 if item is None:
                     return
+                if isinstance(item, ControlMessage):
+                    control_counter.inc()
+                else:
+                    report_counter.inc()
                 yield item
         except WireFormatError as error:
             self._error = error

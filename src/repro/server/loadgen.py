@@ -46,6 +46,7 @@ from ..core.exceptions import (
     WireFormatError,
 )
 from ..core.rng import RngLike, ensure_rng, spawn_rngs
+from ..observability import get_registry, metrics_enabled, trace
 from ..resilience.defaults import CONNECT_POLL_SECONDS, default_timeout_policy
 from ..resilience.policies import (
     CircuitBreaker,
@@ -70,6 +71,39 @@ from .framing import (
 from .handshake import hello_payload
 
 __all__ = ["ClientResult", "LoadReport", "LoadGenerator"]
+
+_LG_COUNTERS = None
+
+
+def _loadgen_counters():
+    """Lazy fleet-side counters on the process registry (created once)."""
+    global _LG_COUNTERS
+    if _LG_COUNTERS is None:
+        registry = get_registry()
+        _LG_COUNTERS = (
+            registry.counter(
+                "repro_loadgen_acked_frames_total",
+                "Report frames acknowledged to the client fleet.",
+            ),
+            registry.counter(
+                "repro_loadgen_acked_reports_total",
+                "User reports acknowledged to the client fleet.",
+            ),
+            registry.counter(
+                "repro_loadgen_bytes_sent_total",
+                "Report payload bytes put on the wire by the fleet.",
+            ),
+            registry.counter(
+                "repro_loadgen_retries_total",
+                "Group delivery retries across the fleet.",
+            ),
+            registry.counter(
+                "repro_loadgen_groups_total",
+                "Connection groups settled, by how they were satisfied.",
+                labels=("outcome",),
+            ),
+        )
+    return _LG_COUNTERS
 
 
 @dataclass
@@ -576,6 +610,9 @@ class LoadGenerator:
                             committed.get("reports", 0)
                         )
                         result.spool_replays += 1
+                        _loadgen_counters()[4].labels(
+                            outcome="spool_replay"
+                        ).inc()
                         address = committed.get("address")
                         if address:
                             result.credit_target(
@@ -598,6 +635,9 @@ class LoadGenerator:
                         # dedupes if the ACK was lost after folding.
                         group_frames = recorded
                         result.spool_replays += 1
+                        _loadgen_counters()[4].labels(
+                            outcome="spool_replay"
+                        ).inc()
                     else:
                         # One inline open+write+fsync, strictly before
                         # the group touches the wire.
@@ -711,6 +751,9 @@ class LoadGenerator:
                         result.acked_frames += acked_frames
                         result.acked_reports += acked_reports
                         result.recovered_groups += 1
+                        _loadgen_counters()[4].labels(
+                            outcome="recovered"
+                        ).inc()
                         target = f"{address[0]}:{address[1]}"
                         result.credit_target(
                             target, acked_frames, acked_reports
@@ -728,11 +771,13 @@ class LoadGenerator:
                     attempts = 0
                     started = time.monotonic()
                     result.retries += 1
+                    _loadgen_counters()[3].inc()
                     continue
                 attempts += 1
                 if not self._retry_policy.should_retry(attempts, started):
                     raise
                 result.retries += 1
+                _loadgen_counters()[3].inc()
                 delay = self._retry_policy.delay(attempts)
                 if breaker_open:
                     delay = max(delay, error.retry_after)
@@ -787,16 +832,18 @@ class LoadGenerator:
                 channel = _ControlChannel(
                     reader, self._read_chunk_bytes, self._io_timeout
                 )
-                await self._handshake(writer, channel, token)
-                for position, frame in enumerate(frames, start=1):
-                    writer.write(frame)
-                    if position % self._drain_every == 0:
-                        await writer.drain()
-                    result.frames += 1
-                    result.bytes += len(frame)
-                writer.write(encode_control(FIN))
-                await writer.drain()
-                ack = await channel.next_message()
+                with trace.span("loadgen.send_group") as span:
+                    span.annotate(frames=len(frames))
+                    await self._handshake(writer, channel, token)
+                    for position, frame in enumerate(frames, start=1):
+                        writer.write(frame)
+                        if position % self._drain_every == 0:
+                            await writer.drain()
+                        result.frames += 1
+                        result.bytes += len(frame)
+                    writer.write(encode_control(FIN))
+                    await writer.drain()
+                    ack = await channel.next_message()
             except (ConnectionError, OSError) as error:
                 # Honor the CollectionServiceError contract on the write
                 # side too: a server vanishing under writer.drain() must
@@ -817,6 +864,12 @@ class LoadGenerator:
             acked_reports = int(ack.payload.get("reports", 0))
             result.acked_frames += acked_frames
             result.acked_reports += acked_reports
+            if metrics_enabled():
+                frames_c, reports_c, bytes_c, _, groups_c = _loadgen_counters()
+                frames_c.inc(acked_frames)
+                reports_c.inc(acked_reports)
+                bytes_c.inc(sum(len(frame) for frame in frames))
+                groups_c.labels(outcome="delivered").inc()
             return acked_frames, acked_reports
         finally:
             writer.close()

@@ -31,6 +31,7 @@ from typing import List, Optional, Union
 
 from ..core.domain import Domain
 from ..core.exceptions import CollectionServiceError, ProtocolConfigurationError
+from ..observability import MetricsSnapshot
 from ..resilience.defaults import COUNTER_POLL_SECONDS
 from ..service.session import AggregationSession
 from ..service.spec import ProtocolSpec
@@ -74,6 +75,8 @@ def _worker_main(
         with counter.get_lock():
             counter.value += delta
 
+    worker_dir = Path(config["checkpoint_dir"]) / f"worker-{worker_index:02d}"
+
     async def main() -> None:
         server = CollectionServer(
             spec,
@@ -85,8 +88,7 @@ def _worker_main(
             batch_max_users=config["batch_max_users"],
             batch_window_seconds=config["batch_window_seconds"],
             reuse_port=True,
-            checkpoint_dir=Path(config["checkpoint_dir"])
-            / f"worker-{worker_index:02d}",
+            checkpoint_dir=worker_dir,
             report_observer=observe,
         )
         await server.start()
@@ -115,6 +117,12 @@ def _worker_main(
                 await watcher
             except asyncio.CancelledError:
                 pass
+        # Per-worker metrics ride the same channel as per-worker
+        # checkpoints: a snapshot file next to the shard files, merged by
+        # the parent in join() through the snapshot merge algebra.
+        metrics_path = worker_dir / "metrics.json"
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(server.metrics_snapshot().to_json())
 
     asyncio.run(main())
 
@@ -194,6 +202,12 @@ class MultiProcessCollector:
         self._workers: List = []
         self._placeholder: Optional[socket.socket] = None
         self._port: Optional[int] = None
+        self._metrics: Optional[MetricsSnapshot] = None
+
+    @property
+    def metrics_snapshot(self) -> Optional[MetricsSnapshot]:
+        """The fleet-wide merged metrics (populated by :meth:`join`)."""
+        return self._metrics
 
     @property
     def port(self) -> Optional[int]:
@@ -294,7 +308,24 @@ class MultiProcessCollector:
             raise CollectionServiceError(
                 f"no worker checkpoints found under {self._checkpoint_dir}"
             )
+        self._metrics = self._merge_worker_metrics()
         return merge_checkpoints(paths)
+
+    def _merge_worker_metrics(self) -> MetricsSnapshot:
+        """Fold every worker's metrics.json into one snapshot.
+
+        Purely additive (the snapshot merge algebra), so worker count and
+        merge order do not matter — the same invariance argument as the
+        checkpoint merge.  A worker that never wrote metrics (killed hard,
+        metrics disabled mid-flight) just contributes nothing.
+        """
+        merged = MetricsSnapshot.empty()
+        for path in sorted(self._checkpoint_dir.glob("worker-*/metrics.json")):
+            try:
+                merged = merged.merge(MetricsSnapshot.from_json(path.read_text()))
+            except (OSError, ValueError):
+                continue
+        return merged
 
     def _release_placeholder(self) -> None:
         if self._placeholder is not None:

@@ -49,6 +49,13 @@ from ..core.exceptions import (
     ReproError,
     WireFormatError,
 )
+from ..observability import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    trace,
+)
+from ..observability.scrape import MetricsScrapeServer
 from ..protocols.wire import MAX_PAYLOAD_BYTES
 from ..service.session import AggregationSession
 from ..service.spec import ProtocolSpec
@@ -60,6 +67,7 @@ from .framing import (
     ERR,
     PULL,
     STATE,
+    STATS,
     ControlMessage,
     FrameDecoder,
     encode_control,
@@ -202,14 +210,16 @@ class _ShardBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
-        self._pending_users = 0
+        users, self._pending_users = self._pending_users, 0
         if not pending:
             return
         try:
-            self._session.submit_decoded(
-                [decoded for decoded, _, _ in pending],
-                wire_bytes=sum(nbytes for _, nbytes, _ in pending),
-            )
+            with trace.span("ingest.flush") as span:
+                span.annotate(frames=len(pending), users=users)
+                self._session.submit_decoded(
+                    [decoded for decoded, _, _ in pending],
+                    wire_bytes=sum(nbytes for _, nbytes, _ in pending),
+                )
         except ReproError:
             # One bad batch poisons a coalesced update.  Replay frame by
             # frame so the error lands on the connection that sent it and
@@ -285,6 +295,18 @@ class CollectionServer:
         Stable name this collector reports in ``STATE`` answers and stamps
         into its durable checkpoints (defaults to ``host:port``).  The
         topology tier keys fan-in merges and failure recovery by it.
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` this server's
+        counters live in.  Defaults to a fresh per-server registry (so
+        side-by-side servers in one process never cross-count);
+        :meth:`metrics_snapshot` merges it with the process-wide default
+        registry, where deep instrumentation (kernel dispatch, resilience
+        events, span histograms) accumulates.
+    metrics_host, metrics_port:
+        When ``metrics_port`` is set, :meth:`start` also binds a plain-HTTP
+        Prometheus scrape endpoint (``GET /metrics``) on it serving
+        :meth:`metrics_snapshot`; ``metrics_port=0`` picks a free port
+        (read it back from :attr:`metrics_port`).
     durable_acks:
         Transactional ingest for the topology tier.  Report frames are
         held per connection and folded into the shard only at ``FIN`` —
@@ -320,6 +342,9 @@ class CollectionServer:
         report_observer: Optional[Callable[[int], None]] = None,
         collector_id: Optional[str] = None,
         durable_acks: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        metrics_host: str = "127.0.0.1",
+        metrics_port: Optional[int] = None,
     ):
         if shards < 1:
             raise ProtocolConfigurationError(
@@ -417,7 +442,68 @@ class CollectionServer:
         self._frames_total = 0
         self._reports_total = 0
         self._bytes_total = 0
+        self._frames_discarded = 0
+        self._reports_discarded = 0
+        self._bytes_discarded = 0
         self._checkpoints_written = 0
+
+        # The operational counters above stay plain ints — they steer
+        # behaviour (stop_after_reports, ACK payloads) and must count
+        # identically with metrics on or off.  The registry mirrors them as
+        # monotonic counters (gross ingested + gross discarded, never the
+        # net) via _sync_registry, which runs on every stats/snapshot read.
+        self._registry = registry if registry is not None else MetricsRegistry()
+        counter = self._registry.counter
+        connections = counter(
+            "repro_server_connections_total",
+            "Connections by final outcome (opened counts at accept).",
+            labels=("outcome",),
+        )
+        self._metric_counters = {
+            "frames": counter(
+                "repro_server_frames_total",
+                "Report frames accepted off the wire (gross, pre-discount).",
+            ),
+            "reports": counter(
+                "repro_server_reports_total",
+                "User reports accepted off the wire (gross, pre-discount).",
+            ),
+            "bytes": counter(
+                "repro_server_bytes_total",
+                "Report payload bytes accepted off the wire (gross).",
+            ),
+            "frames_discarded": counter(
+                "repro_server_frames_discarded_total",
+                "Frames reversed after a deferred flush rejection.",
+            ),
+            "reports_discarded": counter(
+                "repro_server_reports_discarded_total",
+                "User reports reversed after a deferred flush rejection.",
+            ),
+            "bytes_discarded": counter(
+                "repro_server_bytes_discarded_total",
+                "Payload bytes reversed after a deferred flush rejection.",
+            ),
+            "connections_opened": connections.labels(outcome="opened"),
+            "connections_completed": connections.labels(outcome="completed"),
+            "connections_rejected": connections.labels(outcome="rejected"),
+            "connections_dropped": connections.labels(outcome="dropped"),
+            "checkpoints": counter(
+                "repro_server_checkpoints_total", "Checkpoints written."
+            ),
+        }
+        self._metric_synced: Dict[str, float] = {}
+        self._metric_active = self._registry.gauge(
+            "repro_server_connections_active", "Connections currently open."
+        )
+        self._metric_shard_reports = self._registry.gauge(
+            "repro_server_shard_reports",
+            "User reports folded into each shard session.",
+            labels=("shard",),
+        )
+        self._metrics_host = metrics_host
+        self._metrics_port_requested = metrics_port
+        self._scrape_server: Optional[MetricsScrapeServer] = None
 
         self._explicit_collector_id = collector_id
         self._durable_acks = bool(durable_acks)
@@ -494,6 +580,18 @@ class CollectionServer:
         return self._port
 
     @property
+    def metrics_port(self) -> Optional[int]:
+        """The scrape endpoint's bound port (``None`` when not serving)."""
+        if self._scrape_server is not None:
+            return self._scrape_server.port
+        return None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """This server's own metrics registry."""
+        return self._registry
+
+    @property
     def collector_id(self) -> str:
         """The stable name this collector signs STATE answers with."""
         if self._explicit_collector_id is not None:
@@ -526,8 +624,60 @@ class CollectionServer:
     def stop_requested(self) -> bool:
         return self._stop_event.is_set()
 
+    def _sync_registry(self) -> None:
+        """Mirror the operational ints into the registry's monotonic series.
+
+        The gross quantities (ingested, discarded) only ever grow, so each
+        sync advances the registry counters by the delta since the last
+        sync — the exported series stay monotonic even though the net
+        operational counters can step backwards on a discount.
+        """
+        from ..observability.metrics import metrics_enabled
+
+        if not metrics_enabled():
+            return
+        values = {
+            "frames": self._frames_total + self._frames_discarded,
+            "reports": self._reports_total + self._reports_discarded,
+            "bytes": self._bytes_total + self._bytes_discarded,
+            "frames_discarded": self._frames_discarded,
+            "reports_discarded": self._reports_discarded,
+            "bytes_discarded": self._bytes_discarded,
+            "connections_opened": self._connections_total,
+            "connections_completed": self._connections_completed,
+            "connections_rejected": self._connections_rejected,
+            "connections_dropped": self._connections_dropped,
+            "checkpoints": self._checkpoints_written,
+        }
+        for key, value in values.items():
+            delta = value - self._metric_synced.get(key, 0)
+            if delta > 0:
+                self._metric_counters[key].inc(delta)
+                self._metric_synced[key] = value
+        self._metric_active.set(self._connections_active)
+        for index, session in enumerate(self._sessions):
+            self._metric_shard_reports.labels(shard=f"{index:02d}").set(
+                session.num_reports
+            )
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """This server's registry merged with the process-wide one.
+
+        The per-server registry holds the ingest counters; the process
+        registry holds everything the deep instrumentation records (span
+        histograms, kernel dispatch, resilience events).  STATS answers
+        and the scrape endpoint both serve this merged view.
+        """
+        self._sync_registry()
+        snapshot = self._registry.snapshot()
+        process = get_registry()
+        if process is not self._registry:
+            snapshot = snapshot.merge(process.snapshot())
+        return snapshot
+
     def stats(self) -> Dict[str, Any]:
         """A point-in-time snapshot of the server's counters."""
+        self._sync_registry()
         now = time.monotonic()
         elapsed = None
         if self._started_at is not None:
@@ -539,6 +689,7 @@ class CollectionServer:
             "acked_groups": len(self._acked_tokens),
             "spec": self._spec.to_dict(),
             "spec_hash": self._spec_hash,
+            "num_attributes": len(self._domain.attributes),
             "uptime_seconds": elapsed,
             "connections": {
                 "total": self._connections_total,
@@ -575,6 +726,18 @@ class CollectionServer:
         )
         self._port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self._metrics_port_requested is not None:
+            self._scrape_server = MetricsScrapeServer(
+                self.metrics_snapshot,
+                host=self._metrics_host,
+                port=self._metrics_port_requested,
+            )
+            await self._scrape_server.start()
+            _logger.info(
+                "metrics scrape endpoint on http://%s:%d/metrics",
+                self._metrics_host,
+                self._scrape_server.port,
+            )
         if self._checkpoint_interval is not None:
             self._checkpoint_task = asyncio.create_task(
                 self._checkpoint_loop()
@@ -634,6 +797,9 @@ class CollectionServer:
             self._checkpoint_task = None
         if self._checkpoint_dir is not None:
             self.checkpoint()
+        if self._scrape_server is not None:
+            await self._scrape_server.stop()
+            self._scrape_server = None
         self._stopped_at = time.monotonic()
         self._server = None
 
@@ -650,6 +816,9 @@ class CollectionServer:
         self._frames_total -= frames
         self._reports_total -= users
         self._bytes_total -= nbytes
+        self._frames_discarded += frames
+        self._reports_discarded += users
+        self._bytes_discarded += nbytes
         if self._report_observer is not None:
             self._report_observer(-users)
 
@@ -678,14 +847,16 @@ class CollectionServer:
             )
         if self._durable_acks:
             return [self.durable_checkpoint()]
-        self._flush_all()
-        paths = []
-        for index, session in enumerate(self._sessions):
-            paths.append(
-                session.checkpoint(
-                    self._checkpoint_dir / f"shard-{index:02d}.npz"
+        with trace.span("server.checkpoint") as span:
+            self._flush_all()
+            paths = []
+            for index, session in enumerate(self._sessions):
+                paths.append(
+                    session.checkpoint(
+                        self._checkpoint_dir / f"shard-{index:02d}.npz"
+                    )
                 )
-            )
+            span.annotate(shards=len(paths))
         self._checkpoints_written += 1
         return paths
 
@@ -695,14 +866,15 @@ class CollectionServer:
             raise ProtocolConfigurationError(
                 "this server was built without a checkpoint_dir"
             )
-        combined = self.combined_session()
-        path = combined.checkpoint(
-            self._checkpoint_dir / DURABLE_STATE_FILENAME,
-            extra={
-                "collector_id": self.collector_id,
-                "acked_tokens": self._acked_tokens,
-            },
-        )
+        with trace.span("server.checkpoint.durable"):
+            combined = self.combined_session()
+            path = combined.checkpoint(
+                self._checkpoint_dir / DURABLE_STATE_FILENAME,
+                extra={
+                    "collector_id": self.collector_id,
+                    "acked_tokens": self._acked_tokens,
+                },
+            )
         self._checkpoints_written += 1
         return path
 
@@ -821,6 +993,12 @@ class CollectionServer:
                             # peer, not a report client.
                             control_plane = True
                             await self._answer_pull(writer, item.payload)
+                        elif item.kind == STATS:
+                            # The observability probe (`repro watch`, live
+                            # dashboards): stats plus the merged metrics
+                            # snapshot.  Control-plane like PULL.
+                            control_plane = True
+                            await self._answer_stats(writer)
                         elif item.kind == FIN:
                             if not greeted:
                                 raise _Reject("FIN before HELLO")
@@ -976,6 +1154,17 @@ class CollectionServer:
         self.durable_checkpoint()
         return payload
 
+    async def _answer_stats(self, writer) -> None:
+        """Answer one ``STATS`` probe with stats + the metrics snapshot."""
+        with trace.span("server.stats.answer"):
+            body = {
+                "collector_id": self.collector_id,
+                "stats": self.stats(),
+                "metrics": self.metrics_snapshot().state_dict(),
+            }
+            writer.write(encode_control(STATS, body))
+        await writer.drain()
+
     async def _answer_pull(self, writer, payload: Dict[str, Any]) -> None:
         """Answer one ``PULL`` with a ``STATE`` frame (stats or state)."""
         what = payload.get("what", "state")
@@ -984,6 +1173,7 @@ class CollectionServer:
                 "collector_id": self.collector_id,
                 "what": "stats",
                 "stats": self.stats(),
+                "metrics": self.metrics_snapshot().state_dict(),
             }
         elif what == "state":
             combined = self.combined_session()
@@ -1004,7 +1194,9 @@ class CollectionServer:
             raise _Reject(
                 f"unknown PULL target {what!r}; expected 'stats' or 'state'"
             )
-        writer.write(encode_control(STATE, body))
+        with trace.span("topology.pull.answer") as span:
+            span.annotate(what=what)
+            writer.write(encode_control(STATE, body))
         await writer.drain()
 
     @staticmethod

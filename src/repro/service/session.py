@@ -34,6 +34,7 @@ from ..core.exceptions import (
     ProtocolConfigurationError,
     WireFormatError,
 )
+from ..observability import trace
 from .spec import ProtocolSpec
 
 __all__ = ["CHECKPOINT_FORMAT_VERSION", "AggregationSession"]
@@ -140,16 +141,17 @@ class AggregationSession:
         frames are validated (magic, version, kind, field dtypes/shapes)
         before they touch the accumulator.
         """
-        if isinstance(reports, (bytes, bytearray, memoryview)):
-            frame = bytes(reports)
-            decoded = self._protocol.decode_reports(frame)
-            self._accumulator.update(decoded)
-            self._wire_batches += 1
-            self._wire_bytes += len(frame)
-            self._wire_reports += int(decoded.num_users)
-        else:
-            self._accumulator.update(reports)
-        self._report_batches += 1
+        with trace.span("session.submit"):
+            if isinstance(reports, (bytes, bytearray, memoryview)):
+                frame = bytes(reports)
+                decoded = self._protocol.decode_reports(frame)
+                self._accumulator.update(decoded)
+                self._wire_batches += 1
+                self._wire_bytes += len(frame)
+                self._wire_reports += int(decoded.num_users)
+            else:
+                self._accumulator.update(reports)
+            self._report_batches += 1
         return self
 
     def submit_decoded(self, batches, *, wire_bytes: int = None) -> int:
@@ -171,14 +173,16 @@ class AggregationSession:
         batches = list(batches)
         if not batches:
             return 0
-        combined = concat_report_batches(batches)
-        users = int(combined.num_users)
-        self._accumulator.update(combined)
-        self._report_batches += len(batches)
-        self._wire_batches += len(batches)
-        self._wire_reports += users
-        if wire_bytes is not None:
-            self._wire_bytes += int(wire_bytes)
+        with trace.span("session.submit_decoded") as span:
+            combined = concat_report_batches(batches)
+            users = int(combined.num_users)
+            span.annotate(batches=len(batches), users=users)
+            self._accumulator.update(combined)
+            self._report_batches += len(batches)
+            self._wire_batches += len(batches)
+            self._wire_reports += users
+            if wire_bytes is not None:
+                self._wire_bytes += int(wire_bytes)
         return users
 
     def snapshot(self):
@@ -277,11 +281,12 @@ class AggregationSession:
                 f"cannot merge sessions over different domains: "
                 f"{self._domain.attributes} != {other._domain.attributes}"
             )
-        self._accumulator.merge(other._accumulator)
-        self._report_batches += other._report_batches
-        self._wire_batches += other._wire_batches
-        self._wire_reports += other._wire_reports
-        self._wire_bytes += other._wire_bytes
+        with trace.span("session.merge"):
+            self._accumulator.merge(other._accumulator)
+            self._report_batches += other._report_batches
+            self._wire_batches += other._wire_batches
+            self._wire_reports += other._wire_reports
+            self._wire_bytes += other._wire_bytes
         return self
 
     def checkpoint_bytes(self, *, extra: Optional[Dict[str, Any]] = None) -> bytes:
@@ -353,7 +358,14 @@ class AggregationSession:
         JSON metadata stored in the header (see :meth:`checkpoint_bytes`).
         """
         path = Path(path)
-        data = self.checkpoint_bytes(extra=extra)
+        with trace.span("session.checkpoint") as span:
+            data = self.checkpoint_bytes(extra=extra)
+            span.annotate(bytes=len(data))
+            self._write_atomic(path, data)
+        return path
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so a crash (or full disk) mid-write can never
         # destroy the previous checkpoint: the new bytes land in a sibling
@@ -385,12 +397,16 @@ class AggregationSession:
             except OSError:
                 pass
             raise
-        return path
 
     @classmethod
     def restore(cls, path: PathLike) -> "AggregationSession":
         """Rebuild a checkpointed session; the aggregation resumes exactly."""
         path = Path(path)
+        with trace.span("session.restore"):
+            return cls._restore_path(path)
+
+    @classmethod
+    def _restore_path(cls, path: Path) -> "AggregationSession":
         try:
             if path.is_file() and path.stat().st_size == 0:
                 raise WireFormatError(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..core.exceptions import CollectionServiceError, WireFormatError
+from ..observability import get_registry, trace
 from ..resilience.policies import RetryPolicy
 from ..server.framing import (
     ERR,
@@ -29,9 +30,28 @@ from ..server.framing import (
 )
 from ..service.session import AggregationSession
 
-__all__ = ["PulledState", "pull_control", "pull_state", "pull_stats"]
+__all__ = [
+    "PulledState",
+    "pull_control",
+    "pull_state",
+    "pull_stats",
+    "pull_stats_payload",
+]
 
 _READ_CHUNK = 1 << 16
+
+_PULL_COUNTER = None
+
+
+def _count_pull(outcome: str) -> None:
+    global _PULL_COUNTER
+    if _PULL_COUNTER is None:
+        _PULL_COUNTER = get_registry().counter(
+            "repro_topology_pulls_total",
+            "PULL round trips attempted, by outcome.",
+            labels=("outcome",),
+        )
+    _PULL_COUNTER.labels(outcome=outcome).inc()
 
 
 @dataclass
@@ -65,15 +85,23 @@ async def pull_control(
     """
     attempts = 0
     started = time.monotonic()
+    what = str((payload or {}).get("what", "state"))
     while True:
         try:
-            return await _pull_control_once(host, port, payload, timeout)
+            with trace.span("topology.pull") as span:
+                span.annotate(host=host, port=port, what=what)
+                answer = await _pull_control_once(host, port, payload, timeout)
+            _count_pull("ok")
+            return answer
         except CollectionServiceError as error:
             if "rejected the PULL" in str(error):
+                _count_pull("rejected")
                 raise
             attempts += 1
             if retry is None or not retry.should_retry(attempts, started):
+                _count_pull("failed")
                 raise
+            _count_pull("retried")
             await asyncio.sleep(retry.delay(attempts))
 
 
@@ -205,3 +233,27 @@ async def pull_stats(
             f"collector {host}:{port} answered a stats PULL without stats"
         )
     return stats
+
+
+async def pull_stats_payload(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
+) -> Dict[str, Any]:
+    """Pull one collector's full stats answer (stats + metrics snapshot).
+
+    Like :func:`pull_stats` but keeps the whole ``STATE`` payload, whose
+    ``"metrics"`` key (a metrics-snapshot ``state_dict``) lets callers
+    roll up instrumentation across a topology tree.
+    """
+    answer = await pull_control(
+        host, port, {"what": "stats"}, timeout=timeout, retry=retry
+    )
+    payload = answer.payload
+    if not isinstance(payload.get("stats"), dict):
+        raise CollectionServiceError(
+            f"collector {host}:{port} answered a stats PULL without stats"
+        )
+    return payload

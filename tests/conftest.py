@@ -2,12 +2,33 @@
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 
 from repro import PrivacyBudget
 from repro.core.domain import Domain
 from repro.datasets import BinaryDataset, make_movielens_dataset, make_taxi_dataset
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_logger():
+    """Undo ``configure_logging`` side effects between tests.
+
+    In-process CLI invocations (``cli.main([...])``) install the repro
+    handler and turn off propagation on the ``repro`` logger; left in
+    place, that would hide later tests' records from ``caplog``'s
+    root-level handler.
+    """
+    logger = logging.getLogger("repro")
+    saved_handlers = list(logger.handlers)
+    saved_level = logger.level
+    saved_propagate = logger.propagate
+    yield
+    logger.handlers[:] = saved_handlers
+    logger.setLevel(saved_level)
+    logger.propagate = saved_propagate
 
 
 @pytest.fixture

@@ -1,0 +1,60 @@
+"""Prometheus text exposition over metrics snapshots."""
+
+from __future__ import annotations
+
+from repro.observability import MetricsRegistry, MetricsSnapshot, render_prometheus
+from repro.observability.exposition import CONTENT_TYPE
+
+
+def test_counter_and_gauge_lines():
+    registry = MetricsRegistry()
+    registry.counter("reqs_total", "Requests.", labels=("code",)).labels(
+        code="200"
+    ).inc(4)
+    registry.gauge("active", "Active.").set(2)
+    text = render_prometheus(registry.snapshot())
+    assert "# HELP reqs_total Requests." in text
+    assert "# TYPE reqs_total counter" in text
+    assert 'reqs_total{code="200"} 4' in text
+    assert "# TYPE active gauge" in text
+    assert "active 2" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_lines_are_cumulative():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat_seconds", "L.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 3.0):
+        histogram.observe(value)
+    text = render_prometheus(registry.snapshot())
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1.0"} 2' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_count 3" in text
+    assert "lat_seconds_sum 3.55" in text
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("odd_total", "O.", labels=("path",)).labels(
+        path='a"b\\c\nd'
+    ).inc()
+    text = render_prometheus(registry.snapshot())
+    assert 'odd_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_families_render_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.counter("zz_total", "Z.").inc()
+    registry.counter("aa_total", "A.").inc()
+    text = render_prometheus(registry.snapshot())
+    assert text.index("aa_total") < text.index("zz_total")
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus(MetricsSnapshot.empty()) == ""
+
+
+def test_content_type_is_prometheus_text():
+    assert CONTENT_TYPE.startswith("text/plain")
+    assert "version=0.0.4" in CONTENT_TYPE

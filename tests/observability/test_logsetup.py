@@ -1,0 +1,86 @@
+"""Structured logging: single tagged handler, JSON mode, namespace."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.observability import configure_logging, get_logger
+from repro.observability.logsetup import _HANDLER_TAG
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:] = saved[0]
+    logger.setLevel(saved[1])
+    logger.propagate = saved[2]
+
+
+def tagged_handlers():
+    return [
+        handler
+        for handler in logging.getLogger("repro").handlers
+        if getattr(handler, "_repro_tag", None) == _HANDLER_TAG
+    ]
+
+
+def test_reconfiguring_does_not_stack_handlers():
+    configure_logging("info")
+    configure_logging("debug")
+    configure_logging("warning", json_mode=True)
+    assert len(tagged_handlers()) == 1
+    assert logging.getLogger("repro").level == logging.WARNING
+
+
+def test_unknown_level_raises():
+    with pytest.raises(ValueError):
+        configure_logging("loud")
+
+
+def test_human_lines_reach_stderr(capsys):
+    configure_logging("info")
+    get_logger("serve").info("throughput: %d reports", 42)
+    captured = capsys.readouterr()
+    assert "throughput: 42 reports" in captured.err
+    assert "repro.serve" in captured.err
+    assert captured.out == ""
+
+
+def test_json_mode_emits_parseable_records(capsys):
+    configure_logging("info", json_mode=True)
+    get_logger("topo").info("collected %d", 7)
+    line = capsys.readouterr().err.strip().splitlines()[-1]
+    record = json.loads(line)
+    assert record["message"] == "collected 7"
+    assert record["logger"] == "repro.topo"
+    assert record["level"] == "info"
+    assert isinstance(record["ts"], float)
+
+
+def test_level_filtering(capsys):
+    configure_logging("warning")
+    get_logger().info("quiet")
+    get_logger().warning("loud")
+    captured = capsys.readouterr().err
+    assert "quiet" not in captured
+    assert "loud" in captured
+
+
+def test_library_module_loggers_propagate_into_the_handler(capsys):
+    configure_logging("info")
+    # server/topology modules log via logging.getLogger(__name__), which
+    # lives under the "repro." namespace and must funnel through the one
+    # configured handler.
+    logging.getLogger("repro.server.server").info("listening")
+    assert "listening" in capsys.readouterr().err
+
+
+def test_get_logger_namespacing():
+    assert get_logger().name == "repro"
+    assert get_logger("serve").name == "repro.serve"
+    assert get_logger("repro.server.server").name == "repro.server.server"

@@ -1,0 +1,235 @@
+"""Metrics core: registry semantics and the snapshot merge algebra.
+
+The snapshot merge must be a commutative monoid over compatible
+snapshots — associative, commutative, with the empty snapshot as
+identity — because the multi-process collector and the fan-in topology
+fold worker/collector snapshots in whatever order the processes land.
+The property tests below generate random compatible snapshots and check
+those laws hold exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    metrics_enabled,
+    set_enabled,
+)
+from repro.observability.metrics import DEFAULT_BUCKETS
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+
+
+def test_counter_inc_and_snapshot(registry):
+    counter = registry.counter("jobs_total", "Jobs.", labels=("kind",))
+    counter.labels(kind="a").inc()
+    counter.labels(kind="a").inc(2)
+    counter.labels(kind="b").inc(5)
+    snapshot = registry.snapshot()
+    assert snapshot.value("jobs_total", {"kind": "a"}) == 3
+    assert snapshot.value("jobs_total", {"kind": "b"}) == 5
+    assert snapshot.total("jobs_total") == 8
+
+
+def test_counter_rejects_negative(registry):
+    counter = registry.counter("c_total", "C.")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways(registry):
+    gauge = registry.gauge("active", "Active.")
+    gauge.inc(3)
+    gauge.dec()
+    gauge.set(7)
+    assert registry.snapshot().value("active") == 7
+
+
+def test_histogram_buckets_and_sum(registry):
+    histogram = registry.histogram(
+        "lat_seconds", "Latency.", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    series = registry.snapshot().families["lat_seconds"]["series"]
+    ((_, data),) = series
+    assert data["count"] == 3
+    assert data["counts"] == [1, 1, 1]  # per-bucket plus trailing +Inf
+    assert data["sum"] == pytest.approx(2.55)
+
+
+def test_reregistration_is_idempotent(registry):
+    first = registry.counter("x_total", "X.", labels=("k",))
+    again = registry.counter("x_total", "X.", labels=("k",))
+    assert first is again
+
+
+def test_reregistration_type_clash_raises(registry):
+    registry.counter("x_total", "X.")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total", "X.")
+
+
+def test_disabled_mutators_are_inert(registry):
+    counter = registry.counter("quiet_total", "Q.")
+    assert metrics_enabled()
+    set_enabled(False)
+    try:
+        counter.inc(10)
+        assert not metrics_enabled()
+    finally:
+        set_enabled(True)
+    counter.inc()
+    assert registry.snapshot().total("quiet_total") == 1
+
+
+# ----------------------------------------------------------------------
+# snapshot serialization
+
+
+def test_snapshot_round_trips_through_json(registry):
+    registry.counter("a_total", "A.", labels=("k",)).labels(k="x").inc(4)
+    registry.histogram("h_seconds", "H.").observe(0.02)
+    snapshot = registry.snapshot()
+    restored = MetricsSnapshot.from_json(snapshot.to_json())
+    assert restored.state_dict() == snapshot.state_dict()
+
+
+def test_snapshot_rejects_wrong_format():
+    with pytest.raises(ValueError):
+        MetricsSnapshot.from_state_dict({"format": "bogus", "families": {}})
+
+
+def test_snapshot_is_detached_from_registry(registry):
+    counter = registry.counter("d_total", "D.")
+    counter.inc()
+    snapshot = registry.snapshot()
+    counter.inc(10)
+    assert snapshot.total("d_total") == 1
+
+
+# ----------------------------------------------------------------------
+# merge algebra (property-tested)
+
+_LABEL_VALUES = st.sampled_from(["a", "b", "c"])
+_COUNTS = st.integers(min_value=0, max_value=1_000)
+
+
+@st.composite
+def compatible_snapshot(draw):
+    """A random snapshot over one fixed family schema.
+
+    All snapshots produced by this strategy share family names, types,
+    label names, and histogram buckets — exactly the compatibility the
+    fleet guarantees by running the same code everywhere — so any two of
+    them are mergeable.
+    """
+    families = {}
+    counter_series = [
+        [[value], float(draw(_COUNTS))]
+        for value in draw(st.sets(_LABEL_VALUES, min_size=1))
+    ]
+    families["events_total"] = {
+        "type": "counter",
+        "help": "Events.",
+        "labels": ["kind"],
+        "series": counter_series,
+    }
+    families["level"] = {
+        "type": "gauge",
+        "help": "Level.",
+        "labels": [],
+        "series": [[[], float(draw(st.integers(-100, 100)))]],
+    }
+    # Four per-bucket counts: three finite bounds plus the trailing +Inf
+    # bucket.  Sums are kept integer-valued so float addition stays exact
+    # and the associativity check is meaningful, not a rounding lottery.
+    counts = [draw(_COUNTS) for _ in range(4)]
+    families["dur_seconds"] = {
+        "type": "histogram",
+        "help": "Durations.",
+        "labels": [],
+        "buckets": [0.1, 1.0, 10.0],
+        "series": [
+            [
+                [],
+                {
+                    "counts": counts,
+                    "sum": float(draw(_COUNTS)),
+                    "count": sum(counts),
+                },
+            ]
+        ],
+    }
+    return MetricsSnapshot.from_state_dict(
+        {"format": "repro-metrics/v1", "families": families}
+    )
+
+
+def canonical(snapshot: MetricsSnapshot) -> str:
+    state = snapshot.state_dict()
+    for entry in state["families"].values():
+        entry["series"] = sorted(
+            entry["series"], key=lambda pair: json.dumps(pair[0])
+        )
+    return json.dumps(state, sort_keys=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(compatible_snapshot(), compatible_snapshot(), compatible_snapshot())
+def test_merge_is_associative(a, b, c):
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert canonical(left) == canonical(right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(compatible_snapshot(), compatible_snapshot())
+def test_merge_is_commutative(a, b):
+    assert canonical(a.merge(b)) == canonical(b.merge(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(compatible_snapshot())
+def test_empty_snapshot_is_identity(a):
+    assert canonical(MetricsSnapshot.empty().merge(a)) == canonical(a)
+    assert canonical(a.merge(MetricsSnapshot.empty())) == canonical(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(compatible_snapshot(), min_size=0, max_size=4))
+def test_merge_all_matches_pairwise_fold(snapshots):
+    folded = MetricsSnapshot.empty()
+    for snapshot in snapshots:
+        folded = folded.merge(snapshot)
+    assert canonical(MetricsSnapshot.merge_all(snapshots)) == canonical(folded)
+
+
+def test_merge_rejects_incompatible_buckets():
+    def histogram_snapshot(buckets):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "H.", buckets=buckets).observe(0.5)
+        return registry.snapshot()
+
+    left = histogram_snapshot((0.1, 1.0))
+    right = histogram_snapshot((0.5, 5.0))
+    with pytest.raises(ValueError):
+        left.merge(right)
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

@@ -1,0 +1,69 @@
+"""Instrumentation neutrality: estimates are bit-for-bit metrics-on/off.
+
+The observability layer promises to never touch an rng chain or reorder
+any arithmetic.  The strongest check available: for every registered
+protocol, run the identical seeded encode → aggregate → finalize pass
+once with metrics enabled and once disabled, and require exactly equal
+estimate tables — not approximately equal, byte-for-byte equal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import metrics_enabled, set_enabled
+from repro.service import AggregationSession
+
+from ..service.util import (
+    ALL_PROTOCOLS,
+    SEED,
+    assert_estimates_equal,
+    build,
+    encode_frames,
+    estimates_of,
+    small_dataset,
+)
+
+BATCH_SIZE = 24
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_dataset()
+
+
+def collect(name, dataset, enabled):
+    """Seeded client encode + server-side session fold, one arm."""
+    was_enabled = metrics_enabled()
+    set_enabled(enabled)
+    try:
+        protocol = build(name)
+        frames = encode_frames(protocol, dataset, BATCH_SIZE, seed=SEED)
+        session = AggregationSession(protocol.spec(), dataset.domain)
+        for frame in frames:
+            session.submit(frame)
+        return estimates_of(session.finalize())
+    finally:
+        set_enabled(was_enabled)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_estimates_identical_with_metrics_on_and_off(name, dataset):
+    on = collect(name, dataset, enabled=True)
+    off = collect(name, dataset, enabled=False)
+    assert_estimates_equal(on, off)
+
+
+def test_encoding_draws_identical_rng_streams(dataset):
+    """Same seed, metrics toggled: the encoded wire bytes themselves match."""
+    protocol = build("InpRR")
+    set_enabled(True)
+    try:
+        frames_on = encode_frames(protocol, dataset, BATCH_SIZE, seed=SEED)
+    finally:
+        set_enabled(False)
+    try:
+        frames_off = encode_frames(protocol, dataset, BATCH_SIZE, seed=SEED)
+    finally:
+        set_enabled(True)
+    assert frames_on == frames_off

@@ -1,0 +1,78 @@
+"""Stage tracing: span timing, the ring, the histogram feed, gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import MetricsRegistry, set_enabled
+from repro.observability.tracing import SPAN_RING_CAPACITY, Tracer, trace
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(registry=MetricsRegistry())
+
+
+def test_span_records_duration_and_fields(tracer):
+    with tracer.span("stage.one") as span:
+        span.annotate(items=3)
+    (record,) = tracer.recent()
+    assert record["name"] == "stage.one"
+    assert record["duration_seconds"] >= 0.0
+    assert record["items"] == 3
+
+
+def test_span_feeds_the_histogram():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
+    with tracer.span("stage.two"):
+        pass
+    data = registry.snapshot().value("repro_span_seconds", {"span": "stage.two"})
+    assert data["count"] == 1
+
+
+def test_span_marks_exceptions():
+    tracer = Tracer(registry=MetricsRegistry())
+    with pytest.raises(RuntimeError):
+        with tracer.span("stage.boom"):
+            raise RuntimeError("nope")
+    (record,) = tracer.recent()
+    assert record["error"] == "RuntimeError"
+
+
+def test_disabled_span_is_shared_noop(tracer):
+    set_enabled(False)
+    try:
+        first = tracer.span("anything")
+        second = tracer.span("else")
+        assert first is second  # the one shared null span, no allocation
+        with first as span:
+            span.annotate(ignored=True)
+    finally:
+        set_enabled(True)
+    assert tracer.recent() == []
+
+
+def test_ring_is_bounded(tracer):
+    for index in range(SPAN_RING_CAPACITY + 10):
+        with tracer.span(f"s{index}"):
+            pass
+    records = tracer.recent()
+    assert len(records) == SPAN_RING_CAPACITY
+    assert records[0]["name"] == "s10"  # oldest ones fell off
+
+
+def test_recent_filters_by_name(tracer):
+    with tracer.span("keep"):
+        pass
+    with tracer.span("drop"):
+        pass
+    assert [record["name"] for record in tracer.recent("keep")] == ["keep"]
+    tracer.clear()
+    assert tracer.recent() == []
+
+
+def test_process_tracer_is_module_singleton():
+    from repro.observability import get_tracer
+
+    assert get_tracer() is trace
